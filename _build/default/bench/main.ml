@@ -1,0 +1,205 @@
+(* Benchmark harness: one target per table and figure of the paper's
+   evaluation (§4), plus the ablations DESIGN.md calls out and real-time
+   microbenchmarks of the hot data structures.
+
+   Usage:  main.exe [target ...]
+   Targets: table2 table3 fig5 fig6a fig6bc fig7a fig7b fig8 table4
+            bpf micro quick all (default: all) *)
+
+let quick = ref false
+
+let sec = Sim.Units.sec
+let ms = Sim.Units.ms
+
+let run_table2 () = Experiments.Table2.print (Experiments.Table2.run ())
+
+let run_table3 () =
+  let samples = if !quick then 150 else 400 in
+  Experiments.Table3.print (Experiments.Table3.run ~samples ())
+
+let run_fig5 () =
+  let measure_ns = if !quick then ms 20 else ms 50 in
+  Experiments.Fig5.print (Experiments.Fig5.run ~measure_ns ())
+
+let fig6_rates () =
+  if !quick then [ 100_000.; 200_000.; 250_000.; 300_000. ]
+  else Experiments.Fig6.default_rates
+
+let fig6_durations () = if !quick then (ms 100, ms 300) else (ms 200, ms 800)
+
+let run_fig6a () =
+  let warmup_ns, measure_ns = fig6_durations () in
+  Experiments.Fig6.print
+    ~title:"Fig. 6a: p99 vs throughput (RocksDB dispersive load)"
+    (Experiments.Fig6.run ~rates:(fig6_rates ()) ~warmup_ns ~measure_ns ())
+
+let run_fig6bc () =
+  let warmup_ns, measure_ns = fig6_durations () in
+  Experiments.Fig6.print
+    ~title:"Fig. 6b/6c: RocksDB co-located with a batch app (+ batch CPU share)"
+    (Experiments.Fig6.run ~rates:(fig6_rates ()) ~with_batch:true ~warmup_ns
+       ~measure_ns ())
+
+let run_fig7 ~loaded () =
+  let duration_ns = if !quick then sec 1 else sec 3 in
+  let title =
+    if loaded then "Fig. 7b: Google Snap RTT percentiles (loaded mode)"
+    else "Fig. 7a: Google Snap RTT percentiles (quiet mode)"
+  in
+  Experiments.Fig7.print ~title (Experiments.Fig7.run ~loaded ~duration_ns ())
+
+let run_fig8 () =
+  let duration_ns = if !quick then sec 3 else sec 10 in
+  let warmup_ns = if !quick then sec 1 else sec 2 in
+  let results =
+    List.map
+      (fun (_, mode) -> Experiments.Fig8.run ~duration_ns ~warmup_ns mode)
+      (Experiments.Fig8.default_modes ())
+  in
+  Experiments.Fig8.print_summary results;
+  (* Per-second series for the two headline systems (Fig. 8's x-axis). *)
+  List.iter
+    (fun r ->
+      if r.Experiments.Fig8.label = "cfs" || r.Experiments.Fig8.label = "ghost" then
+        Experiments.Fig8.print_series r)
+    results
+
+let run_table4 () =
+  let work_ns = if !quick then ms 200 else ms 400 in
+  Experiments.Table4.print (Experiments.Table4.run ~work_ns ())
+
+let run_bpf () =
+  let duration_ns = if !quick then ms 300 else ms 500 in
+  Experiments.Bpf_ablation.print (Experiments.Bpf_ablation.run ~duration_ns ())
+
+let run_tickless () =
+  let duration_ns = if !quick then ms 300 else ms 500 in
+  Experiments.Tickless.print (Experiments.Tickless.run ~duration_ns ())
+
+(* --- Real-time microbenchmarks (Bechamel) ------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let squeue_roundtrip =
+    Test.make ~name:"squeue produce+consume"
+      (Staged.stage (fun () ->
+           let q = Ghost.Squeue.create ~id:1 ~capacity:64 in
+           let msg =
+             {
+               Ghost.Msg.kind = Ghost.Msg.THREAD_WAKEUP;
+               tid = 1;
+               tseq = 1;
+               cpu = 0;
+               posted_at = 0;
+               visible_at = 0;
+             }
+           in
+           ignore (Ghost.Squeue.produce q msg);
+           ignore (Ghost.Squeue.consume q ~now:1)))
+  in
+  let eventq_ops =
+    Test.make ~name:"eventq push+pop"
+      (Staged.stage (fun () ->
+           let q = Sim.Eventq.create () in
+           ignore (Sim.Eventq.push q ~time:1 ignore);
+           ignore (Sim.Eventq.pop q)))
+  in
+  let heap_ops =
+    Test.make ~name:"minheap push+pop"
+      (Staged.stage (fun () ->
+           let h = Policies.Minheap.create () in
+           Policies.Minheap.push h ~key:3 1;
+           Policies.Minheap.push h ~key:1 2;
+           ignore (Policies.Minheap.pop h);
+           ignore (Policies.Minheap.pop h)))
+  in
+  let hist_record =
+    let h = Gstats.Histogram.create () in
+    Test.make ~name:"histogram record"
+      (Staged.stage (fun () -> Gstats.Histogram.record h 123_456))
+  in
+  let mask_ops =
+    let m = Kernel.Cpumask.create_full ~ncpus:256 in
+    Test.make ~name:"cpumask mem"
+      (Staged.stage (fun () -> ignore (Kernel.Cpumask.mem m 137)))
+  in
+  [ squeue_roundtrip; eventq_ops; heap_ops; hist_record; mask_ops ]
+
+let run_micro () =
+  let open Bechamel in
+  Gstats.Table.print_title
+    "Microbenchmarks (real wall-time of the hot data structures)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let name = Test.Elt.name (List.hd (Test.elements test)) in
+        let analysis = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+        let per_run =
+          Hashtbl.fold
+            (fun _ ols acc ->
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> est
+              | Some _ | None -> acc)
+            analysis 0.0
+        in
+        [ name; Printf.sprintf "%.1f ns" per_run ])
+      (bechamel_tests ())
+  in
+  Gstats.Table.print ~header:[ "operation"; "time/op" ] rows
+
+(* --- Driver ------------------------------------------------------------------- *)
+
+let all_targets =
+  [
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("fig5", run_fig5);
+    ("fig6a", run_fig6a);
+    ("fig6bc", run_fig6bc);
+    ("fig7a", run_fig7 ~loaded:false);
+    ("fig7b", run_fig7 ~loaded:true);
+    ("fig8", run_fig8);
+    ("table4", run_table4);
+    ("bpf", run_bpf);
+    ("tickless", run_tickless);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let targets =
+    match args with
+    | [] | [ "all" ] -> List.map fst all_targets
+    | picks -> picks
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_targets with
+      | Some fn ->
+        let s = Unix.gettimeofday () in
+        fn ();
+        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. s)
+      | None ->
+        Printf.eprintf "unknown target %s; known: %s\n" name
+          (String.concat " " (List.map fst all_targets)))
+    targets;
+  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)

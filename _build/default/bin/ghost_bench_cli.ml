@@ -1,0 +1,212 @@
+(* Command-line front-end to the experiment harnesses.
+
+   Each subcommand reproduces one table or figure of the paper, with knobs
+   for durations, rates and samples; `dune exec bench/main.exe` runs the
+   whole suite with defaults instead. *)
+
+open Cmdliner
+
+let ms = Sim.Units.ms
+let sec = Sim.Units.sec
+
+let duration_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "d"; "duration-ms" ] ~docv:"MS" ~doc)
+
+(* --- table2 -------------------------------------------------------------- *)
+
+let table2_cmd =
+  let run () = Experiments.Table2.print (Experiments.Table2.run ()) in
+  Cmd.v (Cmd.info "table2" ~doc:"Lines-of-code inventory vs the paper's Table 2")
+    Term.(const run $ const ())
+
+(* --- table3 -------------------------------------------------------------- *)
+
+let table3_cmd =
+  let samples =
+    Arg.(value & opt int 400 & info [ "samples" ] ~docv:"N" ~doc:"samples per line")
+  in
+  let run samples =
+    Experiments.Table3.print (Experiments.Table3.run ~samples ())
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Microbenchmarks of ghOSt operations (Table 3)")
+    Term.(const run $ samples)
+
+(* --- fig5 ---------------------------------------------------------------- *)
+
+let fig5_cmd =
+  let machine =
+    Arg.(
+      value
+      & opt (enum [ ("skylake", `Skylake); ("haswell", `Haswell); ("both", `Both) ]) `Both
+      & info [ "machine" ] ~doc:"skylake, haswell or both")
+  in
+  let run duration machine =
+    let machines =
+      match machine with
+      | `Skylake -> [ Hw.Machines.skylake_2s ]
+      | `Haswell -> [ Hw.Machines.haswell_2s ]
+      | `Both -> [ Hw.Machines.skylake_2s; Hw.Machines.haswell_2s ]
+    in
+    Experiments.Fig5.print
+      (Experiments.Fig5.run ~measure_ns:(ms duration) ~machines ())
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Global agent scalability sweep (Fig. 5)")
+    Term.(const run $ duration_arg ~default:50 ~doc:"measurement window (ms)" $ machine)
+
+(* --- fig6 ---------------------------------------------------------------- *)
+
+let fig6_cmd =
+  let batch =
+    Arg.(value & flag & info [ "batch" ] ~doc:"co-locate the batch app (Fig. 6b/c)")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) Experiments.Fig6.default_rates
+      & info [ "rates" ] ~docv:"R,R,..." ~doc:"offered loads (req/s)")
+  in
+  let run duration batch rates =
+    Experiments.Fig6.print
+      ~title:(if batch then "Fig. 6b/6c" else "Fig. 6a")
+      (Experiments.Fig6.run ~rates ~with_batch:batch ~measure_ns:(ms duration) ())
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Shinjuku / ghOSt-Shinjuku / CFS-Shinjuku comparison (Fig. 6)")
+    Term.(
+      const run $ duration_arg ~default:800 ~doc:"measurement per point (ms)" $ batch
+      $ rates)
+
+(* --- fig7 ---------------------------------------------------------------- *)
+
+let fig7_cmd =
+  let loaded =
+    Arg.(value & flag & info [ "loaded" ] ~doc:"add 40 antagonists (Fig. 7b)")
+  in
+  let run duration loaded =
+    Experiments.Fig7.print
+      ~title:(if loaded then "Fig. 7b (loaded)" else "Fig. 7a (quiet)")
+      (Experiments.Fig7.run ~loaded ~duration_ns:(ms duration) ())
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Google Snap RTT percentiles, MicroQuanta vs ghOSt (Fig. 7)")
+    Term.(const run $ duration_arg ~default:3000 ~doc:"traffic duration (ms)" $ loaded)
+
+(* --- fig8 ---------------------------------------------------------------- *)
+
+let fig8_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("all", None); ("cfs", Some "cfs"); ("ghost", Some "ghost");
+                    ("ghost-no-ccx", Some "ghost-no-ccx");
+                    ("ghost-no-numa", Some "ghost-no-numa") ]) None
+      & info [ "mode" ] ~doc:"which system(s) to run")
+  in
+  let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series") in
+  let run duration mode series =
+    let picks =
+      Experiments.Fig8.default_modes ()
+      |> List.filter (fun (name, _) ->
+             match mode with None -> true | Some m -> m = name)
+    in
+    let results =
+      List.map
+        (fun (_, m) ->
+          Experiments.Fig8.run ~duration_ns:(ms duration) ~warmup_ns:(sec 2) m)
+        picks
+    in
+    Experiments.Fig8.print_summary results;
+    if series then List.iter Experiments.Fig8.print_series results
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Google Search benchmark, CFS vs ghOSt + ablations (Fig. 8)")
+    Term.(
+      const run
+      $ duration_arg ~default:10_000 ~doc:"measured window (ms)"
+      $ mode $ series)
+
+(* --- table4 -------------------------------------------------------------- *)
+
+let table4_cmd =
+  let run work =
+    Experiments.Table4.print (Experiments.Table4.run ~work_ns:(ms work) ())
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Secure VM core scheduling (Table 4)")
+    Term.(const run $ duration_arg ~default:400 ~doc:"per-vCPU work (ms)")
+
+(* --- bpf ----------------------------------------------------------------- *)
+
+let bpf_cmd =
+  let run duration =
+    Experiments.Bpf_ablation.print
+      (Experiments.Bpf_ablation.run ~duration_ns:(ms duration) ())
+  in
+  Cmd.v
+    (Cmd.info "bpf" ~doc:"BPF pick_next_task fastpath ablation (end of 3.2 / 5)")
+    Term.(const run $ duration_arg ~default:500 ~doc:"measured window (ms)")
+
+let tickless_cmd =
+  let run duration =
+    Experiments.Tickless.print
+      (Experiments.Tickless.run ~duration_ns:(ms duration) ())
+  in
+  Cmd.v
+    (Cmd.info "tickless" ~doc:"Tick-less scheduling for guest workloads (5)")
+    Term.(const run $ duration_arg ~default:500 ~doc:"measured window (ms)")
+
+let trace_cmd =
+  let n = Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"events to print") in
+  let run n =
+    (* A small ghOSt-scheduled scenario with the trace ring attached:
+       the simulator's sched_switch/sched_wakeup view. *)
+    let machine =
+      {
+        Hw.Machines.name = "trace-demo";
+        topo =
+          Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:3 ~smt:1;
+        costs = Hw.Costs.skylake;
+      }
+    in
+    let kernel = Kernel.create machine in
+    let tr = Kernel.Trace.create () in
+    Kernel.set_tracer kernel (Some tr);
+    let sys = Ghost.System.install kernel in
+    let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
+    let _, pol = Policies.Fifo_centralized.policy ~timeslice:(Sim.Units.us 100) () in
+    let _g = Ghost.Agent.attach_global sys e pol in
+    List.iter
+      (fun i ->
+        let t =
+          Kernel.create_task kernel
+            ~name:(Printf.sprintf "job%d" i)
+            (Kernel.Task.compute_total ~slice:(Sim.Units.us 80)
+               ~total:(Sim.Units.us 400) (fun () -> Kernel.Task.Exit))
+        in
+        Ghost.System.manage e t;
+        Kernel.start kernel t)
+      [ 0; 1; 2; 3 ];
+    Kernel.run_until kernel (ms 5);
+    let records = Kernel.Trace.records tr in
+    let shown = List.filteri (fun i _ -> i < n) records in
+    List.iter
+      (fun r ->
+        Format.printf "%9dns %a@." r.Kernel.Trace.time Kernel.Trace.pp_event
+          r.Kernel.Trace.event)
+      shown;
+    Printf.printf "... (%d events total)\n" (Kernel.Trace.total tr)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump a scheduling trace of a small ghOSt scenario")
+    Term.(const run $ n)
+
+let main_cmd =
+  let doc = "reproduce the ghOSt paper's evaluation (SOSP '21)" in
+  Cmd.group
+    (Cmd.info "ghost_bench_cli" ~version:"1.0" ~doc)
+    [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; table4_cmd;
+      bpf_cmd; tickless_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

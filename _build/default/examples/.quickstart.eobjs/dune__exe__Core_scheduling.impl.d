@@ -1,0 +1,1 @@
+examples/core_scheduling.ml: Array Ghost Hw Kernel List Policies Printf Sim Workloads

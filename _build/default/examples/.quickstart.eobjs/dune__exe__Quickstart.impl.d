@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ghost Hw Kernel List Policies Printf Sim

@@ -1,0 +1,1 @@
+examples/rollout_upgrade.ml: Ghost Hw Kernel List Policies Printf Sim

@@ -1,0 +1,1 @@
+examples/rollout_upgrade.mli:

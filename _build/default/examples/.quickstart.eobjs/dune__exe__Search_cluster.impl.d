@@ -1,0 +1,1 @@
+examples/search_cluster.ml: Ghost Hw Kernel List Policies Printf Sim Workloads

@@ -1,0 +1,1 @@
+examples/shinjuku_server.ml: Experiments Ghost Hw Kernel List Policies Printf Sim String Workloads

@@ -1,0 +1,1 @@
+examples/shinjuku_server.mli:

@@ -1,0 +1,122 @@
+(* Non-disruptive policy rollout, crash fallback, and the watchdog (3.4).
+
+   Demonstrates the deployment story that motivates ghOSt: the scheduling
+   policy is upgraded in place without touching the running threads; a
+   crashing agent makes the machine fall back to CFS instead of hanging; a
+   misbehaving agent is killed by the watchdog.
+
+   Run with:  dune exec examples/rollout_upgrade.exe *)
+
+module System = Ghost.System
+module Agent = Ghost.Agent
+module Task = Kernel.Task
+
+let ms = Sim.Units.ms
+let us = Sim.Units.us
+
+let machine =
+  {
+    Hw.Machines.name = "rollout-4c";
+    topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:4 ~smt:1;
+    costs = Hw.Costs.skylake;
+  }
+
+(* A long-running service thread: compute 300us, nap 100us, repeat. *)
+let spawn_service kernel enclave n =
+  List.init n (fun i ->
+      let cell = ref None in
+      let wake_later () =
+        ignore
+          (Sim.Engine.post_in (Kernel.engine kernel) ~delay:(us 100) (fun () ->
+               match !cell with
+               | Some task -> Kernel.wake kernel task
+               | None -> ()))
+      in
+      let behavior () =
+        let rec loop () =
+          Task.Run
+            {
+              ns = us 300;
+              after =
+                (fun () ->
+                  wake_later ();
+                  Task.Block { after = loop });
+            }
+        in
+        loop ()
+      in
+      let task = Kernel.create_task kernel ~name:(Printf.sprintf "svc%d" i) behavior in
+      cell := Some task;
+      System.manage enclave task;
+      Kernel.start kernel task;
+      task)
+
+let () =
+  let kernel = Kernel.create machine in
+  let sys = System.install kernel in
+  let enclave = System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
+
+  (* v1 of the policy. *)
+  let _, policy_v1 = Policies.Fifo_centralized.policy () in
+  let v1 = Agent.attach_global sys enclave policy_v1 in
+  let services = spawn_service kernel enclave 6 in
+  Kernel.run_until kernel (ms 20);
+  let progress () =
+    List.fold_left (fun acc (t : Task.t) -> acc + t.Task.sum_exec) 0 services
+  in
+  let p1 = progress () in
+  Printf.printf "v1 agent scheduling 6 services: %.1f ms of CPU delivered\n"
+    (Sim.Units.to_ms p1);
+
+  (* In-place upgrade: stop v1, attach v2 within the grace period.  The
+     enclave — and every managed thread — survives. *)
+  Agent.stop v1;
+  let _, policy_v2 = Policies.Fifo_centralized.policy ~timeslice:(us 100) () in
+  let v2 = Agent.attach_global sys enclave policy_v2 in
+  Kernel.run_until kernel (ms 40);
+  Printf.printf "upgraded to v2 (100us timeslice) without a reboot: alive=%b, +%.1f ms CPU\n"
+    (System.enclave_alive enclave)
+    (Sim.Units.to_ms (progress () - p1));
+  assert (System.enclave_alive enclave);
+  assert (List.for_all (fun (t : Task.t) -> t.Task.policy = Task.Ghost) services);
+
+  (* Crash: v2 dies without a successor.  After the grace period the enclave
+     is destroyed and all threads fall back to CFS — the machine keeps
+     serving. *)
+  let p2 = progress () in
+  Agent.crash v2;
+  Kernel.run_until kernel (ms 60);
+  Printf.printf "v2 crashed: enclave alive=%b (reason=%s); services kept running (+%.1f ms CPU under CFS)\n"
+    (System.enclave_alive enclave)
+    (match System.destroy_reason enclave with
+    | Some System.Agent_crash -> "agent crash"
+    | Some System.Watchdog -> "watchdog"
+    | Some System.Explicit -> "explicit"
+    | None -> "-")
+    (Sim.Units.to_ms (progress () - p2));
+  assert (not (System.enclave_alive enclave));
+  assert (List.for_all (fun (t : Task.t) -> t.Task.policy = Task.Cfs) services);
+
+  (* Watchdog: a new enclave whose agent never schedules anyone gets
+     destroyed automatically. *)
+  let enclave2 =
+    System.create_enclave sys ~watchdog_timeout:(ms 10)
+      ~cpus:(Kernel.full_mask kernel) ()
+  in
+  let broken_policy : Agent.policy =
+    { name = "broken"; init = ignore; schedule = (fun _ _ -> ()); on_result = (fun _ _ -> ()) }
+  in
+  let _broken = Agent.attach_global sys enclave2 broken_policy in
+  let victim =
+    Kernel.create_task kernel ~name:"victim"
+      (Task.compute_total ~slice:(us 100) ~total:(ms 2) (fun () -> Task.Exit))
+  in
+  System.manage enclave2 victim;
+  Kernel.start kernel victim;
+  Kernel.run_until kernel (ms 120);
+  Printf.printf "watchdog killed the broken policy: alive=%b; victim state=%s\n"
+    (System.enclave_alive enclave2)
+    (if victim.Task.state = Task.Dead then "completed under CFS" else "stuck");
+  assert (not (System.enclave_alive enclave2));
+  assert (victim.Task.state = Task.Dead);
+  print_endline "rollout story: upgrade, crash-fallback and watchdog all verified."

@@ -1,0 +1,74 @@
+(* A microsecond-scale request server scheduled by the ghOSt-Shinjuku policy.
+
+   Reproduces the setup of the paper's 4.2 in miniature: an open-loop
+   dispersive workload (99.5% short requests, 0.5% very long) served by a
+   pool of worker threads, with the centralized agent preempting any worker
+   that exceeds its 30us timeslice, and a co-located batch app soaking idle
+   cycles without hurting the tail.
+
+   Run with:  dune exec examples/shinjuku_server.exe *)
+
+module System = Ghost.System
+module Agent = Ghost.Agent
+module Task = Kernel.Task
+
+let ms = Sim.Units.ms
+
+let () =
+  let machine = Hw.Machines.xeon_e5_1s in
+  let kernel = Kernel.create machine in
+  let sys = System.install kernel in
+  let enclave =
+    System.create_enclave sys
+      ~cpus:(Kernel.Cpumask.of_list ~ncpus:(Kernel.ncpus kernel)
+               (List.init 21 (fun i -> i)))
+      ()
+  in
+  let is_batch (task : Task.t) =
+    String.length task.Task.name >= 5 && String.sub task.Task.name 0 5 = "batch"
+  in
+  let st, policy = Policies.Shinjuku.policy ~shenango_ext:true ~is_batch () in
+  let _agents = Agent.attach_global sys enclave policy in
+
+  (* 200 worker threads; requests are 99.5% x 4us, 0.5% x 10ms. *)
+  let spawn ~idx behavior =
+    let task =
+      Kernel.create_task kernel ~name:(Printf.sprintf "worker%d" idx) behavior
+    in
+    System.manage enclave task;
+    Kernel.start kernel task;
+    task
+  in
+  let workload =
+    Workloads.Openloop.create kernel ~seed:1 ~rate:200_000.0
+      ~service:Experiments.Fig6.rocksdb_service ~nworkers:200 ~spawn
+  in
+  (* A batch app that may only use leftover cycles. *)
+  let spawn_batch ~idx behavior =
+    let task =
+      Kernel.create_task kernel ~name:(Printf.sprintf "batch%d" idx) behavior
+    in
+    System.manage enclave task;
+    Kernel.start kernel task;
+    task
+  in
+  let batch = Workloads.Batch.create kernel ~n:8 ~spawn:spawn_batch () in
+
+  Workloads.Openloop.set_record_after workload (ms 100);
+  Workloads.Openloop.start workload ~until:(ms 600);
+  Kernel.run_until kernel (ms 100);
+  Workloads.Batch.mark batch;
+  Kernel.run_until kernel (ms 650);
+
+  let r = Workloads.Openloop.recorder workload in
+  let p pct = Sim.Units.to_us (Workloads.Recorder.p r pct) in
+  Printf.printf "shinjuku-on-ghost: 200k req/s of dispersive load on 20 CPUs\n";
+  Printf.printf "  completed: %d requests\n" (Workloads.Recorder.completed r);
+  Printf.printf "  latency: p50=%.0fus p99=%.0fus p99.9=%.0fus\n" (p 50.0) (p 99.0)
+    (p 99.9);
+  let stats = Policies.Shinjuku.stats st in
+  Printf.printf "  timeslice preemptions: %d, batch evictions: %d\n"
+    stats.Policies.Central.lc_preemptions stats.Policies.Central.be_evictions;
+  Printf.printf "  batch app CPU share of the enclave: %.0f%%\n"
+    (100.0
+    *. Workloads.Batch.share batch ~since:(ms 100) ~now:(ms 600) ~cpus:20)

@@ -1,0 +1,1 @@
+lib/baselines/shinjuku_dataplane.ml: Queue Sim Workloads

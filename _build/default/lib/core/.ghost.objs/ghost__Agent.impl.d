@@ -1,0 +1,1 @@
+lib/core/agent.ml: Float Hashtbl Hw Kernel List Msg Printf Sim Squeue Status_word System Txn

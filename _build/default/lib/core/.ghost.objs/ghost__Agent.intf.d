@@ -1,0 +1,1 @@
+lib/core/agent.mli: Kernel Msg Sim Squeue Status_word System Txn

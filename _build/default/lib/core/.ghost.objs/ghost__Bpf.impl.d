@@ -1,0 +1,1 @@
+lib/core/bpf.ml: Array Kernel Queue

@@ -1,0 +1,1 @@
+lib/core/bpf.mli: Kernel

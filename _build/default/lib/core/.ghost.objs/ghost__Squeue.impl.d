@@ -1,0 +1,1 @@
+lib/core/squeue.ml: List Msg Queue Status_word

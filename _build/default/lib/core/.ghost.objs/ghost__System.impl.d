@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Bpf Hashtbl Hw Kernel List Logs Msg Printf Sim Squeue Status_word Txn

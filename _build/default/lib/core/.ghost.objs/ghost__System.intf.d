@@ -1,0 +1,1 @@
+lib/core/system.mli: Bpf Kernel Squeue Status_word Txn

@@ -1,0 +1,361 @@
+module Task = Kernel.Task
+module Cpumask = Kernel.Cpumask
+
+type ctx = {
+  group : group;
+  mutable cur_cpu : int;
+  mutable charged : int;
+  mutable batches : (bool * Txn.t list) list;  (* reverse submit order *)
+}
+
+and group = {
+  sys : System.t;
+  enc : System.enclave;
+  kern : Kernel.t;
+  pol : policy;
+  mode : mode;
+  cpu_list : int list;
+  agents : (int, Task.t) Hashtbl.t;
+  sws : (int, Status_word.t) Hashtbl.t;
+  cpu_queues : (int, Squeue.t) Hashtbl.t;  (* local mode *)
+  min_iteration : int;
+  idle_gap : int;  (* polling pause after a pass that did nothing *)
+  mutable gcpu : int;  (* global agent's CPU; -1 in local mode *)
+  poked : (int, unit) Hashtbl.t;  (* cpus owed a pass despite empty queues *)
+  mutable iters : int;
+  mutable stopped : bool;
+  mutable attached : bool;
+  mutable the_ctx : ctx option;
+}
+
+and mode = Global | Local
+
+and policy = {
+  name : string;
+  init : ctx -> unit;
+  schedule : ctx -> Msg.t list -> unit;
+  on_result : ctx -> Txn.t -> unit;
+}
+
+let base_pass_cost = 100 (* status-word reads, loop bookkeeping *)
+
+(* --- ctx accessors --------------------------------------------------------- *)
+
+let sys ctx = ctx.group.sys
+let kernel ctx = ctx.group.kern
+let enclave ctx = ctx.group.enc
+let cpu ctx = ctx.cur_cpu
+let now ctx = Kernel.now ctx.group.kern
+let rng ctx = Kernel.rng ctx.group.kern
+let charge ctx ns = ctx.charged <- ctx.charged + max 0 ns
+
+let sw_of g cpu = Hashtbl.find g.sws cpu
+let aseq ctx = (sw_of ctx.group ctx.cur_cpu).Status_word.seq
+
+let make_txn ctx ~tid ~target ?(with_aseq = false) ?thread_seq () =
+  let agent_seq = if with_aseq then Some (aseq ctx) else None in
+  System.make_txn ctx.group.sys ~tid ~cpu:target ?agent_seq ?thread_seq ()
+
+let submit ctx ?(atomic = false) txns =
+  if txns <> [] then ctx.batches <- (atomic, txns) :: ctx.batches
+
+let recall ctx ~target = System.recall ctx.group.sys ctx.group.enc ~cpu:target
+
+let enclave_cpu_list ctx = ctx.group.cpu_list
+
+let cpu_is_idle ctx c =
+  charge ctx 5;
+  Kernel.cpu_idle ctx.group.kern c
+
+let idle_cpus ctx =
+  List.filter (fun c -> cpu_is_idle ctx c) ctx.group.cpu_list
+
+let curr_on ctx c =
+  charge ctx 5;
+  Kernel.curr ctx.group.kern c
+
+let latched_on ctx c = System.latched ctx.group.sys ~cpu:c
+let lower_class_waiting ctx c = Kernel.lower_class_waiting ctx.group.kern c
+let managed_threads ctx = System.managed_threads ctx.group.enc
+let status_word ctx task = System.status_word ctx.group.sys task
+let thread_seq ctx task = System.thread_seq ctx.group.sys task
+let task_by_tid ctx tid = Kernel.task_by_tid ctx.group.kern tid
+
+let wire_wakeup g q ~wake_cpu =
+  let costs = Kernel.costs g.kern in
+  let delay = costs.Hw.Costs.msg_produce + costs.Hw.Costs.agent_wakeup in
+  Squeue.add_aseq_target q (sw_of g wake_cpu);
+  Squeue.set_wakeup q
+    (Some
+       (fun () ->
+         ignore
+           (Sim.Engine.post_in (Kernel.engine g.kern) ~delay (fun () ->
+                (* The wakeup also owes the agent a pass even if its standard
+                   queues are empty — the message may sit on a policy-created
+                   extra queue the runtime does not know about. *)
+                Hashtbl.replace g.poked wake_cpu ();
+                match Hashtbl.find_opt g.agents wake_cpu with
+                | Some agent -> Kernel.wake g.kern agent
+                | None -> ()))))
+
+let create_queue ctx ~capacity ~wake_cpu =
+  charge ctx (Kernel.costs ctx.group.kern).Hw.Costs.syscall;
+  let q = System.create_queue ctx.group.enc ~capacity in
+  (match wake_cpu with Some c -> wire_wakeup ctx.group q ~wake_cpu:c | None -> ());
+  q
+
+let associate_queue ctx task q =
+  charge ctx (Kernel.costs ctx.group.kern).Hw.Costs.syscall;
+  System.associate_queue ctx.group.enc task q
+
+let queue_of_cpu ctx c = Hashtbl.find_opt ctx.group.cpu_queues c
+
+let poke ctx target =
+  let g = ctx.group in
+  charge ctx (Kernel.costs g.kern).Hw.Costs.syscall;
+  Hashtbl.replace g.poked target ();
+  match Hashtbl.find_opt g.agents target with
+  | Some agent -> Kernel.wake g.kern agent
+  | None -> ()
+
+let drain_list ctx q =
+  let tnow = now ctx in
+  let consume = (Kernel.costs ctx.group.kern).Hw.Costs.msg_consume in
+  let rec go acc =
+    match Squeue.consume q ~now:tnow with
+    | Some msg ->
+      charge ctx consume;
+      go (msg :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let drain ctx q = drain_list ctx q
+
+(* --- Pass execution -------------------------------------------------------- *)
+
+let get_ctx g =
+  match g.the_ctx with
+  | Some ctx -> ctx
+  | None ->
+    let ctx = { group = g; cur_cpu = g.gcpu; charged = 0; batches = [] } in
+    g.the_ctx <- Some ctx;
+    ctx
+
+let scale_f f x = int_of_float (Float.round (f *. float_of_int x))
+
+let commit_cost g ~agent_cpu batches =
+  let c = Kernel.costs g.kern in
+  let topo = Kernel.topo g.kern in
+  let batch_cost (_, txns) =
+    match txns with
+    | [] -> 0
+    | [ (t1 : Txn.t) ] when t1.target_cpu = agent_cpu -> c.Hw.Costs.txn_commit_local
+    | txns ->
+      let per_txn (txn : Txn.t) =
+        if Hw.Topology.same_socket topo agent_cpu txn.Txn.target_cpu then
+          c.Hw.Costs.txn_group_per_txn
+        else scale_f c.Hw.Costs.cross_socket_op c.Hw.Costs.txn_group_per_txn
+      in
+      c.Hw.Costs.txn_group_fixed
+      + List.fold_left (fun acc txn -> acc + per_txn txn) 0 txns
+  in
+  List.fold_left (fun acc b -> acc + batch_cost b) 0 batches
+
+let sibling_busy g cpu =
+  match Hw.Topology.sibling_of (Kernel.topo g.kern) cpu with
+  | Some s -> Kernel.curr g.kern s <> None
+  | None -> false
+
+(* One scheduling pass: drain [queues], run the policy, then occupy the CPU
+   for the charged interval; commits validate and apply when it ends, so
+   messages arriving meanwhile produce ESTALE (§3.2). *)
+let run_pass g ~cpu ~queues ~after_apply =
+  let ctx = get_ctx g in
+  ctx.cur_cpu <- cpu;
+  ctx.charged <- base_pass_cost;
+  ctx.batches <- [];
+  g.iters <- g.iters + 1;
+  let msgs = List.concat_map (fun q -> drain_list ctx q) queues in
+  g.pol.schedule ctx msgs;
+  let batches = List.rev ctx.batches in
+  ctx.charged <- ctx.charged + commit_cost g ~agent_cpu:cpu batches;
+  let c = Kernel.costs g.kern in
+  let charged =
+    if sibling_busy g cpu then scale_f c.Hw.Costs.smt_contention ctx.charged
+    else ctx.charged
+  in
+  let idle_pass = msgs = [] && batches = [] in
+  let floor = if idle_pass then g.idle_gap else g.min_iteration in
+  let delta = max floor charged in
+  Task.Run
+    {
+      ns = delta;
+      after =
+        (fun () ->
+          let agent_sw = Some (sw_of g cpu) in
+          List.iter
+            (fun (atomic, txns) ->
+              System.commit g.sys g.enc ~agent_cpu:cpu ~agent_sw ~atomic txns)
+            batches;
+          List.iter
+            (fun (_, txns) -> List.iter (fun txn -> g.pol.on_result ctx txn) txns)
+            batches;
+          after_apply ());
+    }
+
+let alive g = (not g.stopped) && System.enclave_alive g.enc
+
+(* --- Global (centralized) agent -------------------------------------------- *)
+
+let find_handoff_target g ~from =
+  let ok c =
+    c <> from && Kernel.cpu_idle g.kern c && not (Kernel.lower_class_waiting g.kern c)
+  in
+  List.find_opt ok g.cpu_list
+
+let rec global_behavior g cpu () =
+  if not (alive g) then Task.Exit
+  else if g.gcpu <> cpu then Task.Block { after = global_behavior g cpu }
+  else if Kernel.lower_class_waiting g.kern cpu then begin
+    (* Hot handoff: vacate for the CFS/MicroQuanta work waiting here. *)
+    match find_handoff_target g ~from:cpu with
+    | Some c' ->
+      g.gcpu <- c';
+      (match Hashtbl.find_opt g.agents c' with
+      | Some agent -> Kernel.wake g.kern agent
+      | None -> ());
+      Task.Block { after = global_behavior g cpu }
+    | None -> global_pass g cpu
+  end
+  else global_pass g cpu
+
+and global_pass g cpu =
+  run_pass g ~cpu
+    ~queues:[ System.default_queue g.enc ]
+    ~after_apply:(fun () -> global_behavior g cpu ())
+
+(* --- Local (per-CPU) agents ------------------------------------------------ *)
+
+let local_queues g cpu =
+  let own = Hashtbl.find g.cpu_queues cpu in
+  (* The first CPU's agent also watches the enclave default queue, where
+     newly managed threads announce themselves before the policy associates
+     them to a per-CPU queue. *)
+  match g.cpu_list with
+  | first :: _ when first = cpu -> [ System.default_queue g.enc; own ]
+  | _ -> [ own ]
+
+let rec local_behavior g cpu () =
+  if not (alive g) then Task.Exit
+  else begin
+    let queues = local_queues g cpu in
+    let pending = List.exists (fun q -> Squeue.length q > 0) queues in
+    let poked = Hashtbl.mem g.poked cpu in
+    if poked then Hashtbl.remove g.poked cpu;
+    if (not pending) && not poked then Task.Block { after = local_behavior g cpu }
+    else run_pass g ~cpu ~queues ~after_apply:(fun () -> local_behavior g cpu ())
+  end
+
+(* --- Attachment ------------------------------------------------------------ *)
+
+let spawn_agents g behavior =
+  let ncpus = Kernel.ncpus g.kern in
+  List.iter
+    (fun cpu ->
+      let sw = Status_word.create () in
+      Hashtbl.replace g.sws cpu sw;
+      let task =
+        Kernel.create_task g.kern ~policy:Task.Rt ~rt_prio:99
+          ~affinity:(Cpumask.singleton ~ncpus cpu)
+          ~name:(Printf.sprintf "%s-agent-%d" g.pol.name cpu)
+          (behavior cpu)
+      in
+      task.Task.is_agent <- true;
+      Hashtbl.replace g.agents cpu task;
+      System.register_agent g.enc task sw)
+    g.cpu_list;
+  List.iter (fun cpu -> Kernel.start g.kern (Hashtbl.find g.agents cpu)) g.cpu_list
+
+let make_group sys enc ~mode ~min_iteration ?(idle_gap = 1_000) pol =
+  let kern = System.kernel sys in
+  let cpu_list = Cpumask.to_list (System.enclave_cpus enc) in
+  {
+    sys;
+    enc;
+    kern;
+    pol;
+    mode;
+    cpu_list;
+    agents = Hashtbl.create 16;
+    sws = Hashtbl.create 16;
+    cpu_queues = Hashtbl.create 16;
+    min_iteration;
+    idle_gap = max min_iteration idle_gap;
+    gcpu = (match mode with Global -> List.hd cpu_list | Local -> -1);
+    poked = Hashtbl.create 16;
+    iters = 0;
+    stopped = false;
+    attached = false;
+    the_ctx = None;
+  }
+
+let attach_global sys enc ?(min_iteration = 200) ?idle_gap pol =
+  let g = make_group sys enc ~mode:Global ~min_iteration ?idle_gap pol in
+  spawn_agents g (fun cpu -> global_behavior g cpu);
+  (* The global agent polls the default queue; its aseq tracks it. *)
+  Squeue.add_aseq_target (System.default_queue enc) (sw_of g g.gcpu);
+  g.attached <- true;
+  pol.init (get_ctx g);
+  g
+
+let attach_local sys enc pol =
+  let g = make_group sys enc ~mode:Local ~min_iteration:200 pol in
+  spawn_agents g (fun cpu -> local_behavior g cpu);
+  List.iter
+    (fun cpu ->
+      let q = System.create_queue enc ~capacity:4096 in
+      Hashtbl.replace g.cpu_queues cpu q;
+      System.associate_cpu_queue enc ~cpu q;
+      wire_wakeup g q ~wake_cpu:cpu)
+    g.cpu_list;
+  (* Default-queue traffic wakes the first CPU's agent. *)
+  wire_wakeup g (System.default_queue enc) ~wake_cpu:(List.hd g.cpu_list);
+  g.attached <- true;
+  let ctx = get_ctx g in
+  ctx.cur_cpu <- List.hd g.cpu_list;
+  pol.init ctx;
+  (* Every agent owes an initial pass: after an in-place upgrade the policy
+     may have rebuilt runqueues with no message traffic to trigger them. *)
+  List.iter
+    (fun cpu ->
+      Hashtbl.replace g.poked cpu ();
+      Kernel.wake g.kern (Hashtbl.find g.agents cpu))
+    g.cpu_list;
+  g
+
+let detach g =
+  Hashtbl.iter (fun _ task -> System.unregister_agent g.enc task) g.agents;
+  g.attached <- false
+
+let stop g =
+  if not g.stopped then begin
+    g.stopped <- true;
+    detach g;
+    (* Wake sleepers so they observe the stop and exit. *)
+    Hashtbl.iter (fun _ task -> Kernel.wake g.kern task) g.agents
+  end
+
+let crash g =
+  if not g.stopped then begin
+    g.stopped <- true;
+    Hashtbl.iter
+      (fun _ (task : Task.t) ->
+        if task.Task.state <> Task.Dead then Kernel.kill g.kern task)
+      g.agents;
+    detach g
+  end
+
+let global_cpu g = g.gcpu
+let iterations g = g.iters
+let is_attached g = g.attached

@@ -1,0 +1,60 @@
+type t = {
+  rings : Kernel.Task.t Queue.t array;
+  capacity : int;
+  mutable npicks : int;
+}
+
+let create ~rings ~capacity =
+  if rings <= 0 || capacity <= 0 then invalid_arg "Bpf.create: bad dimensions";
+  { rings = Array.init rings (fun _ -> Queue.create ()); capacity; npicks = 0 }
+
+let publish t ~ring task =
+  let ring = ring mod Array.length t.rings in
+  if Queue.length t.rings.(ring) < t.capacity then Queue.push task t.rings.(ring)
+
+let remove_from ring task =
+  let kept = Queue.create () in
+  let found = ref false in
+  Queue.iter (fun x -> if x == task then found := true else Queue.push x kept) ring;
+  if !found then begin
+    Queue.clear ring;
+    Queue.transfer kept ring
+  end;
+  !found
+
+let revoke t task = Array.exists (fun ring -> remove_from ring task) t.rings
+
+let mem t task =
+  Array.exists
+    (fun ring ->
+      let found = ref false in
+      Queue.iter (fun x -> if x == task then found := true) ring;
+      !found)
+    t.rings
+
+let pick_ring ring ~ok =
+  (* Pop entries until one passes [ok]; stale entries (revoked threads keep
+     no tombstone, so dead/latched ones can linger) are discarded. *)
+  let rec go () =
+    match Queue.pop ring with
+    | exception Queue.Empty -> None
+    | task -> if ok task then Some task else go ()
+  in
+  go ()
+
+let pick t ~ring ~ok =
+  let n = Array.length t.rings in
+  let rec try_ring i =
+    if i >= n then None
+    else begin
+      match pick_ring t.rings.((ring + i) mod n) ~ok with
+      | Some task ->
+        t.npicks <- t.npicks + 1;
+        Some task
+      | None -> try_ring (i + 1)
+    end
+  in
+  try_ring 0
+
+let length t = Array.fold_left (fun acc ring -> acc + Queue.length ring) 0 t.rings
+let picks t = t.npicks

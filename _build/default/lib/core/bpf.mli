@@ -1,0 +1,29 @@
+(** BPF pick_next_task fastpath (§3.2, §5).
+
+    The agent publishes runnable threads into shared rings; when a CPU would
+    otherwise idle before the agent's next scheduling pass, the kernel-side
+    BPF program pops a compatible thread and runs it immediately, closing
+    the centralized model's scheduling gaps.  The agent may revoke a thread
+    before BPF schedules it. *)
+
+type t
+
+val create : rings:int -> capacity:int -> t
+(** [rings] lets the agent shard by NUMA node (§5). *)
+
+val publish : t -> ring:int -> Kernel.Task.t -> unit
+(** Agent side: offer a runnable thread to the fastpath. *)
+
+val revoke : t -> Kernel.Task.t -> bool
+(** Agent side: retract a published thread; [true] if it was still there. *)
+
+val mem : t -> Kernel.Task.t -> bool
+(** Is the thread currently published in any ring? *)
+
+val pick : t -> ring:int -> ok:(Kernel.Task.t -> bool) -> Kernel.Task.t option
+(** Kernel side: pop the first published thread satisfying [ok] from the
+    given ring, falling back to the other rings. *)
+
+val length : t -> int
+val picks : t -> int
+(** Number of successful fastpath picks (for the BPF ablation bench). *)

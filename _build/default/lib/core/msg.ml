@@ -1,0 +1,32 @@
+type kind =
+  | THREAD_CREATED
+  | THREAD_BLOCKED
+  | THREAD_PREEMPTED
+  | THREAD_YIELD
+  | THREAD_DEAD
+  | THREAD_WAKEUP
+  | THREAD_AFFINITY
+  | TIMER_TICK
+
+type t = {
+  kind : kind;
+  tid : int;
+  tseq : int;
+  cpu : int;
+  posted_at : int;
+  visible_at : int;
+}
+
+let kind_to_string = function
+  | THREAD_CREATED -> "THREAD_CREATED"
+  | THREAD_BLOCKED -> "THREAD_BLOCKED"
+  | THREAD_PREEMPTED -> "THREAD_PREEMPTED"
+  | THREAD_YIELD -> "THREAD_YIELD"
+  | THREAD_DEAD -> "THREAD_DEAD"
+  | THREAD_WAKEUP -> "THREAD_WAKEUP"
+  | THREAD_AFFINITY -> "THREAD_AFFINITY"
+  | TIMER_TICK -> "TIMER_TICK"
+
+let pp ppf m =
+  Format.fprintf ppf "%s(tid=%d tseq=%d cpu=%d @%d)" (kind_to_string m.kind) m.tid
+    m.tseq m.cpu m.posted_at

@@ -1,0 +1,29 @@
+(** ghOSt messages (Table 1 of the paper).
+
+    The kernel posts a message to the managed thread's queue on every state
+    change; TIMER_TICK messages are routed to the queue of the agent
+    associated with the CPU (§3.1).  Every message carries the thread's
+    sequence number [tseq] at posting time, which transaction commits are
+    validated against (§3.3). *)
+
+type kind =
+  | THREAD_CREATED
+  | THREAD_BLOCKED
+  | THREAD_PREEMPTED
+  | THREAD_YIELD
+  | THREAD_DEAD
+  | THREAD_WAKEUP
+  | THREAD_AFFINITY
+  | TIMER_TICK
+
+type t = {
+  kind : kind;
+  tid : int;  (** Thread the message is about; [-1] for TIMER_TICK. *)
+  tseq : int;  (** Thread sequence number at posting time. *)
+  cpu : int;  (** CPU the event happened on ([-1] if not applicable). *)
+  posted_at : int;  (** Virtual time of the kernel-side post. *)
+  visible_at : int;  (** When the message becomes observable (post + produce cost). *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

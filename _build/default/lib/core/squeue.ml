@@ -1,0 +1,50 @@
+type t = {
+  qid : int;
+  capacity : int;
+  items : Msg.t Queue.t;
+  mutable dropped : int;
+  mutable wakeup : (unit -> unit) option;
+  mutable aseq_targets : Status_word.t list;
+}
+
+let create ~id ~capacity =
+  if capacity <= 0 then invalid_arg "Squeue.create: capacity must be positive";
+  {
+    qid = id;
+    capacity;
+    items = Queue.create ();
+    dropped = 0;
+    wakeup = None;
+    aseq_targets = [];
+  }
+
+let id q = q.qid
+let capacity q = q.capacity
+let length q = Queue.length q.items
+let dropped q = q.dropped
+
+let produce q msg =
+  if Queue.length q.items >= q.capacity then begin
+    q.dropped <- q.dropped + 1;
+    false
+  end
+  else begin
+    Queue.push msg q.items;
+    List.iter (fun sw -> ignore (Status_word.bump sw)) q.aseq_targets;
+    (match q.wakeup with Some fn -> fn () | None -> ());
+    true
+  end
+
+let consume q ~now =
+  match Queue.peek_opt q.items with
+  | Some msg when msg.Msg.visible_at <= now -> Some (Queue.pop q.items)
+  | Some _ | None -> None
+
+let exists q pred =
+  let found = ref false in
+  Queue.iter (fun m -> if pred m then found := true) q.items;
+  !found
+
+let set_wakeup q fn = q.wakeup <- fn
+let add_aseq_target q sw = q.aseq_targets <- sw :: q.aseq_targets
+let clear_aseq_targets q = q.aseq_targets <- []

@@ -1,0 +1,37 @@
+(** Shared-memory message queues (§3.1).
+
+    A bounded single-producer (kernel) / single-consumer (agent) ring.  A
+    queue may be configured to wake an agent when a message is produced
+    (CONFIG_QUEUE_WAKEUP); spinning global agents instead poll.  Producing
+    also bumps the [aseq] of every agent status word associated with the
+    queue, which is how commit staleness is detected (§3.2). *)
+
+type t
+
+val create : id:int -> capacity:int -> t
+val id : t -> int
+val capacity : t -> int
+val length : t -> int
+(** Messages currently queued. *)
+
+val dropped : t -> int
+(** Messages lost to overflow (queue full). *)
+
+val produce : t -> Msg.t -> bool
+(** Kernel side: enqueue; [false] and counted as dropped when full.  Fires
+    the wakeup callback and bumps associated agent seqs. *)
+
+val consume : t -> now:int -> Msg.t option
+(** Agent side: dequeue the oldest message whose [visible_at] has passed. *)
+
+val exists : t -> (Msg.t -> bool) -> bool
+(** Does any queued message satisfy the predicate?  (ASSOCIATE_QUEUE must
+    fail while the old queue still holds messages for the thread, §3.1.) *)
+
+val set_wakeup : t -> (unit -> unit) option -> unit
+(** CONFIG_QUEUE_WAKEUP: callback fired on produce ([None] disables). *)
+
+val add_aseq_target : t -> Status_word.t -> unit
+(** Associate an agent status word whose [seq] is bumped on produce. *)
+
+val clear_aseq_targets : t -> unit

@@ -1,0 +1,15 @@
+type t = {
+  mutable seq : int;
+  mutable on_cpu : bool;
+  mutable runnable : bool;
+  mutable cpu : int;
+  mutable sum_exec : int;
+  mutable hint : int;
+}
+
+let create () =
+  { seq = 0; on_cpu = false; runnable = false; cpu = -1; sum_exec = 0; hint = 0 }
+
+let bump sw =
+  sw.seq <- sw.seq + 1;
+  sw.seq

@@ -1,0 +1,25 @@
+(** Status words: per-thread and per-agent state shared read-only with the
+    agents (§3.1).
+
+    In the real system these live in a kernel page mapped into the agent's
+    address space; reads are plain loads and cost nothing.  The simulator
+    models them as records the agents may read for free. *)
+
+type t = {
+  mutable seq : int;
+      (** For a thread: its [tseq].  For an agent: its [aseq], bumped on
+          every message posted to a queue associated with the agent. *)
+  mutable on_cpu : bool;  (** Thread currently running. *)
+  mutable runnable : bool;
+  mutable cpu : int;  (** CPU last dispatched on. *)
+  mutable sum_exec : int;  (** Accumulated CPU time, ns (for policies that
+          order threads by elapsed runtime, e.g. Google Search §4.4). *)
+  mutable hint : int;
+      (** Optional scheduling hint written by the application and read by
+          the agent (Fig. 1's "optional scheduling hints"); semantics are
+          policy-defined (deadline, priority, expected runtime...). *)
+}
+
+val create : unit -> t
+val bump : t -> int
+(** Increment [seq] and return the new value. *)

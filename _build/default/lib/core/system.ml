@@ -1,0 +1,654 @@
+module Task = Kernel.Task
+module Cpumask = Kernel.Cpumask
+
+let log_src = Logs.Src.create "ghost" ~doc:"ghOSt kernel-side events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type destroy_reason = Explicit | Watchdog | Agent_crash
+
+type stats = {
+  mutable msgs_posted : int;
+  mutable commits : int;
+  mutable commit_failures : int;
+  mutable estales : int;
+  mutable bpf_picks : int;
+  mutable watchdog_fires : int;
+}
+
+type tstate = {
+  task : Task.t;
+  sw : Status_word.t;
+  mutable queue : Squeue.t;
+  mutable latched_on : int option;
+  mutable created_sent : bool;
+  enclave_id : int;
+}
+
+type enclave = {
+  eid : int;
+  sys : t;
+  cpus : Cpumask.t;
+  mutable alive : bool;
+  mutable reason : destroy_reason option;
+  mutable queues : Squeue.t list;
+  default_q : Squeue.t;
+  cpu_queues : Squeue.t option array;  (* TIMER_TICK routing; None = default *)
+  mutable deliver_ticks : bool;
+  watchdog_timeout : int option;
+  mutable agents : (Task.t * Status_word.t) list;
+  mutable on_destroy : (destroy_reason -> unit) list;
+  mutable bpf : (Bpf.t * (int -> int)) option;
+  mutable msg_drops : int;
+}
+
+and t = {
+  kernel : Kernel.t;
+  mutable enclaves : enclave list;
+  owner : enclave option array;  (* cpu -> enclave *)
+  latched_slots : Task.t option array;
+  tstates : (int, tstate) Hashtbl.t;
+  mutable next_qid : int;
+  mutable next_eid : int;
+  mutable next_txn : int;
+  stats : stats;
+}
+
+let kernel t = t.kernel
+let stats t = t.stats
+let enclave_alive e = e.alive
+let enclave_id e = e.eid
+let enclave_cpus e = e.cpus
+let enclave_of_cpu t cpu = t.owner.(cpu)
+let destroy_reason e = e.reason
+let on_destroy e fn = e.on_destroy <- fn :: e.on_destroy
+let default_queue e = e.default_q
+let agent_tasks e = List.map fst e.agents
+
+let tstate_of t (task : Task.t) = Hashtbl.find_opt t.tstates task.tid
+let is_managed t task = tstate_of t task <> None
+
+let status_word t task =
+  match tstate_of t task with Some ts -> Some ts.sw | None -> None
+
+let thread_seq t task =
+  match tstate_of t task with Some ts -> Some ts.sw.Status_word.seq | None -> None
+
+let set_hint t task v =
+  match tstate_of t task with
+  | Some ts -> ts.sw.Status_word.hint <- v
+  | None -> ()
+
+let hint t task =
+  match tstate_of t task with Some ts -> ts.sw.Status_word.hint | None -> 0
+
+let latched t ~cpu = t.latched_slots.(cpu)
+
+(* --- Messages -------------------------------------------------------------- *)
+
+let post_to t e q (msg : Msg.t) =
+  t.stats.msgs_posted <- t.stats.msgs_posted + 1;
+  if not (Squeue.produce q msg) then e.msg_drops <- e.msg_drops + 1
+
+let post_thread_msg t e ts kind ~cpu =
+  let tseq = Status_word.bump ts.sw in
+  let now = Kernel.now t.kernel in
+  let produce_cost = (Kernel.costs t.kernel).Hw.Costs.msg_produce in
+  let msg =
+    {
+      Msg.kind;
+      tid = ts.task.Task.tid;
+      tseq;
+      cpu;
+      posted_at = now;
+      visible_at = now + produce_cost;
+    }
+  in
+  post_to t e ts.queue msg
+
+let cpu_queue e ~cpu =
+  match e.cpu_queues.(cpu) with Some q -> q | None -> e.default_q
+
+let post_tick t e ~cpu =
+  let now = Kernel.now t.kernel in
+  let produce_cost = (Kernel.costs t.kernel).Hw.Costs.msg_produce in
+  let msg =
+    {
+      Msg.kind = Msg.TIMER_TICK;
+      tid = -1;
+      tseq = 0;
+      cpu;
+      posted_at = now;
+      visible_at = now + produce_cost;
+    }
+  in
+  post_to t e (cpu_queue e ~cpu) msg
+
+(* --- The ghOSt scheduling class ------------------------------------------- *)
+
+let unlatch t cpu =
+  match t.latched_slots.(cpu) with
+  | None -> None
+  | Some task ->
+    t.latched_slots.(cpu) <- None;
+    (match tstate_of t task with Some ts -> ts.latched_on <- None | None -> ());
+    Some task
+
+let enclave_for t cpu =
+  match t.owner.(cpu) with Some e when e.alive -> Some e | Some _ | None -> None
+
+let enclave_of_ts t ts =
+  match List.find_opt (fun e -> e.eid = ts.enclave_id) t.enclaves with
+  | Some e when e.alive -> Some e
+  | Some _ | None -> None
+
+let class_enqueue t ~cpu ~is_new (task : Task.t) =
+  ignore cpu;
+  match tstate_of t task with
+  | None ->
+    (* A Ghost-policy task the system does not manage: should not happen;
+       it will be recovered by the fallback paths. *)
+    ()
+  | Some ts -> (
+    ts.sw.Status_word.runnable <- true;
+    match enclave_of_ts t ts with
+    | None -> ()
+    | Some e ->
+      if is_new && not ts.created_sent then begin
+        ts.created_sent <- true;
+        post_thread_msg t e ts Msg.THREAD_CREATED ~cpu:task.Task.cpu
+      end
+      else post_thread_msg t e ts Msg.THREAD_WAKEUP ~cpu:task.Task.cpu)
+
+let class_dequeue t (task : Task.t) =
+  match tstate_of t task with
+  | Some ts -> (
+    match ts.latched_on with
+    | Some cpu ->
+      t.latched_slots.(cpu) <- None;
+      ts.latched_on <- None
+    | None -> ())
+  | None -> ()
+
+let bpf_ok t cpu (task : Task.t) =
+  task.Task.state = Task.Runnable
+  && Cpumask.mem task.Task.affinity cpu
+  && (match tstate_of t task with
+     | Some ts -> ts.latched_on = None
+     | None -> false)
+
+let class_pick t ~cpu ~filter =
+  match enclave_for t cpu with
+  | None -> None
+  | Some e -> (
+    let take task =
+      (match tstate_of t task with
+      | Some ts ->
+        ts.sw.Status_word.on_cpu <- true;
+        ts.sw.Status_word.cpu <- cpu
+      | None -> ());
+      Some task
+    in
+    match t.latched_slots.(cpu) with
+    | Some task
+      when Task.is_runnable task && Cpumask.mem task.Task.affinity cpu && filter task
+      ->
+      ignore (unlatch t cpu);
+      take task
+    | Some task when not (Task.is_runnable task) ->
+      ignore (unlatch t cpu);
+      None
+    | Some _ -> None
+    | None -> (
+      match e.bpf with
+      | None -> None
+      | Some (prog, ring_of) -> (
+        match
+          Bpf.pick prog ~ring:(ring_of cpu) ~ok:(fun task ->
+              bpf_ok t cpu task && filter task)
+        with
+        | Some task ->
+          t.stats.bpf_picks <- t.stats.bpf_picks + 1;
+          take task
+        | None -> None)))
+
+let class_put_prev t ~cpu (task : Task.t) =
+  match tstate_of t task with
+  | None -> ()
+  | Some ts ->
+    ts.sw.Status_word.on_cpu <- false;
+    (match enclave_of_ts t ts with
+    | None -> ()
+    | Some e -> post_thread_msg t e ts Msg.THREAD_PREEMPTED ~cpu)
+
+let class_on_block t ~cpu (task : Task.t) =
+  match tstate_of t task with
+  | None -> ()
+  | Some ts ->
+    ts.sw.Status_word.on_cpu <- false;
+    ts.sw.Status_word.runnable <- false;
+    (match enclave_of_ts t ts with
+    | None -> ()
+    | Some e -> post_thread_msg t e ts Msg.THREAD_BLOCKED ~cpu)
+
+let class_on_yield t ~cpu (task : Task.t) =
+  match tstate_of t task with
+  | None -> ()
+  | Some ts ->
+    ts.sw.Status_word.on_cpu <- false;
+    (match enclave_of_ts t ts with
+    | None -> ()
+    | Some e -> post_thread_msg t e ts Msg.THREAD_YIELD ~cpu)
+
+let class_on_dead t ~cpu (task : Task.t) =
+  match tstate_of t task with
+  | None -> ()
+  | Some ts ->
+    ts.sw.Status_word.on_cpu <- false;
+    ts.sw.Status_word.runnable <- false;
+    (match ts.latched_on with
+    | Some c ->
+      t.latched_slots.(c) <- None;
+      ts.latched_on <- None
+    | None -> ());
+    (match enclave_of_ts t ts with
+    | None -> ()
+    | Some e -> post_thread_msg t e ts Msg.THREAD_DEAD ~cpu);
+    Hashtbl.remove t.tstates task.Task.tid
+
+let class_on_affinity t (task : Task.t) =
+  match tstate_of t task with
+  | None -> ()
+  | Some ts ->
+    (match enclave_of_ts t ts with
+    | None -> ()
+    | Some e -> post_thread_msg t e ts Msg.THREAD_AFFINITY ~cpu:task.Task.cpu)
+
+let class_update t ~cpu (task : Task.t) ~ran =
+  ignore cpu;
+  ignore ran;
+  match tstate_of t task with
+  | Some ts -> ts.sw.Status_word.sum_exec <- task.Task.sum_exec
+  | None -> ()
+
+let class_select_cpu (task : Task.t) =
+  if task.Task.cpu >= 0 && Cpumask.mem task.Task.affinity task.Task.cpu then
+    task.Task.cpu
+  else begin
+    match Cpumask.to_list task.Task.affinity with
+    | c :: _ -> c
+    | [] -> invalid_arg "ghost select_cpu: empty affinity"
+  end
+
+let ghost_cls t : Kernel.Class_intf.cls =
+  {
+    name = "ghost";
+    policy = Task.Ghost;
+    enqueue = (fun ~cpu ~is_new task -> class_enqueue t ~cpu ~is_new task);
+    dequeue = (fun task -> class_dequeue t task);
+    pick = (fun ~cpu ~filter -> class_pick t ~cpu ~filter);
+    put_prev = (fun ~cpu task -> class_put_prev t ~cpu task);
+    steal = (fun ~cpu:_ ~filter:_ -> None);
+    update = (fun ~cpu task ~ran -> class_update t ~cpu task ~ran);
+    tick = (fun ~cpu:_ _ ~since_dispatch:_ -> ());
+    select_cpu = class_select_cpu;
+    wakeup_preempt = (fun ~curr:_ _ -> false);
+    nr_runnable =
+      (fun ~cpu ->
+        match t.latched_slots.(cpu) with
+        | Some task when Task.is_runnable task -> 1
+        | Some _ | None -> 0);
+    attach = (fun ~cpu:_ _ -> ());
+    on_block = (fun ~cpu task -> class_on_block t ~cpu task);
+    on_yield = (fun ~cpu task -> class_on_yield t ~cpu task);
+    on_dead = (fun ~cpu task -> class_on_dead t ~cpu task);
+    on_affinity = (fun task -> class_on_affinity t task);
+  }
+
+(* --- Enclaves -------------------------------------------------------------- *)
+
+let fresh_queue t ~capacity =
+  let q = Squeue.create ~id:t.next_qid ~capacity in
+  t.next_qid <- t.next_qid + 1;
+  q
+
+let create_queue e ~capacity =
+  let q = fresh_queue e.sys ~capacity in
+  e.queues <- q :: e.queues;
+  q
+
+let associate_cpu_queue e ~cpu q =
+  if not (Cpumask.mem e.cpus cpu) then
+    invalid_arg "associate_cpu_queue: cpu not in enclave";
+  e.cpu_queues.(cpu) <- Some q
+
+let associate_queue e (task : Task.t) q =
+  match tstate_of e.sys task with
+  | None -> invalid_arg "associate_queue: thread not managed"
+  | Some ts ->
+    if
+      ts.queue != q
+      && Squeue.exists ts.queue (fun m -> m.Msg.tid = task.Task.tid)
+    then Error `Pending_messages
+    else begin
+      ts.queue <- q;
+      Ok ()
+    end
+
+let managed_threads e =
+  Hashtbl.fold
+    (fun _ ts acc -> if ts.enclave_id = e.eid then ts.task :: acc else acc)
+    e.sys.tstates []
+  |> List.sort (fun (a : Task.t) b -> compare a.tid b.tid)
+
+let manage e (task : Task.t) =
+  if not e.alive then invalid_arg "manage: enclave destroyed";
+  if is_managed e.sys task then invalid_arg "manage: already managed";
+  if task.Task.is_agent then invalid_arg "manage: cannot manage an agent";
+  let ts =
+    {
+      task;
+      sw = Status_word.create ();
+      queue = e.default_q;
+      latched_on = None;
+      created_sent = false;
+      enclave_id = e.eid;
+    }
+  in
+  Hashtbl.add e.sys.tstates task.Task.tid ts;
+  (match task.Task.state with
+  | Task.Blocked ->
+    (* Runnable/running threads get THREAD_CREATED via the class enqueue;
+       sleeping ones are announced immediately. *)
+    ts.created_sent <- true;
+    post_thread_msg e.sys e ts Msg.THREAD_CREATED ~cpu:task.Task.cpu
+  | Task.Created | Task.Runnable | Task.Running | Task.Dead -> ());
+  Kernel.set_policy e.sys.kernel task Task.Ghost
+
+let unmanage t (task : Task.t) =
+  match tstate_of t task with
+  | None -> ()
+  | Some ts ->
+    (match ts.latched_on with
+    | Some cpu ->
+      t.latched_slots.(cpu) <- None;
+      ts.latched_on <- None
+    | None -> ());
+    Hashtbl.remove t.tstates task.Task.tid;
+    if task.Task.state <> Task.Dead then Kernel.set_policy t.kernel task Task.Cfs
+
+let register_agent e task sw = e.agents <- (task, sw) :: e.agents
+
+let rec destroy_enclave ?(reason = Explicit) t e =
+  if e.alive then begin
+    e.alive <- false;
+    e.reason <- Some reason;
+    Log.info (fun m ->
+        m "enclave %d destroyed (%s) at t=%dns: %d threads fall back to CFS"
+          e.eid
+          (match reason with
+          | Explicit -> "explicit"
+          | Watchdog -> "watchdog"
+          | Agent_crash -> "agent crash")
+          (Kernel.now t.kernel)
+          (List.length (managed_threads e)));
+    if reason = Watchdog then t.stats.watchdog_fires <- t.stats.watchdog_fires + 1;
+    (* Free the CPUs. *)
+    Cpumask.iter (fun cpu -> t.owner.(cpu) <- None) e.cpus;
+    (* Unlatch and hand every managed thread back to CFS; they keep running,
+       just under the default scheduler (§3.4). *)
+    List.iter (fun task -> unmanage t task) (managed_threads e);
+    (* Agents die.  Deferred: destroy may be called from agent context. *)
+    let agents = agent_tasks e in
+    ignore
+      (Sim.Engine.post_in (Kernel.engine t.kernel) ~delay:0 (fun () ->
+           List.iter
+             (fun (a : Task.t) ->
+               if a.Task.state <> Task.Dead then Kernel.kill t.kernel a)
+             agents));
+    e.agents <- [];
+    t.enclaves <- List.filter (fun x -> x != e) t.enclaves;
+    List.iter (fun fn -> fn reason) e.on_destroy
+  end
+
+and unregister_agent e task =
+  e.agents <- List.filter (fun (a, _) -> a != task) e.agents;
+  if e.agents = [] && e.alive then begin
+    (* Grace period for an in-place upgrade to attach (§3.4). *)
+    let t = e.sys in
+    ignore
+      (Sim.Engine.post_in (Kernel.engine t.kernel) ~delay:200_000 (fun () ->
+           if e.alive && e.agents = [] && managed_threads e <> [] then
+             destroy_enclave ~reason:Agent_crash t e))
+  end
+
+let watchdog_check t e timeout =
+  let now = Kernel.now t.kernel in
+  let starving ts =
+    ts.task.Task.state = Task.Runnable
+    && ts.latched_on = None
+    && now - ts.task.Task.runnable_since > timeout
+  in
+  let victim =
+    Hashtbl.fold
+      (fun _ ts acc ->
+        if acc = None && ts.enclave_id = e.eid && starving ts then Some ts.task
+        else acc)
+      t.tstates None
+  in
+  match victim with
+  | Some task ->
+    Log.warn (fun m ->
+        m "watchdog: %s(%d) runnable but unscheduled for >%dns in enclave %d"
+          task.Task.name task.Task.tid timeout e.eid);
+    destroy_enclave ~reason:Watchdog t e
+  | None -> ()
+
+let create_enclave t ?watchdog_timeout ?(deliver_ticks = false) ~cpus () =
+  if Cpumask.is_empty cpus then invalid_arg "create_enclave: no cpus";
+  Cpumask.iter
+    (fun cpu ->
+      match t.owner.(cpu) with
+      | Some e when e.alive ->
+        invalid_arg (Printf.sprintf "create_enclave: cpu %d already owned" cpu)
+      | Some _ | None -> ())
+    cpus;
+  let eid = t.next_eid in
+  t.next_eid <- eid + 1;
+  let e =
+    {
+      eid;
+      sys = t;
+      cpus;
+      alive = true;
+      reason = None;
+      queues = [];
+      default_q = fresh_queue t ~capacity:65536;
+      cpu_queues = Array.make (Kernel.ncpus t.kernel) None;
+      deliver_ticks;
+      watchdog_timeout;
+      agents = [];
+      on_destroy = [];
+      bpf = None;
+      msg_drops = 0;
+    }
+  in
+  e.queues <- [ e.default_q ];
+  Cpumask.iter (fun cpu -> t.owner.(cpu) <- Some e) cpus;
+  t.enclaves <- e :: t.enclaves;
+  (match watchdog_timeout with
+  | Some timeout ->
+    let period = max (timeout / 2) 1_000_000 in
+    let rec check () =
+      if e.alive then begin
+        watchdog_check t e timeout;
+        if e.alive then
+          ignore (Sim.Engine.post_in (Kernel.engine t.kernel) ~delay:period check)
+      end
+    in
+    ignore (Sim.Engine.post_in (Kernel.engine t.kernel) ~delay:period check)
+  | None -> ());
+  e
+
+let destroy_queue e q =
+  e.queues <- List.filter (fun x -> x != q) e.queues
+
+let set_deliver_ticks e flag = e.deliver_ticks <- flag
+
+(* --- Transactions ---------------------------------------------------------- *)
+
+let make_txn t ~tid ~cpu ?agent_seq ?thread_seq () =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  {
+    Txn.txn_id = id;
+    tid;
+    target_cpu = cpu;
+    agent_seq;
+    thread_seq;
+    status = Txn.Pending;
+    decided_at = 0;
+  }
+
+let validate t e ~agent_sw (txn : Txn.t) =
+  if not e.alive then Some Txn.Enoent
+  else if not (Cpumask.mem e.cpus txn.target_cpu) then Some Txn.Enoent
+  else begin
+    match Hashtbl.find_opt t.tstates txn.tid with
+    | None -> Some Txn.Enoent
+    | Some ts ->
+      if ts.enclave_id <> e.eid then Some Txn.Enoent
+      else if ts.task.Task.state = Task.Dead then Some Txn.Enoent
+      else begin
+        let stale_agent =
+          match (txn.agent_seq, agent_sw) with
+          | Some seq, Some (sw : Status_word.t) -> seq < sw.seq
+          | Some _, None | None, _ -> false
+        in
+        let stale_thread =
+          match txn.thread_seq with
+          | Some seq -> seq < ts.sw.Status_word.seq
+          | None -> false
+        in
+        if stale_agent || stale_thread then Some Txn.Estale
+        else if not (Cpumask.mem ts.task.Task.affinity txn.target_cpu) then
+          Some Txn.Eaffinity
+        else if ts.task.Task.state = Task.Blocked || ts.task.Task.state = Task.Created
+        then Some Txn.Enotrunnable
+        else if ts.task.Task.state = Task.Running then Some Txn.Ebusy
+        else begin
+          match ts.latched_on with
+          | Some cpu when cpu <> txn.target_cpu -> Some Txn.Ebusy
+          | Some _ | None -> None
+        end
+      end
+  end
+
+let apply_latch t e (txn : Txn.t) =
+  let ts = Hashtbl.find t.tstates txn.tid in
+  let cpu = txn.Txn.target_cpu in
+  (* Displace a previously latched thread: it goes back to the agent with a
+     THREAD_PREEMPTED message. *)
+  (match t.latched_slots.(cpu) with
+  | Some old when old.Task.tid <> txn.tid -> (
+    ignore (unlatch t cpu);
+    match tstate_of t old with
+    | Some ots -> post_thread_msg t e ots Msg.THREAD_PREEMPTED ~cpu
+    | None -> ())
+  | Some _ | None -> ());
+  t.latched_slots.(cpu) <- Some ts.task;
+  ts.latched_on <- Some cpu
+
+let commit t e ~agent_cpu ~agent_sw ~atomic txns =
+  let now = Kernel.now t.kernel in
+  let costs = Kernel.costs t.kernel in
+  let topo = Kernel.topo t.kernel in
+  List.iter
+    (fun (txn : Txn.t) ->
+      txn.decided_at <- now;
+      match validate t e ~agent_sw txn with
+      | Some failure -> txn.status <- Txn.Failed failure
+      | None -> txn.status <- Txn.Committed)
+    txns;
+  (if atomic then begin
+     match List.find_opt (fun (x : Txn.t) -> x.status <> Txn.Committed) txns with
+     | Some _ ->
+       List.iter
+         (fun (x : Txn.t) ->
+           if x.status = Txn.Committed then x.status <- Txn.Failed Txn.Eaborted)
+         txns
+     | None -> ()
+   end);
+  let committed = List.filter Txn.committed txns in
+  List.iter
+    (fun (x : Txn.t) ->
+      if Txn.committed x then t.stats.commits <- t.stats.commits + 1
+      else begin
+        t.stats.commit_failures <- t.stats.commit_failures + 1;
+        if x.status = Txn.Failed Txn.Estale then t.stats.estales <- t.stats.estales + 1
+      end)
+    txns;
+  (* Apply: latch everything, then one batched IPI sweep for remote CPUs. *)
+  List.iter (fun txn -> apply_latch t e txn) committed;
+  let remote =
+    List.filter (fun (x : Txn.t) -> x.target_cpu <> agent_cpu) committed
+  in
+  let nremote = List.length remote in
+  List.iter
+    (fun (txn : Txn.t) ->
+      let target = txn.Txn.target_cpu in
+      if target = agent_cpu then Kernel.resched t.kernel target
+      else begin
+        let wire =
+          costs.Hw.Costs.ipi_wire
+          + (if Hw.Topology.same_socket topo agent_cpu target then 0
+             else costs.Hw.Costs.ipi_wire_cross_socket)
+        in
+        let handle =
+          costs.Hw.Costs.ipi_handle
+          + ((nremote - 1) * costs.Hw.Costs.ipi_handle_group_extra)
+        in
+        Kernel.send_ipi t.kernel ~target ~wire ~handle (fun () -> ())
+      end)
+    committed
+
+let recall t e ~cpu =
+  if not (Cpumask.mem e.cpus cpu) then invalid_arg "recall: cpu not in enclave";
+  unlatch t cpu
+
+(* --- BPF ------------------------------------------------------------------- *)
+
+let attach_bpf e prog ~ring_of = e.bpf <- Some (prog, ring_of)
+let detach_bpf e = e.bpf <- None
+
+(* --- Install --------------------------------------------------------------- *)
+
+let install kernel =
+  let ncpus = Kernel.ncpus kernel in
+  let t =
+    {
+      kernel;
+      enclaves = [];
+      owner = Array.make ncpus None;
+      latched_slots = Array.make ncpus None;
+      tstates = Hashtbl.create 1024;
+      next_qid = 1;
+      next_eid = 1;
+      next_txn = 1;
+      stats =
+        {
+          msgs_posted = 0;
+          commits = 0;
+          commit_failures = 0;
+          estales = 0;
+          bpf_picks = 0;
+          watchdog_fires = 0;
+        };
+    }
+  in
+  Kernel.install_class kernel (ghost_cls t);
+  Kernel.on_tick kernel (fun cpu ->
+      match enclave_for t cpu with
+      | Some e when e.deliver_ticks -> post_tick t e ~cpu
+      | Some _ | None -> ());
+  t

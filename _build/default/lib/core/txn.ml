@@ -1,0 +1,32 @@
+type failure = Estale | Enoent | Eaffinity | Ebusy | Enotrunnable | Eaborted
+
+type status = Pending | Committed | Failed of failure
+
+type t = {
+  txn_id : int;
+  tid : int;
+  target_cpu : int;
+  agent_seq : int option;
+  thread_seq : int option;
+  mutable status : status;
+  mutable decided_at : int;
+}
+
+let failure_to_string = function
+  | Estale -> "ESTALE"
+  | Enoent -> "ENOENT"
+  | Eaffinity -> "EAFFINITY"
+  | Ebusy -> "EBUSY"
+  | Enotrunnable -> "ENOTRUNNABLE"
+  | Eaborted -> "EABORTED"
+
+let status_to_string = function
+  | Pending -> "PENDING"
+  | Committed -> "COMMITTED"
+  | Failed f -> failure_to_string f
+
+let committed t = t.status = Committed
+
+let pp ppf t =
+  Format.fprintf ppf "txn#%d(tid=%d cpu=%d %s)" t.txn_id t.tid t.target_cpu
+    (status_to_string t.status)

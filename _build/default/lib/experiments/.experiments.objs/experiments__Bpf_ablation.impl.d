@@ -1,0 +1,1 @@
+lib/experiments/bpf_ablation.ml: Common Ghost Gstats Hw Kernel List Policies Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/bpf_ablation.mli:

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Ghost Hw Kernel

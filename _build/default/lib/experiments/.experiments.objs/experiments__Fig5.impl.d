@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Common Ghost Gstats Hw Kernel List Policies Printf

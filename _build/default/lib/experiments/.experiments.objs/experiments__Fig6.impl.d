@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Baselines Common Ghost Gstats Hw Kernel List Policies Printf Sim String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Common Ghost Gstats Hw Kernel List Policies Printf Sim String Workloads

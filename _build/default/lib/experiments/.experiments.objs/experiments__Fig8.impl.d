@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Common Ghost Gstats Hashtbl Hw Kernel List Policies Printf Sim Workloads

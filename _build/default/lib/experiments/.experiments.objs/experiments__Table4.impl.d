@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Common Ghost Gstats Hw Kernel List Policies Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tickless.ml: Common Ghost Gstats Hw Kernel List Policies Printf Sim Workloads

@@ -1,0 +1,76 @@
+module System = Ghost.System
+module Agent = Ghost.Agent
+
+type row = {
+  label : string;
+  p50_us : float;
+  p99_us : float;
+  mean_us : float;
+  bpf_picks : int;
+  throughput_kqps : float;
+}
+
+let run_one ~with_bpf ~duration_ns ~rate =
+  let machine = Hw.Machines.xeon_e5_1s in
+  let kernel, sys = Common.make_system machine in
+  (* A small enclave (agent + 4 worker CPUs) driven near saturation: the
+     FIFO usually holds waiting threads, so whether a freshly idle CPU can
+     serve one immediately (BPF) or must wait for the agent's next pass is
+     what the tail shows. *)
+  let e =
+    System.create_enclave sys ~cpus:(Common.mask_of kernel [ 0; 1; 2; 3; 4 ]) ()
+  in
+  let bpf =
+    if with_bpf then begin
+      let prog = Ghost.Bpf.create ~rings:1 ~capacity:512 in
+      System.attach_bpf e prog ~ring_of:(fun _ -> 0);
+      Some prog
+    end
+    else None
+  in
+  let _st, pol = Policies.Fifo_centralized.policy ?bpf () in
+  (* A slow agent loop makes the scheduling gaps visible (§5's 30 us global
+     loop on the big Search machine). *)
+  let _g = Agent.attach_global sys e ~min_iteration:10_000 ~idle_gap:25_000 pol in
+  let spawn ~idx behavior =
+    Common.spawn_ghost kernel e ~name:(Printf.sprintf "w%d" idx) behavior
+  in
+  let warmup = Sim.Units.ms 100 in
+  let ol =
+    Workloads.Openloop.create kernel ~seed:5 ~rate
+      ~service:(Sim.Dist.Const 10_000.0) ~nworkers:64 ~spawn
+  in
+  Workloads.Openloop.set_record_after ol warmup;
+  Workloads.Openloop.start ol ~until:(warmup + duration_ns);
+  Kernel.run_until kernel (warmup + duration_ns + Sim.Units.ms 10);
+  let rec_ = Workloads.Openloop.recorder ol in
+  {
+    label = (if with_bpf then "ghost + BPF fastpath" else "ghost (agent only)");
+    p50_us = float_of_int (Workloads.Recorder.p rec_ 50.0) /. 1e3;
+    p99_us = float_of_int (Workloads.Recorder.p rec_ 99.0) /. 1e3;
+    mean_us = Workloads.Recorder.mean rec_ /. 1e3;
+    bpf_picks = (match bpf with Some p -> Ghost.Bpf.picks p | None -> 0);
+    throughput_kqps = Workloads.Recorder.throughput rec_ ~duration:duration_ns /. 1e3;
+  }
+
+let run ?(duration_ns = Sim.Units.ms 500) ?(rate = 330_000.0) () =
+  [
+    run_one ~with_bpf:false ~duration_ns ~rate;
+    run_one ~with_bpf:true ~duration_ns ~rate;
+  ]
+
+let print rows =
+  Gstats.Table.print_title "BPF pick_next_task fastpath ablation (10 us requests)";
+  Gstats.Table.print
+    ~header:[ "config"; "mean us"; "p50 us"; "p99 us"; "kq/s"; "bpf picks" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Printf.sprintf "%.1f" r.mean_us;
+           Printf.sprintf "%.1f" r.p50_us;
+           Printf.sprintf "%.1f" r.p99_us;
+           Printf.sprintf "%.0f" r.throughput_kqps;
+           string_of_int r.bpf_picks;
+         ])
+       rows)

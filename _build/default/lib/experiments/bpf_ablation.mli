@@ -1,0 +1,20 @@
+(** BPF pick_next_task fastpath ablation (§3.2, §5).
+
+    A centralized FIFO policy schedules short-running threads; in the
+    centralized model a thread can wait a whole agent loop before its
+    commit.  With the BPF program attached, a CPU that would otherwise idle
+    pops a runnable thread from the shared ring immediately, closing the
+    gap.  Reports wakeup-to-completion latency and the number of fastpath
+    picks. *)
+
+type row = {
+  label : string;
+  p50_us : float;
+  p99_us : float;
+  mean_us : float;
+  bpf_picks : int;
+  throughput_kqps : float;
+}
+
+val run : ?duration_ns:int -> ?rate:float -> unit -> row list
+val print : row list -> unit

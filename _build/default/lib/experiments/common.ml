@@ -1,0 +1,30 @@
+module Task = Kernel.Task
+
+let make_system ?(core_sched = false) ?(seed = 42) machine =
+  let kernel = Kernel.create ~core_sched ~seed machine in
+  let sys = Ghost.System.install kernel in
+  (kernel, sys)
+
+let spawn_cfs kernel ?(nice = 0) ?affinity ?(cookie = 0) ~name behavior =
+  let task = Kernel.create_task kernel ~nice ~cookie ?affinity ~name behavior in
+  Kernel.start kernel task;
+  task
+
+let spawn_mq kernel ?affinity ~name behavior =
+  let task =
+    Kernel.create_task kernel ~policy:Task.Microquanta ?affinity ~name behavior
+  in
+  Kernel.start kernel task;
+  task
+
+let spawn_ghost kernel enclave ?affinity ?(cookie = 0) ~name behavior =
+  let task = Kernel.create_task kernel ?affinity ~cookie ~name behavior in
+  Ghost.System.manage enclave task;
+  Kernel.start kernel task;
+  task
+
+let tail_percentiles = [ 50.0; 90.0; 99.0; 99.9; 99.99; 99.999 ]
+
+let fmt_us ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e3)
+
+let mask_of kernel cpus = Kernel.Cpumask.of_list ~ncpus:(Kernel.ncpus kernel) cpus

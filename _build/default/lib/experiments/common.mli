@@ -1,0 +1,39 @@
+(** Shared setup helpers for the experiment harnesses. *)
+
+module Task = Kernel.Task
+
+val make_system :
+  ?core_sched:bool -> ?seed:int -> Hw.Machines.t -> Kernel.t * Ghost.System.t
+(** A kernel with the ghOSt class installed. *)
+
+val spawn_cfs :
+  Kernel.t ->
+  ?nice:int ->
+  ?affinity:Kernel.Cpumask.t ->
+  ?cookie:int ->
+  name:string ->
+  (unit -> Task.action) ->
+  Task.t
+(** Create and start a CFS task. *)
+
+val spawn_mq :
+  Kernel.t -> ?affinity:Kernel.Cpumask.t -> name:string -> (unit -> Task.action) -> Task.t
+(** Create and start a MicroQuanta task. *)
+
+val spawn_ghost :
+  Kernel.t ->
+  Ghost.System.enclave ->
+  ?affinity:Kernel.Cpumask.t ->
+  ?cookie:int ->
+  name:string ->
+  (unit -> Task.action) ->
+  Task.t
+(** Create a task, move it into the enclave, and start it. *)
+
+val tail_percentiles : float list
+(** 50, 90, 99, 99.9, 99.99, 99.999 (Fig. 7's x-axis). *)
+
+val fmt_us : int -> string
+(** Nanoseconds rendered as microseconds with 1 decimal. *)
+
+val mask_of : Kernel.t -> int list -> Kernel.Cpumask.t

@@ -1,0 +1,68 @@
+module Task = Kernel.Task
+module System = Ghost.System
+module Agent = Ghost.Agent
+
+type point = { cpus : int; txns_per_sec : float }
+
+let measure_point machine ~thread_ns ~measure_ns ~n =
+  let kernel, sys = Common.make_system machine in
+  let order = Hw.Machines.fig5_sweep_order machine 0 in
+  let workers = List.filteri (fun i _ -> i < n) order in
+  let e =
+    System.create_enclave sys ~cpus:(Common.mask_of kernel (0 :: workers)) ()
+  in
+  let st, pol = Policies.Fifo_centralized.policy () in
+  let _g = Agent.attach_global sys e ~idle_gap:400 pol in
+  (* Two short yield-looping threads per worker CPU keep the FIFO non-empty
+     so every idle CPU immediately receives a transaction. *)
+  let mk i =
+    let rec loop () =
+      Task.Run { ns = thread_ns; after = (fun () -> Task.Yield { after = loop }) }
+    in
+    Common.spawn_ghost kernel e ~name:(Printf.sprintf "spin%d" i) (fun () -> loop ())
+  in
+  let _threads = List.init (2 * n) mk in
+  let warmup = 10_000_000 in
+  Kernel.run_until kernel warmup;
+  let before = Policies.Fifo_centralized.scheduled st in
+  Kernel.run_until kernel (warmup + measure_ns);
+  let after = Policies.Fifo_centralized.scheduled st in
+  let txns = after - before in
+  { cpus = n; txns_per_sec = float_of_int txns /. (float_of_int measure_ns /. 1e9) }
+
+let sweep_points max_n =
+  let rec upto acc n = if n > max_n then List.rev acc else upto (n :: acc) (n + 4) in
+  let dense = [ 1; 2; 3; 4; 5; 6; 8; 10 ] in
+  let sparse = upto [] 12 in
+  List.sort_uniq compare (List.filter (fun n -> n <= max_n) (dense @ sparse) @ [ max_n ])
+
+let run ?(thread_ns = 20_000) ?(measure_ns = 50_000_000)
+    ?(machines = [ Hw.Machines.skylake_2s; Hw.Machines.haswell_2s ]) () =
+  List.map
+    (fun machine ->
+      let max_n = Hw.Topology.num_cpus machine.Hw.Machines.topo - 1 in
+      let points =
+        List.map
+          (fun n -> measure_point machine ~thread_ns ~measure_ns ~n)
+          (sweep_points max_n)
+      in
+      (machine.Hw.Machines.name, points))
+    machines
+
+let print results =
+  Gstats.Table.print_title "Fig. 5: global agent scalability (txns/sec)";
+  List.iter
+    (fun (name, points) ->
+      Printf.printf "\n%s:\n" name;
+      let rows =
+        List.map
+          (fun p ->
+            [
+              string_of_int p.cpus;
+              Printf.sprintf "%.0f" p.txns_per_sec;
+              Printf.sprintf "%.2fM" (p.txns_per_sec /. 1e6);
+            ])
+          points
+      in
+      Gstats.Table.print ~header:[ "scheduled cpus"; "txns/s"; "(millions)" ] rows)
+    results

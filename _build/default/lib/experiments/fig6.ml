@@ -1,0 +1,176 @@
+module Task = Kernel.Task
+module System = Ghost.System
+module Agent = Ghost.Agent
+
+type system = Shinjuku | Ghost_shinjuku | Cfs_shinjuku
+
+type point = {
+  system : system;
+  offered_kqps : float;
+  achieved_kqps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  batch_share : float;
+}
+
+let system_name = function
+  | Shinjuku -> "shinjuku"
+  | Ghost_shinjuku -> "ghost-shinjuku"
+  | Cfs_shinjuku -> "cfs-shinjuku"
+
+let rocksdb_service =
+  Sim.Dist.Bimodal { p_slow = 0.005; fast = 4_000.0; slow = 10_000_000.0 }
+
+let default_rates =
+  [ 50_000.; 100_000.; 150_000.; 200_000.; 240_000.; 270_000.; 300_000.; 330_000. ]
+
+let worker_cpus = 20
+
+let point_of system ~rate ~rec_ ~measure_ns ~share =
+  {
+    system;
+    offered_kqps = rate /. 1e3;
+    achieved_kqps = Workloads.Recorder.throughput rec_ ~duration:measure_ns /. 1e3;
+    p50_us = float_of_int (Workloads.Recorder.p rec_ 50.0) /. 1e3;
+    p99_us = float_of_int (Workloads.Recorder.p rec_ 99.0) /. 1e3;
+    p999_us = float_of_int (Workloads.Recorder.p rec_ 99.9) /. 1e3;
+    batch_share = share;
+  }
+
+(* --- Original Shinjuku data plane -------------------------------------------- *)
+
+let run_shinjuku ~rate ~warmup_ns ~measure_ns =
+  let engine = Sim.Engine.create () in
+  let dp = Baselines.Shinjuku_dataplane.create engine ~seed:7 ~nworkers:worker_cpus () in
+  Baselines.Shinjuku_dataplane.set_record_after dp warmup_ns;
+  Baselines.Shinjuku_dataplane.start dp ~rate ~service:rocksdb_service
+    ~until:(warmup_ns + measure_ns);
+  Sim.Engine.run_until engine (warmup_ns + measure_ns + Sim.Units.ms 50);
+  let rec_ = Baselines.Shinjuku_dataplane.recorder dp in
+  (* The spinning data plane monopolises its CPUs: a co-located batch app
+     gets nothing (Fig. 6c). *)
+  point_of Shinjuku ~rate ~rec_ ~measure_ns ~share:0.0
+
+(* --- ghOSt-Shinjuku ----------------------------------------------------------- *)
+
+let run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns =
+  let machine = Hw.Machines.xeon_e5_1s in
+  let kernel, sys = Common.make_system machine in
+  (* Agent on CPU 0, workers scheduled on CPUs 1..20. *)
+  let enclave_cpus = List.init (worker_cpus + 1) (fun i -> i) in
+  let e = System.create_enclave sys ~cpus:(Common.mask_of kernel enclave_cpus) () in
+  let is_batch (task : Task.t) =
+    String.length task.Task.name >= 5 && String.sub task.Task.name 0 5 = "batch"
+  in
+  let _st, pol = Policies.Shinjuku.policy ~shenango_ext:with_batch ~is_batch () in
+  let _g = Agent.attach_global sys e pol in
+  let spawn ~idx behavior =
+    Common.spawn_ghost kernel e ~name:(Printf.sprintf "worker%d" idx) behavior
+  in
+  let ol =
+    Workloads.Openloop.create kernel ~seed:7 ~rate ~service:rocksdb_service
+      ~nworkers:200 ~spawn
+  in
+  Workloads.Openloop.set_record_after ol warmup_ns;
+  let batch =
+    if with_batch then begin
+      let spawn_b ~idx behavior =
+        Common.spawn_ghost kernel e ~name:(Printf.sprintf "batch%d" idx) behavior
+      in
+      Some (Workloads.Batch.create kernel ~n:10 ~spawn:spawn_b ())
+    end
+    else None
+  in
+  Workloads.Openloop.start ol ~until:(warmup_ns + measure_ns);
+  Kernel.run_until kernel warmup_ns;
+  (match batch with Some b -> Workloads.Batch.mark b | None -> ());
+  Kernel.run_until kernel (warmup_ns + measure_ns + Sim.Units.ms 50);
+  let share =
+    match batch with
+    | Some b ->
+      Workloads.Batch.share b ~since:warmup_ns
+        ~now:(warmup_ns + measure_ns)
+        ~cpus:worker_cpus
+    | None -> 0.0
+  in
+  point_of Ghost_shinjuku ~rate ~rec_:(Workloads.Openloop.recorder ol) ~measure_ns
+    ~share
+
+(* --- CFS-Shinjuku -------------------------------------------------------------- *)
+
+let run_cfs ~rate ~with_batch ~warmup_ns ~measure_ns =
+  let machine = Hw.Machines.xeon_e5_1s in
+  let kernel, _sys = Common.make_system machine in
+  let mask = Common.mask_of kernel (List.init worker_cpus (fun i -> i + 1)) in
+  let spawn ~idx behavior =
+    Common.spawn_cfs kernel ~nice:(-20) ~affinity:mask
+      ~name:(Printf.sprintf "worker%d" idx)
+      behavior
+  in
+  let ol =
+    Workloads.Openloop.create kernel ~seed:7 ~rate ~service:rocksdb_service
+      ~nworkers:200 ~spawn
+  in
+  Workloads.Openloop.set_record_after ol warmup_ns;
+  let batch =
+    if with_batch then begin
+      let spawn_b ~idx behavior =
+        Common.spawn_cfs kernel ~nice:19 ~affinity:mask
+          ~name:(Printf.sprintf "batch%d" idx)
+          behavior
+      in
+      Some (Workloads.Batch.create kernel ~n:10 ~spawn:spawn_b ())
+    end
+    else None
+  in
+  Workloads.Openloop.start ol ~until:(warmup_ns + measure_ns);
+  Kernel.run_until kernel warmup_ns;
+  (match batch with Some b -> Workloads.Batch.mark b | None -> ());
+  Kernel.run_until kernel (warmup_ns + measure_ns + Sim.Units.ms 50);
+  let share =
+    match batch with
+    | Some b ->
+      Workloads.Batch.share b ~since:warmup_ns
+        ~now:(warmup_ns + measure_ns)
+        ~cpus:worker_cpus
+    | None -> 0.0
+  in
+  point_of Cfs_shinjuku ~rate ~rec_:(Workloads.Openloop.recorder ol) ~measure_ns
+    ~share
+
+(* --- Sweep ---------------------------------------------------------------------- *)
+
+let run ?(rates = default_rates) ?(with_batch = false)
+    ?(warmup_ns = Sim.Units.ms 200) ?(measure_ns = Sim.Units.ms 800)
+    ?nworkers:_ () =
+  List.concat_map
+    (fun rate ->
+      [
+        run_shinjuku ~rate ~warmup_ns ~measure_ns;
+        run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns;
+        run_cfs ~rate ~with_batch ~warmup_ns ~measure_ns;
+      ])
+    rates
+
+let print ~title points =
+  Gstats.Table.print_title title;
+  let rows =
+    List.map
+      (fun p ->
+        [
+          system_name p.system;
+          Printf.sprintf "%.0f" p.offered_kqps;
+          Printf.sprintf "%.0f" p.achieved_kqps;
+          Printf.sprintf "%.0f" p.p50_us;
+          Printf.sprintf "%.0f" p.p99_us;
+          Printf.sprintf "%.0f" p.p999_us;
+          Printf.sprintf "%.2f" p.batch_share;
+        ])
+      points
+  in
+  Gstats.Table.print
+    ~header:
+      [ "system"; "offered kq/s"; "achieved kq/s"; "p50 us"; "p99 us"; "p99.9 us";
+        "batch share" ]
+    rows

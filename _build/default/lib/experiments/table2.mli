@@ -1,0 +1,19 @@
+(** Table 2: lines-of-code inventory.
+
+    Counts this repository's source per component (from the source tree at
+    the project root) next to the paper's numbers, mapping each of our
+    components to the paper's.  The point of the paper's table — policies
+    are 10-100x smaller than the custom systems they replace — should hold
+    for our policy modules too. *)
+
+type row = {
+  component : string;
+  paper_loc : int option;
+  our_loc : int option;
+  note : string;
+}
+
+val run : ?root:string -> unit -> row list
+(** [root] defaults to the current directory (the repo checkout). *)
+
+val print : row list -> unit

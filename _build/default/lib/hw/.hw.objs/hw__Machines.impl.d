@@ -1,0 +1,1 @@
+lib/hw/machines.ml: Costs List Topology

@@ -1,0 +1,1 @@
+lib/hw/machines.mli: Costs Topology

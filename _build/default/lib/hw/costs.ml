@@ -1,0 +1,77 @@
+type t = {
+  syscall : int;
+  ctx_switch : int;
+  cfs_ctx_switch : int;
+  msg_produce : int;
+  msg_consume : int;
+  agent_wakeup : int;
+  txn_commit_local : int;
+  txn_group_fixed : int;
+  txn_group_per_txn : int;
+  ipi_wire : int;
+  ipi_wire_cross_socket : int;
+  ipi_handle : int;
+  ipi_handle_group_extra : int;
+  smt_contention : float;
+  cross_socket_op : float;
+  tick_period : int;
+  tick_interrupt : int;
+  bpf_pick : int;
+  freq_scale : float;
+}
+
+(* Decomposition solving Table 3 (see costs.mli):
+   - line 2: produce 130 + consume 135               = 265
+   - line 1: 265 + wakeup 50 + ctx_switch 410        = 725
+   - line 3: commit_local 478 + ctx_switch 410       = 888
+   - line 4: group_fixed 302 + 1 * per_txn 366       = 668
+   - line 5: ipi_handle 654 + ctx_switch 410         = 1064
+   - line 6: 668 + wire 40 + 1064                    = 1772
+   - line 7: 302 + 10 * 366                          = 3962 (~3964)
+   - line 8: 1064 + 9 * extra 84                     = 1820 (~1821) *)
+let skylake =
+  {
+    syscall = 72;
+    ctx_switch = 410;
+    cfs_ctx_switch = 599;
+    msg_produce = 130;
+    msg_consume = 135;
+    agent_wakeup = 50;
+    txn_commit_local = 478;
+    txn_group_fixed = 302;
+    txn_group_per_txn = 366;
+    ipi_wire = 40;
+    ipi_wire_cross_socket = 460;
+    ipi_handle = 654;
+    ipi_handle_group_extra = 84;
+    smt_contention = 1.15;
+    cross_socket_op = 1.35;
+    tick_period = 1_000_000;
+    tick_interrupt = 0;
+    bpf_pick = 250;
+    freq_scale = 1.0;
+  }
+
+let scale_i f x = int_of_float (Float.round (f *. float_of_int x))
+
+let scaled f c =
+  {
+    c with
+    syscall = scale_i f c.syscall;
+    ctx_switch = scale_i f c.ctx_switch;
+    cfs_ctx_switch = scale_i f c.cfs_ctx_switch;
+    msg_produce = scale_i f c.msg_produce;
+    msg_consume = scale_i f c.msg_consume;
+    agent_wakeup = scale_i f c.agent_wakeup;
+    txn_commit_local = scale_i f c.txn_commit_local;
+    txn_group_fixed = scale_i f c.txn_group_fixed;
+    txn_group_per_txn = scale_i f c.txn_group_per_txn;
+    ipi_wire = scale_i f c.ipi_wire;
+    ipi_wire_cross_socket = scale_i f c.ipi_wire_cross_socket;
+    ipi_handle = scale_i f c.ipi_handle;
+    ipi_handle_group_extra = scale_i f c.ipi_handle_group_extra;
+    tick_interrupt = scale_i f c.tick_interrupt;
+    bpf_pick = scale_i f c.bpf_pick;
+  }
+
+let apply_freq c x = scale_i c.freq_scale x

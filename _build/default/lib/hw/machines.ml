@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  topo : Topology.t;
+  costs : Costs.t;
+}
+
+let skylake_2s =
+  {
+    name = "skylake-2s";
+    topo = Topology.create ~sockets:2 ~ccx_per_socket:1 ~cores_per_ccx:28 ~smt:2;
+    costs = Costs.skylake;
+  }
+
+let haswell_2s =
+  {
+    name = "haswell-2s";
+    topo = Topology.create ~sockets:2 ~ccx_per_socket:1 ~cores_per_ccx:18 ~smt:2;
+    (* Older core and uncore: ops a bit slower despite the higher clock. *)
+    costs = Costs.scaled 1.18 Costs.skylake;
+  }
+
+let xeon_e5_1s =
+  {
+    name = "xeon-e5-1s";
+    topo = Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:12 ~smt:2;
+    costs = Costs.scaled 1.10 Costs.skylake;
+  }
+
+let rome_2s =
+  {
+    name = "rome-2s";
+    topo = Topology.create ~sockets:2 ~ccx_per_socket:16 ~cores_per_ccx:4 ~smt:2;
+    costs =
+      {
+        (Costs.scaled 0.95 Costs.skylake) with
+        (* Rome's Infinity Fabric makes cross-CCX and cross-socket traffic
+           relatively more expensive (§4.4). *)
+        Costs.cross_socket_op = 1.55;
+        ipi_wire_cross_socket = 700;
+      };
+  }
+
+let fig5_sweep_order m agent_cpu =
+  let topo = m.topo in
+  let agent_socket = Topology.socket_of topo agent_cpu in
+  let first_thread cpu = cpu mod Topology.smt topo = 0 in
+  let socket_cpus s = Topology.cpus_of_socket topo s in
+  let split s =
+    let all = List.filter (fun c -> c <> agent_cpu) (socket_cpus s) in
+    let cores, hts = List.partition first_thread all in
+    cores @ hts
+  in
+  let other_sockets =
+    List.filter (fun s -> s <> agent_socket)
+      (List.init (Topology.sockets topo) (fun i -> i))
+  in
+  split agent_socket @ List.concat_map split other_sockets

@@ -1,0 +1,30 @@
+(** Presets for the machines used in the paper's evaluation. *)
+
+type t = {
+  name : string;
+  topo : Topology.t;
+  costs : Costs.t;
+}
+
+val skylake_2s : t
+(** 2-socket Intel Xeon Platinum 8173M: 28 cores/socket, SMT2, 112 CPUs.
+    Microbenchmark and Snap machine (§4.1, §4.3). *)
+
+val haswell_2s : t
+(** 2-socket Haswell: 18 cores/socket, SMT2, 72 CPUs, 2.3 GHz (Fig. 5). *)
+
+val xeon_e5_1s : t
+(** Single socket of the 2-socket Xeon E5-2658: 12 cores, SMT2, 24 CPUs
+    (Shinjuku comparison, §4.2). *)
+
+val rome_2s : t
+(** 2-socket AMD Zen Rome: 64 cores/socket in 4-core CCXs, SMT2, 256 CPUs
+    (Google Search, §4.4). *)
+
+val fig5_sweep_order : t -> int -> Topology.cpu list
+(** [fig5_sweep_order m n] is the order in which the Fig. 5 scalability sweep
+    adds worker CPUs, given the global agent on CPU [n]: first the remaining
+    physical cores of the agent's socket, then that socket's hyperthreads
+    (the first of which shares the agent's physical core, producing the
+    paper's annotation-2 dip), then the remote socket's cores and
+    hyperthreads (annotation-3 droop). *)

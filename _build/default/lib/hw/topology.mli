@@ -1,0 +1,63 @@
+(** CPU topology: sockets, CCXs (L3 domains), physical cores, SMT threads.
+
+    A CPU is a logical execution unit (a hyperthread), identified by a dense
+    integer id.  Ids are laid out core-major: the SMT siblings of physical
+    core [c] are [c * smt .. c * smt + smt - 1].  Intel machines are modelled
+    with one CCX per socket (monolithic L3); AMD Rome has many 4-core CCXs
+    per socket (§4.4). *)
+
+type t
+
+type cpu = int
+
+val create : sockets:int -> ccx_per_socket:int -> cores_per_ccx:int -> smt:int -> t
+(** Build a topology.  All arguments must be >= 1. *)
+
+val sockets : t -> int
+val smt : t -> int
+val num_cores : t -> int
+(** Number of physical cores. *)
+
+val num_cpus : t -> int
+(** Number of logical CPUs ([num_cores * smt]). *)
+
+val num_ccx : t -> int
+
+val socket_of : t -> cpu -> int
+val ccx_of : t -> cpu -> int
+(** Global CCX id of a CPU. *)
+
+val core_of : t -> cpu -> int
+(** Global physical-core id of a CPU. *)
+
+val cpus : t -> cpu list
+(** All CPUs in id order. *)
+
+val cpus_of_socket : t -> int -> cpu list
+val cpus_of_ccx : t -> int -> cpu list
+val cpus_of_core : t -> int -> cpu list
+
+val sibling_of : t -> cpu -> cpu option
+(** The other hyperthread of the same physical core (SMT=2 machines);
+    [None] when SMT=1. *)
+
+val same_core : t -> cpu -> cpu -> bool
+val same_ccx : t -> cpu -> cpu -> bool
+val same_socket : t -> cpu -> cpu -> bool
+
+type distance =
+  | Same_cpu
+  | Smt_sibling  (** Same physical core: shared L1/L2. *)
+  | Same_ccx  (** Same L3 domain. *)
+  | Same_socket  (** Same NUMA node, different L3. *)
+  | Cross_socket
+
+val distance : t -> cpu -> cpu -> distance
+
+val distance_rank : distance -> int
+(** 0 for [Same_cpu] .. 4 for [Cross_socket]; monotone in cache distance. *)
+
+val ccx_neighbors_by_distance : t -> int -> int list
+(** CCX ids ordered by closeness to the given CCX (same socket first, then
+    remote), excluding the CCX itself.  Used by the Search policy's fan-out
+    search (§4.4). *)

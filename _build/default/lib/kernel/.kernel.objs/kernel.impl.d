@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Cfs Class_intf Cpumask Hashtbl Hw List Microquanta Rt Sim Task Trace

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Cfs Class_intf Cpumask Hw Microquanta Rt Sim Task Trace

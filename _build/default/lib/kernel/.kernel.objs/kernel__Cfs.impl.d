@@ -1,0 +1,1 @@
+lib/kernel/cfs.ml: Array Class_intf Cpumask Float Hw List Seq Set Sim Task

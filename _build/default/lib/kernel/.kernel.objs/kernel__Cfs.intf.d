@@ -1,0 +1,1 @@
+lib/kernel/cfs.mli: Class_intf

@@ -1,0 +1,1 @@
+lib/kernel/class_intf.ml: Cpumask Hw List Sim Task

@@ -1,0 +1,1 @@
+lib/kernel/cpumask.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/cpumask.mli: Format

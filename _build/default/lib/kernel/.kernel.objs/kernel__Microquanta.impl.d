@@ -1,0 +1,1 @@
+lib/kernel/microquanta.ml: Array Class_intf Cpumask Hw List Sim Task

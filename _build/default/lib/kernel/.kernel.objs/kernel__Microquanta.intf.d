@@ -1,0 +1,1 @@
+lib/kernel/microquanta.mli: Class_intf

@@ -1,0 +1,1 @@
+lib/kernel/rt.ml: Array Class_intf Cpumask List Task

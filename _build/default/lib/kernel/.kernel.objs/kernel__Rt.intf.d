@@ -1,0 +1,1 @@
+lib/kernel/rt.mli: Class_intf

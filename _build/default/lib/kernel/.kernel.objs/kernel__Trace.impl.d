@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Array Format List

@@ -1,0 +1,77 @@
+type t = { ncpus : int; words : int array }
+
+let bits_per_word = 62
+
+let nwords ncpus = ((ncpus + bits_per_word - 1) / bits_per_word) + 1
+
+let create_empty ~ncpus =
+  if ncpus <= 0 then invalid_arg "Cpumask: ncpus must be positive";
+  { ncpus; words = Array.make (nwords ncpus) 0 }
+
+let check m cpu =
+  if cpu < 0 || cpu >= m.ncpus then
+    invalid_arg (Printf.sprintf "Cpumask: cpu %d out of range [0,%d)" cpu m.ncpus)
+
+let copy m = { m with words = Array.copy m.words }
+
+let add m cpu =
+  check m cpu;
+  let m' = copy m in
+  let w = cpu / bits_per_word and b = cpu mod bits_per_word in
+  m'.words.(w) <- m'.words.(w) lor (1 lsl b);
+  m'
+
+let remove m cpu =
+  check m cpu;
+  let m' = copy m in
+  let w = cpu / bits_per_word and b = cpu mod bits_per_word in
+  m'.words.(w) <- m'.words.(w) land lnot (1 lsl b);
+  m'
+
+let mem m cpu =
+  check m cpu;
+  let w = cpu / bits_per_word and b = cpu mod bits_per_word in
+  m.words.(w) land (1 lsl b) <> 0
+
+let create_full ~ncpus =
+  let m = create_empty ~ncpus in
+  for cpu = 0 to ncpus - 1 do
+    let w = cpu / bits_per_word and b = cpu mod bits_per_word in
+    m.words.(w) <- m.words.(w) lor (1 lsl b)
+  done;
+  m
+
+let of_list ~ncpus cpus = List.fold_left add (create_empty ~ncpus) cpus
+let singleton ~ncpus cpu = add (create_empty ~ncpus) cpu
+let ncpus m = m.ncpus
+
+let zip_words name f a b =
+  if a.ncpus <> b.ncpus then invalid_arg ("Cpumask." ^ name ^ ": width mismatch");
+  { a with words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let inter a b = zip_words "inter" ( land ) a b
+let union a b = zip_words "union" ( lor ) a b
+let is_empty m = Array.for_all (fun w -> w = 0) m.words
+
+let popcount word =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go word 0
+
+let cardinal m = Array.fold_left (fun acc w -> acc + popcount w) 0 m.words
+
+let iter f m =
+  for cpu = 0 to m.ncpus - 1 do
+    if mem m cpu then f cpu
+  done
+
+let to_list m =
+  let acc = ref [] in
+  for cpu = m.ncpus - 1 downto 0 do
+    if mem m cpu then acc := cpu :: !acc
+  done;
+  !acc
+
+let equal a b = a.ncpus = b.ncpus && a.words = b.words
+
+let pp ppf m =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list m)))

@@ -1,0 +1,25 @@
+(** Sets of CPU ids (cpumasks), as used by [sched_setaffinity].
+
+    Implemented as a fixed-width bitset sized for the machine. *)
+
+type t
+
+val create_empty : ncpus:int -> t
+val create_full : ncpus:int -> t
+val of_list : ncpus:int -> int list -> t
+val singleton : ncpus:int -> int -> t
+
+val ncpus : t -> int
+(** Width of the mask (the machine's CPU count). *)
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val inter : t -> t -> t
+val union : t -> t -> t
+val is_empty : t -> bool
+val cardinal : t -> int
+val to_list : t -> int list
+val iter : (int -> unit) -> t -> unit
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t = { env : Class_intf.env; rqs : Task.t list array }
+
+(* The per-CPU queue is a list in FIFO order; priorities resolve at pick
+   time.  Queues hold at most a handful of tasks (agents, daemons), so a
+   linear scan is fine. *)
+
+let create env = { env; rqs = Array.make env.Class_intf.ncpus [] }
+
+let enqueue t ~cpu ~is_new:_ (task : Task.t) =
+  task.cpu <- cpu;
+  task.on_rq <- true;
+  t.rqs.(cpu) <- t.rqs.(cpu) @ [ task ]
+
+let dequeue t (task : Task.t) =
+  if task.on_rq && task.cpu >= 0 && task.cpu < t.env.Class_intf.ncpus then begin
+    let cpu = task.cpu in
+    t.rqs.(cpu) <- List.filter (fun x -> x != task) t.rqs.(cpu)
+  end;
+  task.on_rq <- false
+
+(* First task (FIFO order) of the highest priority present. *)
+let best ~filter q =
+  List.fold_left
+    (fun acc (task : Task.t) ->
+      if not (filter task) then acc
+      else begin
+        match acc with
+        | Some (b : Task.t) when b.rt_prio >= task.rt_prio -> acc
+        | Some _ | None -> Some task
+      end)
+    None q
+
+let pick t ~cpu ~filter =
+  match best ~filter t.rqs.(cpu) with
+  | Some task ->
+    dequeue t task;
+    Some task
+  | None -> None
+
+let select_cpu (task : Task.t) =
+  let prev = if task.cpu >= 0 then task.cpu else 0 in
+  if Cpumask.mem task.affinity prev then prev
+  else begin
+    match Cpumask.to_list task.affinity with
+    | c :: _ -> c
+    | [] -> invalid_arg "Rt.select_cpu: empty affinity"
+  end
+
+let cls t : Class_intf.cls =
+  {
+    name = "rt";
+    policy = Task.Rt;
+    enqueue = (fun ~cpu ~is_new task -> enqueue t ~cpu ~is_new task);
+    dequeue = (fun task -> dequeue t task);
+    pick = (fun ~cpu ~filter -> pick t ~cpu ~filter);
+    put_prev = (fun ~cpu task -> enqueue t ~cpu ~is_new:false task);
+    steal = (fun ~cpu:_ ~filter:_ -> None);
+    update = (fun ~cpu:_ _ ~ran:_ -> ());
+    tick = (fun ~cpu:_ _ ~since_dispatch:_ -> ());
+    select_cpu = (fun task -> select_cpu task);
+    wakeup_preempt = (fun ~curr task -> task.rt_prio > curr.rt_prio);
+    nr_runnable = (fun ~cpu -> List.length t.rqs.(cpu));
+    attach = (fun ~cpu:_ _ -> ());
+    on_block = (fun ~cpu:_ _ -> ());
+    on_yield = (fun ~cpu task -> enqueue t ~cpu ~is_new:false task);
+    on_dead = (fun ~cpu:_ _ -> ());
+    on_affinity = (fun _ -> ());
+  }

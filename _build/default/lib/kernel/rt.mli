@@ -1,0 +1,10 @@
+(** SCHED_FIFO-like real-time class.
+
+    ghOSt agents run here, above every other class, so nothing can preempt
+    an agent (§3.3).  Per-CPU FIFO queues ordered by [rt_prio] (higher
+    first), run-to-block within a priority. *)
+
+type t
+
+val create : Class_intf.env -> t
+val cls : t -> Class_intf.cls

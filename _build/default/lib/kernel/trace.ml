@@ -1,0 +1,62 @@
+type event =
+  | Dispatch of { cpu : int; tid : int; name : string; migrated : bool }
+  | Preempted of { cpu : int; tid : int }
+  | Blocked of { cpu : int; tid : int }
+  | Yielded of { cpu : int; tid : int }
+  | Exited of { cpu : int; tid : int }
+  | Woken of { tid : int; target_cpu : int }
+  | Idle of { cpu : int }
+
+type record = { time : int; event : event }
+
+type t = {
+  ring : record option array;
+  mutable head : int;  (* next write slot *)
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; head = 0; total = 0 }
+
+let emit t ~time event =
+  t.ring.(t.head) <- Some { time; event };
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let length t = min t.total (Array.length t.ring)
+let total t = t.total
+
+let records t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = (t.head - n + cap) mod cap in
+  List.filter_map
+    (fun i -> t.ring.((start + i) mod cap))
+    (List.init n (fun i -> i))
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.total <- 0
+
+let filter t pred = List.filter (fun r -> pred r.event) (records t)
+
+let pp_event ppf = function
+  | Dispatch { cpu; tid; name; migrated } ->
+    Format.fprintf ppf "dispatch cpu=%d tid=%d (%s)%s" cpu tid name
+      (if migrated then " [migrated]" else "")
+  | Preempted { cpu; tid } -> Format.fprintf ppf "preempt cpu=%d tid=%d" cpu tid
+  | Blocked { cpu; tid } -> Format.fprintf ppf "block cpu=%d tid=%d" cpu tid
+  | Yielded { cpu; tid } -> Format.fprintf ppf "yield cpu=%d tid=%d" cpu tid
+  | Exited { cpu; tid } -> Format.fprintf ppf "exit cpu=%d tid=%d" cpu tid
+  | Woken { tid; target_cpu } ->
+    Format.fprintf ppf "wake tid=%d -> cpu=%d" tid target_cpu
+  | Idle { cpu } -> Format.fprintf ppf "idle cpu=%d" cpu
+
+let dump ?(oc = stdout) t =
+  let ppf = Format.formatter_of_out_channel oc in
+  List.iter
+    (fun r -> Format.fprintf ppf "%9dns %a@." r.time pp_event r.event)
+    (records t);
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,40 @@
+(** Scheduling trace: a bounded ring of kernel scheduling events.
+
+    Attach with {!Kernel.set_tracer} to record every dispatch, preemption,
+    block, wakeup, yield, exit and idle transition — the simulator's
+    equivalent of `sched_switch`/`sched_wakeup` tracepoints.  Useful for
+    debugging policies and for asserting scheduling properties in tests. *)
+
+type event =
+  | Dispatch of { cpu : int; tid : int; name : string; migrated : bool }
+  | Preempted of { cpu : int; tid : int }
+  | Blocked of { cpu : int; tid : int }
+  | Yielded of { cpu : int; tid : int }
+  | Exited of { cpu : int; tid : int }
+  | Woken of { tid : int; target_cpu : int }
+  | Idle of { cpu : int }
+
+type record = { time : int; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A ring keeping the most recent [capacity] records (default 65536). *)
+
+val emit : t -> time:int -> event -> unit
+val length : t -> int
+(** Records currently held (bounded by capacity). *)
+
+val total : t -> int
+(** Events ever emitted, including those the ring dropped. *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val filter : t -> (event -> bool) -> record list
+
+val pp_event : Format.formatter -> event -> unit
+val dump : ?oc:out_channel -> t -> unit
+(** Human-readable dump, one event per line. *)

@@ -1,0 +1,1 @@
+lib/policies/central.ml: Ghost Hashtbl Kernel List Msg_class Queue

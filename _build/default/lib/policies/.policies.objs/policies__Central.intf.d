@@ -1,0 +1,1 @@
+lib/policies/central.mli: Ghost Kernel

@@ -1,0 +1,1 @@
+lib/policies/fifo_centralized.ml: Ghost Hashtbl Kernel List Msg_class Queue

@@ -1,0 +1,1 @@
+lib/policies/fifo_percpu.ml: Ghost Hashtbl Kernel List Msg_class Queue

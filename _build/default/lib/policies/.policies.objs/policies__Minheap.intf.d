@@ -1,0 +1,1 @@
+lib/policies/minheap.mli:

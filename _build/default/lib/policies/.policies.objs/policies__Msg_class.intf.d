@@ -1,0 +1,1 @@
+lib/policies/msg_class.mli: Ghost

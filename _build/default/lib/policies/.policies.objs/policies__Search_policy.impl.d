@@ -1,0 +1,1 @@
+lib/policies/search_policy.ml: Ghost Hashtbl Hw Kernel List Minheap Msg_class

@@ -1,0 +1,1 @@
+lib/policies/search_policy.mli: Ghost

@@ -1,0 +1,1 @@
+lib/policies/secure_vm.ml: Ghost Hashtbl Hw Kernel List Msg_class Option Queue

@@ -1,0 +1,1 @@
+lib/policies/secure_vm.mli: Ghost

@@ -1,0 +1,1 @@
+lib/policies/shinjuku.mli: Central Ghost Kernel

@@ -1,0 +1,1 @@
+lib/policies/snap_policy.ml: Central Ghost

@@ -1,0 +1,1 @@
+lib/policies/snap_policy.mli: Central Ghost Kernel

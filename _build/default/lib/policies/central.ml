@@ -1,0 +1,197 @@
+module Agent = Ghost.Agent
+module Txn = Ghost.Txn
+module Task = Kernel.Task
+
+type cls = Lc | Be
+
+type stats = {
+  mutable lc_scheduled : int;
+  mutable be_scheduled : int;
+  mutable lc_preemptions : int;
+  mutable be_evictions : int;
+  mutable estales : int;
+}
+
+type t = {
+  classify : Task.t -> cls;
+  timeslice : int option;
+  schedule_be : bool;
+  cls_of : (int, cls) Hashtbl.t;
+  lc_q : int Queue.t;
+  be_q : int Queue.t;
+  queued : (int, unit) Hashtbl.t;
+  running : (int, int * int * cls) Hashtbl.t;  (* tid -> cpu, start, cls *)
+  stats : stats;
+}
+
+let stats t = t.stats
+let lc_backlog t = Queue.length t.lc_q
+
+let class_of t ctx tid =
+  match Hashtbl.find_opt t.cls_of tid with
+  | Some c -> c
+  | None -> (
+    match Agent.task_by_tid ctx tid with
+    | Some task ->
+      let c = t.classify task in
+      Hashtbl.replace t.cls_of tid c;
+      c
+    | None -> Be)
+
+let push t ctx tid =
+  if not (Hashtbl.mem t.queued tid) then begin
+    Hashtbl.replace t.queued tid ();
+    match class_of t ctx tid with
+    | Lc -> Queue.push tid t.lc_q
+    | Be -> Queue.push tid t.be_q
+  end
+
+let rec pop t ctx q =
+  match Queue.pop q with
+  | exception Queue.Empty -> None
+  | tid -> (
+    Hashtbl.remove t.queued tid;
+    match Agent.task_by_tid ctx tid with
+    | Some task when Task.is_runnable task -> Some task
+    | Some _ | None -> pop t ctx q)
+
+let feed t ctx msgs =
+  List.iter
+    (fun msg ->
+      Agent.charge ctx 25;
+      match Msg_class.classify msg with
+      | Msg_class.Became_runnable tid ->
+        Hashtbl.remove t.running tid;
+        push t ctx tid
+      | Msg_class.Not_runnable tid ->
+        Hashtbl.remove t.running tid;
+        Hashtbl.remove t.queued tid
+      | Msg_class.Died tid ->
+        Hashtbl.remove t.running tid;
+        Hashtbl.remove t.queued tid;
+        Hashtbl.remove t.cls_of tid
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+    msgs
+
+let make_assign ctx txns assigned (task : Task.t) cpu =
+  Agent.charge ctx 40;
+  Hashtbl.replace assigned cpu ();
+  let seq = Agent.thread_seq ctx task in
+  txns := Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq () :: !txns
+
+let schedule t ctx msgs =
+  feed t ctx msgs;
+  let agent_cpu = Agent.cpu ctx in
+  let txns = ref [] in
+  let assigned = Hashtbl.create 8 in
+  let cpus = List.filter (fun c -> c <> agent_cpu) (Agent.enclave_cpu_list ctx) in
+  let free c = (not (Hashtbl.mem assigned c)) && Agent.cpu_is_idle ctx c in
+  (* 1. Idle CPUs go to LC work first. *)
+  List.iter
+    (fun cpu ->
+      if free cpu then begin
+        match pop t ctx t.lc_q with
+        | Some task -> make_assign ctx txns assigned task cpu
+        | None -> ()
+      end)
+    cpus;
+  (* 2. Remaining LC work evicts best-effort threads. *)
+  let be_running cpu =
+    (not (Hashtbl.mem assigned cpu))
+    &&
+    match Agent.curr_on ctx cpu with
+    | Some task when task.Task.policy = Task.Ghost -> class_of t ctx task.Task.tid = Be
+    | Some _ | None -> false
+  in
+  List.iter
+    (fun cpu ->
+      if (not (Queue.is_empty t.lc_q)) && be_running cpu then begin
+        match pop t ctx t.lc_q with
+        | Some task ->
+          make_assign ctx txns assigned task cpu;
+          t.stats.be_evictions <- t.stats.be_evictions + 1
+        | None -> ()
+      end)
+    cpus;
+  (* 3. Timeslice: rotate LC threads that ran past their slice. *)
+  (match t.timeslice with
+  | None -> ()
+  | Some slice ->
+    let now = Agent.now ctx in
+    List.iter
+      (fun cpu ->
+        if (not (Hashtbl.mem assigned cpu)) && not (Queue.is_empty t.lc_q) then begin
+          match Agent.curr_on ctx cpu with
+          | Some task when task.Task.policy = Task.Ghost -> (
+            match Hashtbl.find_opt t.running task.Task.tid with
+            | Some (c, start, Lc) when c = cpu && now - start >= slice -> (
+              match pop t ctx t.lc_q with
+              | Some next ->
+                make_assign ctx txns assigned next cpu;
+                t.stats.lc_preemptions <- t.stats.lc_preemptions + 1
+              | None -> ())
+            | Some _ | None -> ())
+          | Some _ | None -> ()
+        end)
+      cpus);
+  (* 4. Leftover idle CPUs are donated to best-effort work. *)
+  if t.schedule_be then
+    List.iter
+      (fun cpu ->
+        if free cpu then begin
+          match pop t ctx t.be_q with
+          | Some task -> make_assign ctx txns assigned task cpu
+          | None -> ()
+        end)
+      cpus;
+  if !txns <> [] then Agent.submit ctx (List.rev !txns)
+
+let on_result t ctx (txn : Txn.t) =
+  match txn.status with
+  | Txn.Committed ->
+    let cls = class_of t ctx txn.tid in
+    (match cls with
+    | Lc -> t.stats.lc_scheduled <- t.stats.lc_scheduled + 1
+    | Be -> t.stats.be_scheduled <- t.stats.be_scheduled + 1);
+    Hashtbl.replace t.running txn.tid (txn.target_cpu, Agent.now ctx, cls)
+  | Txn.Failed Txn.Enoent -> ()
+  | Txn.Failed failure ->
+    if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
+    push t ctx txn.tid
+  | Txn.Pending -> ()
+
+let policy ~classify ?timeslice ?(schedule_be = true) () =
+  let t =
+    {
+      classify;
+      timeslice;
+      schedule_be;
+      cls_of = Hashtbl.create 512;
+      lc_q = Queue.create ();
+      be_q = Queue.create ();
+      queued = Hashtbl.create 512;
+      running = Hashtbl.create 64;
+      stats =
+        {
+          lc_scheduled = 0;
+          be_scheduled = 0;
+          lc_preemptions = 0;
+          be_evictions = 0;
+          estales = 0;
+        };
+    }
+  in
+  let pol : Agent.policy =
+    {
+      name = "central-two-class";
+      init =
+        (fun ctx ->
+          List.iter
+            (fun (task : Task.t) ->
+              if Task.is_runnable task then push t ctx task.Task.tid)
+            (Agent.managed_threads ctx));
+      schedule = (fun ctx msgs -> schedule t ctx msgs);
+      on_result = (fun ctx txn -> on_result t ctx txn);
+    }
+  in
+  (t, pol)

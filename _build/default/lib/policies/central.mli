@@ -1,0 +1,34 @@
+(** Two-class centralized scheduling engine — the shared skeleton of the
+    Shinjuku (§4.2) and Snap (§4.3) policies.
+
+    Latency-critical (LC) threads are kept in a FIFO and take strict
+    priority over best-effort (BE) threads: a runnable LC thread first takes
+    an idle CPU, then preempts a BE thread, then (with a [timeslice])
+    preempts the longest-running LC thread past its slice.  Idle CPUs left
+    over are donated to BE threads — Shenango-style core reallocation. *)
+
+type cls = Lc | Be
+
+type stats = {
+  mutable lc_scheduled : int;
+  mutable be_scheduled : int;
+  mutable lc_preemptions : int;  (** timeslice expirations acted on *)
+  mutable be_evictions : int;  (** BE preempted to make room for LC *)
+  mutable estales : int;
+}
+
+type t
+
+val stats : t -> stats
+val lc_backlog : t -> int
+
+val policy :
+  classify:(Kernel.Task.t -> cls) ->
+  ?timeslice:int ->
+  ?schedule_be:bool ->
+  unit ->
+  t * Ghost.Agent.policy
+(** [classify] assigns each managed thread to a class when it first appears.
+    [timeslice] bounds LC run time when other LC work waits (Shinjuku's
+    30 us preemption); [schedule_be] (default true) donates idle CPUs to BE
+    threads. *)

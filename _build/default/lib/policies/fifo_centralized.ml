@@ -1,0 +1,144 @@
+module Agent = Ghost.Agent
+module Txn = Ghost.Txn
+module Task = Kernel.Task
+
+type t = {
+  runq : int Queue.t;
+  queued : (int, unit) Hashtbl.t;
+  running_since : (int, int * int) Hashtbl.t;  (* tid -> (cpu, start) *)
+  mutable scheduled : int;
+  timeslice : int option;
+  bpf : Ghost.Bpf.t option;
+}
+
+let scheduled t = t.scheduled
+let queue_depth t = Queue.length t.runq
+
+let push t tid =
+  if not (Hashtbl.mem t.queued tid) then begin
+    Hashtbl.replace t.queued tid ();
+    Queue.push tid t.runq
+  end
+
+let rec pop t ctx =
+  match Queue.pop t.runq with
+  | exception Queue.Empty -> None
+  | tid -> (
+    Hashtbl.remove t.queued tid;
+    match Agent.task_by_tid ctx tid with
+    | Some task when Task.is_runnable task -> Some task
+    | Some _ | None -> pop t ctx)
+
+let feed t ctx msgs =
+  List.iter
+    (fun msg ->
+      Agent.charge ctx 10;
+      match Msg_class.classify msg with
+      | Msg_class.Became_runnable tid ->
+        Hashtbl.remove t.running_since tid;
+        push t tid
+      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
+        Hashtbl.remove t.running_since tid;
+        Hashtbl.remove t.queued tid
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+    msgs
+
+let schedule t ctx msgs =
+  feed t ctx msgs;
+  let agent_cpu = Agent.cpu ctx in
+  let txns = ref [] in
+  (* Fill idle CPUs FIFO-first (Fig. 4).  The spinning agent's own CPU is
+     never a target: the agent does not yield it while active. *)
+  List.iter
+    (fun cpu ->
+      if cpu <> agent_cpu then begin
+        if Agent.cpu_is_idle ctx cpu then begin
+          match pop t ctx with
+          | Some task ->
+            Agent.charge ctx 25;
+            let seq = Agent.thread_seq ctx task in
+            let txn =
+              Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq ()
+            in
+            txns := txn :: !txns
+          | None -> ()
+        end
+      end)
+    (Agent.enclave_cpu_list ctx);
+  (* Timeslice expiry: preempt over-quantum threads when work is waiting. *)
+  (match t.timeslice with
+  | None -> ()
+  | Some slice ->
+    let now = Agent.now ctx in
+    List.iter
+      (fun cpu ->
+        if not (Queue.is_empty t.runq) then begin
+          match Agent.curr_on ctx cpu with
+          | Some task when task.Task.policy = Task.Ghost -> (
+            match Hashtbl.find_opt t.running_since task.Task.tid with
+            | Some (c, start) when c = cpu && now - start >= slice -> (
+              match pop t ctx with
+              | Some next ->
+                Agent.charge ctx 25;
+                let seq = Agent.thread_seq ctx next in
+                let txn =
+                  Agent.make_txn ctx ~tid:next.Task.tid ~target:cpu ?thread_seq:seq ()
+                in
+                txns := txn :: !txns;
+                Hashtbl.remove t.running_since task.Task.tid
+              | None -> ())
+            | Some _ | None -> ())
+          | Some _ | None -> ()
+        end)
+      (Agent.enclave_cpu_list ctx));
+  (* §3.2/§5: leftover runnable threads go to the BPF pick_next_task rings
+     so a CPU idling before our next pass picks one up without waiting. *)
+  (match t.bpf with
+  | None -> ()
+  | Some prog ->
+    Queue.iter
+      (fun tid ->
+        match Agent.task_by_tid ctx tid with
+        | Some task when Task.is_runnable task && not (Ghost.Bpf.mem prog task) ->
+          Agent.charge ctx 60;
+          Ghost.Bpf.publish prog ~ring:0 task
+        | Some _ | None -> ())
+      t.runq);
+  if !txns <> [] then Agent.submit ctx (List.rev !txns)
+
+let on_result t ctx (txn : Txn.t) =
+  match txn.status with
+  | Txn.Committed ->
+    t.scheduled <- t.scheduled + 1;
+    Hashtbl.replace t.running_since txn.tid (txn.target_cpu, Agent.now ctx)
+  | Txn.Failed Txn.Enoent -> ()
+  | Txn.Failed _ -> push t txn.tid
+  | Txn.Pending -> ()
+
+let policy ?timeslice ?bpf () =
+  let t =
+    {
+      runq = Queue.create ();
+      queued = Hashtbl.create 256;
+      running_since = Hashtbl.create 64;
+      scheduled = 0;
+      timeslice;
+      bpf;
+    }
+  in
+  let pol : Agent.policy =
+    {
+      name = "fifo-centralized";
+      init =
+        (fun ctx ->
+          (* Rebuild after an in-place upgrade: runnable threads re-enter the
+             FIFO (§3.4). *)
+          List.iter
+            (fun (task : Task.t) ->
+              if Task.is_runnable task then push t task.Task.tid)
+            (Agent.managed_threads ctx));
+      schedule = (fun ctx msgs -> schedule t ctx msgs);
+      on_result = (fun ctx txn -> on_result t ctx txn);
+    }
+  in
+  (t, pol)

@@ -1,0 +1,21 @@
+(** Centralized FIFO round-robin policy (§4.1's Fig. 5 scalability policy).
+
+    A single global agent keeps all runnable managed threads in a FIFO
+    runqueue and commits them onto idle enclave CPUs with group commits,
+    grouping as many transactions per commit as possible.  With a
+    [timeslice], running threads past their slice are preempted by the next
+    FIFO thread (the building block of the Shinjuku policy, §4.2). *)
+
+type t
+
+val policy : ?timeslice:int -> ?bpf:Ghost.Bpf.t -> unit -> t * Ghost.Agent.policy
+(** [timeslice] preempts ghOSt threads that ran that long whenever other
+    threads wait (default: run until block/preemption).  The global agent's
+    own CPU is never a scheduling target while it is active.  [bpf]
+    publishes unplaced runnable threads to the pick_next_task fastpath
+    (attach it to the enclave with {!Ghost.System.attach_bpf}). *)
+
+val scheduled : t -> int
+(** Successfully committed transactions so far. *)
+
+val queue_depth : t -> int

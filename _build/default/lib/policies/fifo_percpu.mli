@@ -1,0 +1,20 @@
+(** Per-CPU FIFO policy (the paper's per-CPU example, Fig. 2 left / Fig. 3).
+
+    One local agent per enclave CPU, each with its own message queue.  New
+    threads (announced on the default queue) are spread round-robin: the
+    first CPU's agent re-associates them to a per-CPU queue.  Each agent
+    schedules only its own CPU, committing with its agent sequence number so
+    a message arriving mid-decision fails the commit with ESTALE and the
+    agent retries (§3.2). *)
+
+type t
+
+val policy : unit -> t * Ghost.Agent.policy
+(** Use with {!Ghost.Agent.attach_local}. *)
+
+val scheduled : t -> int
+val estale_retries : t -> int
+(** Commits that failed ESTALE and were retried (visible in tests). *)
+
+val steals : t -> int
+(** Threads re-homed from another CPU's runqueue via ASSOCIATE_QUEUE. *)

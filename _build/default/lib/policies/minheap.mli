@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by integers (thread runtimes, deadlines).
+
+    Used by the Search policy's least-runtime-first queue (§4.4) and the
+    secure-VM policy's EDF ordering (§4.5). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> key:int -> 'a -> unit
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key entry. *)
+
+val peek : 'a t -> (int * 'a) option
+val clear : 'a t -> unit
+val to_list : 'a t -> (int * 'a) list
+(** Unordered snapshot. *)

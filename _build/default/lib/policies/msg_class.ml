@@ -1,0 +1,18 @@
+module Msg = Ghost.Msg
+
+type event =
+  | Became_runnable of int
+  | Not_runnable of int
+  | Died of int
+  | Affinity_changed of int
+  | Tick of int
+
+let classify (m : Msg.t) =
+  match m.kind with
+  | Msg.THREAD_CREATED | Msg.THREAD_WAKEUP | Msg.THREAD_PREEMPTED | Msg.THREAD_YIELD
+    ->
+    Became_runnable m.tid
+  | Msg.THREAD_BLOCKED -> Not_runnable m.tid
+  | Msg.THREAD_DEAD -> Died m.tid
+  | Msg.THREAD_AFFINITY -> Affinity_changed m.tid
+  | Msg.TIMER_TICK -> Tick m.cpu

@@ -1,0 +1,11 @@
+(** Shared message classification for policies. *)
+
+type event =
+  | Became_runnable of int  (** tid: created, woke, was preempted or yielded. *)
+  | Not_runnable of int  (** tid blocked. *)
+  | Died of int
+  | Affinity_changed of int
+  | Tick of int  (** cpu *)
+
+val classify : Ghost.Msg.t -> event
+(** Map a raw ghOSt message to the scheduling-relevant event. *)

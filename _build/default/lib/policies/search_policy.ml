@@ -1,0 +1,213 @@
+module Agent = Ghost.Agent
+module Txn = Ghost.Txn
+module Task = Kernel.Task
+module Topology = Hw.Topology
+module Cpumask = Kernel.Cpumask
+
+type config = {
+  numa_aware : bool;
+  ccx_aware : bool;
+  pending_wait : int option;
+  bpf : Ghost.Bpf.t option;
+}
+
+let default_config =
+  { numa_aware = true; ccx_aware = true; pending_wait = Some 100_000; bpf = None }
+
+type stats = {
+  mutable placed_core : int;
+  mutable placed_ccx : int;
+  mutable placed_socket : int;
+  mutable placed_remote : int;
+  mutable skipped : int;
+  mutable held_pending : int;
+  mutable estales : int;
+}
+
+type t = {
+  config : config;
+  heap : int Minheap.t;  (* tid keyed by elapsed runtime *)
+  queued : (int, unit) Hashtbl.t;
+  pending_since : (int, int) Hashtbl.t;
+  stats : stats;
+}
+
+let stats t = t.stats
+
+(* Heap key: elapsed runtime, biased by the application's scheduling hint
+   (4.4's nice-value discussion: background threads advertise a large hint
+   and sink below fresh workers). *)
+let key_of ctx (task : Task.t) =
+  match Agent.status_word ctx task with
+  | Some sw -> sw.Ghost.Status_word.sum_exec + sw.Ghost.Status_word.hint
+  | None -> task.Task.sum_exec
+
+let push t ctx tid =
+  if not (Hashtbl.mem t.queued tid) then begin
+    match Agent.task_by_tid ctx tid with
+    | Some task ->
+      Hashtbl.replace t.queued tid ();
+      Minheap.push t.heap ~key:(key_of ctx task) tid
+    | None -> ()
+  end
+
+let feed t ctx msgs =
+  List.iter
+    (fun msg ->
+      Agent.charge ctx 25;
+      match Msg_class.classify msg with
+      | Msg_class.Became_runnable tid -> push t ctx tid
+      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
+        Hashtbl.remove t.queued tid;
+        Hashtbl.remove t.pending_since tid
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+    msgs
+
+(* Candidate CPUs in increasing cache distance from [last]: the physical
+   core first, then the CCX, then neighbour CCXs fanned out by closeness
+   (same socket first when NUMA-aware), then everything. *)
+let candidate_order t topo last =
+  if not t.config.ccx_aware then Topology.cpus topo
+  else begin
+    let core = Topology.cpus_of_core topo (Topology.core_of topo last) in
+    let ccx_id = Topology.ccx_of topo last in
+    let ccx = Topology.cpus_of_ccx topo ccx_id in
+    let neighbours = Topology.ccx_neighbors_by_distance topo ccx_id in
+    let neighbours =
+      if t.config.numa_aware then neighbours
+      else List.sort compare neighbours
+    in
+    core @ ccx @ List.concat_map (Topology.cpus_of_ccx topo) neighbours
+  end
+
+let find_idle t ctx assigned (task : Task.t) =
+  let topo = Kernel.topo (Agent.kernel ctx) in
+  let last = if task.Task.cpu >= 0 then task.Task.cpu else 0 in
+  let agent_cpu = Agent.cpu ctx in
+  let ok cpu =
+    cpu <> agent_cpu
+    && (not (Hashtbl.mem assigned cpu))
+    && Cpumask.mem task.Task.affinity cpu
+    && Agent.cpu_is_idle ctx cpu
+  in
+  let rec scan = function
+    | [] -> None
+    | cpu :: rest -> if ok cpu then Some cpu else scan rest
+  in
+  scan (candidate_order t topo last)
+
+let note_placement t topo last cpu =
+  match Topology.distance topo last cpu with
+  | Topology.Same_cpu | Topology.Smt_sibling -> t.stats.placed_core <- t.stats.placed_core + 1
+  | Topology.Same_ccx -> t.stats.placed_ccx <- t.stats.placed_ccx + 1
+  | Topology.Same_socket -> t.stats.placed_socket <- t.stats.placed_socket + 1
+  | Topology.Cross_socket -> t.stats.placed_remote <- t.stats.placed_remote + 1
+
+let bpf_publish t ctx (task : Task.t) =
+  match t.config.bpf with
+  | None -> ()
+  | Some prog ->
+    let topo = Kernel.topo (Agent.kernel ctx) in
+    let ring = Topology.socket_of topo (max task.Task.cpu 0) in
+    Agent.charge ctx 60;
+    Ghost.Bpf.publish prog ~ring task
+
+let schedule t ctx msgs =
+  feed t ctx msgs;
+  let topo = Kernel.topo (Agent.kernel ctx) in
+  let now = Agent.now ctx in
+  let txns = ref [] in
+  let assigned = Hashtbl.create 16 in
+  let revisit = ref [] in
+  let rec drain () =
+    match Minheap.pop t.heap with
+    | None -> ()
+    | Some (key, tid) ->
+      Agent.charge ctx 30;
+      (match Agent.task_by_tid ctx tid with
+      | Some task when Task.is_runnable task -> (
+        let last = if task.Task.cpu >= 0 then task.Task.cpu else 0 in
+        match find_idle t ctx assigned task with
+        | Some cpu ->
+          let close_enough =
+            match t.config.pending_wait with
+            | None -> true
+            | Some wait -> (
+              (* Prefer to keep the thread pending briefly rather than pay a
+                 CCX migration (§4.4's 100us rule). *)
+              Topology.same_ccx topo last cpu
+              ||
+              match Hashtbl.find_opt t.pending_since tid with
+              | Some since -> now - since >= wait
+              | None ->
+                Hashtbl.replace t.pending_since tid now;
+                false)
+          in
+          if close_enough then begin
+            Hashtbl.remove t.pending_since tid;
+            Hashtbl.remove t.queued tid;
+            Hashtbl.replace assigned cpu ();
+            note_placement t topo last cpu;
+            let seq = Agent.thread_seq ctx task in
+            txns :=
+              Agent.make_txn ctx ~tid ~target:cpu ?thread_seq:seq () :: !txns
+          end
+          else begin
+            t.stats.held_pending <- t.stats.held_pending + 1;
+            revisit := (key, tid) :: !revisit
+          end
+        | None ->
+          t.stats.skipped <- t.stats.skipped + 1;
+          bpf_publish t ctx task;
+          revisit := (key, tid) :: !revisit)
+      | Some _ | None ->
+        Hashtbl.remove t.queued tid;
+        Hashtbl.remove t.pending_since tid);
+      drain ()
+  in
+  drain ();
+  List.iter (fun (key, tid) -> Minheap.push t.heap ~key tid) !revisit;
+  if !txns <> [] then Agent.submit ctx (List.rev !txns)
+
+let on_result t ctx (txn : Txn.t) =
+  match txn.status with
+  | Txn.Committed -> ()
+  | Txn.Failed Txn.Enoent -> ()
+  | Txn.Failed failure ->
+    if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
+    push t ctx txn.tid
+  | Txn.Pending -> ()
+
+let policy ?(config = default_config) () =
+  let t =
+    {
+      config;
+      heap = Minheap.create ();
+      queued = Hashtbl.create 1024;
+      pending_since = Hashtbl.create 256;
+      stats =
+        {
+          placed_core = 0;
+          placed_ccx = 0;
+          placed_socket = 0;
+          placed_remote = 0;
+          skipped = 0;
+          held_pending = 0;
+          estales = 0;
+        };
+    }
+  in
+  let pol : Agent.policy =
+    {
+      name = "search";
+      init =
+        (fun ctx ->
+          List.iter
+            (fun (task : Task.t) ->
+              if Task.is_runnable task then push t ctx task.Task.tid)
+            (Agent.managed_threads ctx));
+      schedule = (fun ctx msgs -> schedule t ctx msgs);
+      on_result = (fun ctx txn -> on_result t ctx txn);
+    }
+  in
+  (t, pol)

@@ -1,0 +1,264 @@
+module Agent = Ghost.Agent
+module Txn = Ghost.Txn
+module Task = Kernel.Task
+module Topology = Hw.Topology
+module Cpumask = Kernel.Cpumask
+
+type stats = {
+  mutable pair_commits : int;
+  mutable single_commits : int;
+  mutable rotations : int;
+  mutable estales : int;
+}
+
+type core_state = { mutable cookie : int; mutable since : int }
+
+type t = {
+  quantum : int;
+  eager_pairing : bool;
+  runnable : (int, int Queue.t) Hashtbl.t;  (* cookie -> tids *)
+  queued : (int, unit) Hashtbl.t;
+  vm_runtime : (int, int) Hashtbl.t;  (* cookie -> accumulated runtime key *)
+  cores : (int, core_state) Hashtbl.t;  (* physical core -> owner *)
+  stats : stats;
+}
+
+let stats t = t.stats
+
+let core_cookie t ~core =
+  match Hashtbl.find_opt t.cores core with
+  | Some cs when cs.cookie <> 0 -> Some cs.cookie
+  | Some _ | None -> None
+
+let vmq t cookie =
+  match Hashtbl.find_opt t.runnable cookie with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.runnable cookie q;
+    q
+
+let push t ctx tid =
+  if not (Hashtbl.mem t.queued tid) then begin
+    match Agent.task_by_tid ctx tid with
+    | Some task ->
+      Hashtbl.replace t.queued tid ();
+      Queue.push tid (vmq t task.Task.cookie)
+    | None -> ()
+  end
+
+let rec pop t ctx cookie =
+  match Queue.pop (vmq t cookie) with
+  | exception Queue.Empty -> None
+  | tid -> (
+    Hashtbl.remove t.queued tid;
+    match Agent.task_by_tid ctx tid with
+    | Some task when Task.is_runnable task && task.Task.cookie = cookie -> Some task
+    | Some _ | None -> pop t ctx cookie)
+
+let feed t ctx msgs =
+  List.iter
+    (fun msg ->
+      Agent.charge ctx 25;
+      match Msg_class.classify msg with
+      | Msg_class.Became_runnable tid -> push t ctx tid
+      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
+        Hashtbl.remove t.queued tid
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+    msgs
+
+(* VMs with waiting threads, least accumulated runtime first — the fair
+   sharing of spare capacity on top of the quantum guarantee. *)
+let waiting_vms t =
+  Hashtbl.fold
+    (fun cookie q acc -> if Queue.is_empty q then acc else cookie :: acc)
+    t.runnable []
+  |> List.sort (fun a b ->
+         let ra = Option.value ~default:0 (Hashtbl.find_opt t.vm_runtime a) in
+         let rb = Option.value ~default:0 (Hashtbl.find_opt t.vm_runtime b) in
+         compare (ra, a) (rb, b))
+
+let charge_vm t cookie ns =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.vm_runtime cookie) in
+  Hashtbl.replace t.vm_runtime cookie (prev + ns)
+
+(* Physical cores of the enclave, as (core, cpu0, cpu1 option), excluding
+   the core the agent itself spins on. *)
+let enclave_cores ctx =
+  let topo = Kernel.topo (Agent.kernel ctx) in
+  let agent_core = Topology.core_of topo (Agent.cpu ctx) in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun cpu ->
+      let core = Topology.core_of topo cpu in
+      if core = agent_core || Hashtbl.mem seen core then None
+      else begin
+        Hashtbl.replace seen core ();
+        match Topology.cpus_of_core topo core with
+        | [ a ] -> Some (core, a, None)
+        | [ a; b ] -> Some (core, a, Some b)
+        | _ -> None
+      end)
+    (Agent.enclave_cpu_list ctx)
+
+(* A CPU is occupied if a ghOSt thread runs there or is latched onto it
+   (committed but not yet dispatched) — ignoring latches would let the next
+   pass displace half of a freshly committed pair. *)
+let cpu_occupied ctx c =
+  Agent.latched_on ctx c <> None
+  ||
+  match Agent.curr_on ctx c with
+  | Some task -> task.Task.policy = Task.Ghost
+  | None -> false
+
+let occupied_count ctx cpu sibling =
+  (if cpu_occupied ctx cpu then 1 else 0)
+  + (match sibling with Some s when cpu_occupied ctx s -> 1 | Some _ | None -> 0)
+
+let core_busy ctx cpu sibling = occupied_count ctx cpu sibling > 0
+
+let commit_core t ctx ~core ~cpu0 ~cpu1 ~pair ?(need = 1) cookie =
+  let take target =
+    match pop t ctx cookie with
+    | Some task when Cpumask.mem task.Task.affinity target ->
+      Some (Agent.make_txn ctx ~tid:task.Task.tid ~target ())
+    | Some task ->
+      (* Wrong affinity for this core: requeue and skip. *)
+      push t ctx task.Task.tid;
+      None
+    | None -> None
+  in
+  (* Occupied CPUs first: a takeover must displace the old VM before using
+     the free sibling, or a partial commit would mix VMs on the core. *)
+  let first, second =
+    match cpu1 with
+    | Some c1 when cpu_occupied ctx c1 && not (cpu_occupied ctx cpu0) ->
+      (c1, Some cpu0)
+    | other -> (cpu0, other)
+  in
+  let txns =
+    match take first with
+    | None -> []
+    | Some t0 -> (
+      match second with
+      | None -> [ t0 ]
+      | Some c1 when pair -> (
+        match take c1 with None -> [ t0 ] | Some t1 -> [ t0; t1 ])
+      | Some _ ->
+        (* Solo placement: the sibling stays forced-idle for this VM;
+           cheaper than SMT co-running when cores are plentiful. *)
+        [ t0 ])
+  in
+  (* Displacing an occupied core with fewer threads than it runs would leave
+     a sibling on the old VM: put the popped threads back instead. *)
+  if List.length txns < need then begin
+    List.iter (fun (txn : Txn.t) -> push t ctx txn.Txn.tid) txns;
+    false
+  end
+  else begin
+  match txns with
+  | [] -> false
+  | txns ->
+    Agent.charge ctx 60;
+    Agent.submit ctx ~atomic:true txns;
+    (match txns with
+    | [ _ ] -> t.stats.single_commits <- t.stats.single_commits + 1
+    | _ -> t.stats.pair_commits <- t.stats.pair_commits + 1);
+    let cs =
+      match Hashtbl.find_opt t.cores core with
+      | Some cs -> cs
+      | None ->
+        let cs = { cookie = 0; since = 0 } in
+        Hashtbl.replace t.cores core cs;
+        cs
+    in
+    cs.cookie <- cookie;
+    cs.since <- Agent.now ctx;
+    true
+  end
+
+let total_waiting t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.runnable 0
+
+let schedule t ctx msgs =
+  feed t ctx msgs;
+  let now = Agent.now ctx in
+  let cores = enclave_cores ctx in
+  let free_cores =
+    List.length (List.filter (fun (_, c0, c1) -> not (core_busy ctx c0 c1)) cores)
+  in
+  (* Pair vCPUs on a core only under core pressure: with enough free cores,
+     solo placement (sibling forced-idle) avoids the SMT slowdown while
+     still isolating VMs. *)
+  let free_left = ref free_cores in
+  List.iter
+    (fun (core, cpu0, cpu1) ->
+      Agent.charge ctx 35;
+      let busy = core_busy ctx cpu0 cpu1 in
+      if not busy then begin
+        match waiting_vms t with
+        | cookie :: _ ->
+          let pair = t.eager_pairing || total_waiting t > !free_left in
+          if commit_core t ctx ~core ~cpu0 ~cpu1 ~pair cookie then
+            decr free_left
+        | [] -> ()
+      end
+      else begin
+        (* Quantum rotation for forward progress across VMs.  The incoming
+           VM must fill every occupied sibling, or the core would
+           transiently mix VMs. *)
+        match Hashtbl.find_opt t.cores core with
+        | Some cs when now - cs.since >= t.quantum -> (
+          let occupied = occupied_count ctx cpu0 cpu1 in
+          let eligible next = Queue.length (vmq t next) >= occupied in
+          match
+            List.filter
+              (fun c -> c <> cs.cookie && eligible c)
+              (waiting_vms t)
+          with
+          | next :: _ ->
+            charge_vm t cs.cookie (now - cs.since);
+            if
+              commit_core t ctx ~core ~cpu0 ~cpu1 ~pair:true
+                ~need:(occupied_count ctx cpu0 cpu1) next
+            then t.stats.rotations <- t.stats.rotations + 1
+          | [] -> cs.since <- now)
+        | Some _ | None -> ()
+      end)
+    cores
+
+let on_result t ctx (txn : Txn.t) =
+  match txn.status with
+  | Txn.Committed -> ()
+  | Txn.Failed Txn.Enoent -> ()
+  | Txn.Failed failure ->
+    if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
+    push t ctx txn.tid
+  | Txn.Pending -> ()
+
+let policy ?(quantum = 500_000) ?(eager_pairing = false) () =
+  let t =
+    {
+      quantum;
+      eager_pairing;
+      runnable = Hashtbl.create 16;
+      queued = Hashtbl.create 128;
+      vm_runtime = Hashtbl.create 16;
+      cores = Hashtbl.create 64;
+      stats = { pair_commits = 0; single_commits = 0; rotations = 0; estales = 0 };
+    }
+  in
+  let pol : Agent.policy =
+    {
+      name = "secure-vm";
+      init =
+        (fun ctx ->
+          List.iter
+            (fun (task : Task.t) ->
+              if Task.is_runnable task then push t ctx task.Task.tid)
+            (Agent.managed_threads ctx));
+      schedule = (fun ctx msgs -> schedule t ctx msgs);
+      on_result = (fun ctx txn -> on_result t ctx txn);
+    }
+  in
+  (t, pol)

@@ -1,0 +1,24 @@
+(** The ghOSt-Shinjuku policy (§4.2) and its Shenango extension.
+
+    A centralized global agent keeps a FIFO of runnable worker threads and
+    schedules them on the enclave's CPUs, preempting any worker that has run
+    for a full 30 us timeslice while others wait — Shinjuku's preemptive
+    centralized scheduling, reimplemented as a ghOSt policy (710 LoC in the
+    paper vs 2,535 for the custom data plane).
+
+    With [shenango_ext] (the paper's +17 lines), threads recognized as
+    batch get whatever CPUs the latency-critical workers leave idle, and are
+    evicted the instant an LC worker needs the CPU — combining Shinjuku's
+    tails with Shenango's CPU reallocation (Fig. 6b/c). *)
+
+type t
+
+val policy :
+  ?timeslice:int ->
+  ?shenango_ext:bool ->
+  is_batch:(Kernel.Task.t -> bool) ->
+  unit ->
+  t * Ghost.Agent.policy
+(** Defaults: 30 us timeslice, [shenango_ext = false]. *)
+
+val stats : t -> Central.stats

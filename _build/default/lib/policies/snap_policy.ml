@@ -1,0 +1,8 @@
+type t = Central.t
+
+let policy ~is_worker () =
+  let classify task = if is_worker task then Central.Lc else Central.Be in
+  let t, pol = Central.policy ~classify ~schedule_be:true () in
+  (t, { pol with Ghost.Agent.name = "snap" })
+
+let stats t = Central.stats t

@@ -1,0 +1,15 @@
+(** The Google Snap policy (§4.3): a simple yet effective centralized FIFO.
+
+    The global agent gives Snap's packet-processing worker threads strict
+    priority over antagonist (batch) threads: a worker takes an idle CPU if
+    one exists, else immediately evicts an antagonist.  Antagonists run only
+    on cycles left over by CFS and Snap.  No timeslice: workers run until
+    they block (they poll briefly and sleep) or CFS preempts them.  Unlike
+    MicroQuanta, a displaced worker is simply relocated to another CPU
+    instead of waiting out a blackout — the source of the 5-30% tail wins. *)
+
+type t
+
+val policy : is_worker:(Kernel.Task.t -> bool) -> unit -> t * Ghost.Agent.policy
+
+val stats : t -> Central.stats

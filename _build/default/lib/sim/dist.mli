@@ -1,0 +1,23 @@
+(** Service-time and inter-arrival distributions used by the workloads.
+
+    All values are in nanoseconds (as floats during sampling; callers round
+    to integer nanoseconds). *)
+
+type t =
+  | Const of float  (** Always the same value. *)
+  | Uniform of float * float  (** Uniform in [\[lo, hi)]. *)
+  | Exponential of float  (** Exponential with the given mean. *)
+  | Bimodal of { p_slow : float; fast : float; slow : float }
+      (** [fast] with probability [1 - p_slow], else [slow].  This is the
+          paper's dispersive RocksDB workload shape (§4.2). *)
+  | Mixture of (float * t) list
+      (** Weighted mixture; weights need not sum to 1 (normalised). *)
+
+val sample : Rng.t -> t -> float
+(** Draw one value.  Never negative. *)
+
+val sample_ns : Rng.t -> t -> int
+(** Draw one value rounded to integer nanoseconds, at least 1. *)
+
+val mean : t -> float
+(** Analytic mean of the distribution. *)

@@ -1,0 +1,47 @@
+type handle = Eventq.handle
+
+type t = { mutable clock : int; events : Eventq.t }
+
+let create () = { clock = 0; events = Eventq.create () }
+let now e = e.clock
+
+let post e ~time fn =
+  if time < e.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.post: time %d is before now %d" time e.clock);
+  Eventq.push e.events ~time fn
+
+let post_in e ~delay fn =
+  if delay < 0 then invalid_arg "Engine.post_in: negative delay";
+  Eventq.push e.events ~time:(e.clock + delay) fn
+
+let cancel e h = Eventq.cancel e.events h
+let pending e = Eventq.live_count e.events
+
+let step e =
+  match Eventq.pop e.events with
+  | None -> false
+  | Some (time, fn) ->
+    e.clock <- time;
+    fn ();
+    true
+
+let run_until e horizon =
+  let rec loop () =
+    match Eventq.peek_time e.events with
+    | Some t when t <= horizon ->
+      ignore (step e);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if horizon > e.clock then e.clock <- horizon
+
+let run ?max_events e =
+  match max_events with
+  | None -> while step e do () done
+  | Some n ->
+    let fired = ref 0 in
+    while !fired < n && step e do
+      incr fired
+    done

@@ -1,0 +1,106 @@
+type cell = {
+  time : int;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = cell
+
+type t = {
+  mutable heap : cell array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true }
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; live = 0 }
+let is_empty q = q.live = 0
+let live_count q = q.live
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let heap = Array.make (2 * Array.length q.heap) dummy in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < q.size && earlier q.heap.(l) q.heap.(i) then l else i in
+  let smallest =
+    if r < q.size && earlier q.heap.(r) q.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let push q ~time fn =
+  let cell = { time; seq = q.next_seq; fn; cancelled = false } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- cell;
+  q.size <- q.size + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.size - 1);
+  cell
+
+(* Cancellation is lazy: the cell stays in the heap (and is skipped on pop),
+   but [live] is adjusted immediately so emptiness checks stay exact.  A
+   handle owned by the caller after its event fired is already marked
+   cancelled by [pop], so double-accounting cannot occur. *)
+let cancel q cell =
+  if not cell.cancelled then begin
+    cell.cancelled <- true;
+    q.live <- q.live - 1
+  end
+
+let is_cancelled cell = cell.cancelled
+
+let pop_cell q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- dummy;
+    if q.size > 0 then sift_down q 0;
+    Some top
+  end
+
+let rec pop q =
+  match pop_cell q with
+  | None -> None
+  | Some cell ->
+    if cell.cancelled then pop q
+    else begin
+      cell.cancelled <- true;
+      q.live <- q.live - 1;
+      Some (cell.time, cell.fn)
+    end
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if top.cancelled then begin
+      ignore (pop_cell q);
+      peek_time q
+    end
+    else Some top.time
+  end

@@ -1,0 +1,37 @@
+(** Cancellable priority queue of timed events.
+
+    A binary min-heap keyed by [(time, sequence)].  The sequence number makes
+    ordering of same-time events deterministic (insertion order), which the
+    whole simulator relies on for reproducibility.  Cancellation is lazy: a
+    cancelled event stays in the heap and is discarded when popped. *)
+
+type t
+(** The event queue. *)
+
+type handle
+(** A handle on a scheduled event, usable to cancel it. *)
+
+val create : unit -> t
+(** A fresh, empty queue. *)
+
+val is_empty : t -> bool
+(** [is_empty q] is true iff no live (non-cancelled) event remains. *)
+
+val live_count : t -> int
+(** Number of scheduled events that have not been cancelled. *)
+
+val push : t -> time:int -> (unit -> unit) -> handle
+(** [push q ~time fn] schedules [fn] to fire at [time]. *)
+
+val cancel : t -> handle -> unit
+(** Cancel the event; a no-op if it already fired or was cancelled. *)
+
+val is_cancelled : handle -> bool
+(** Whether [cancel] was called on this handle. *)
+
+val pop : t -> (int * (unit -> unit)) option
+(** Remove and return the earliest live event as [(time, fn)], skipping
+    cancelled entries.  [None] when the queue has no live event. *)
+
+val peek_time : t -> int option
+(** Timestamp of the earliest live event without removing it. *)

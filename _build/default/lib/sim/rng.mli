@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Each experiment owns a seeded generator; sub-streams can be [split] off
+    so components draw independent, reproducible sequences. *)
+
+type t
+(** Generator state (mutable). *)
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val exponential : t -> mean:float -> float
+(** An exponentially distributed value with the given mean. *)

@@ -1,0 +1,1 @@
+lib/stats/timeseries.ml: Hashtbl Histogram List

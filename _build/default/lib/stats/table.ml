@@ -1,0 +1,35 @@
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: sep :: body) @ [ "" ])
+
+let print ~header rows = print_string (render ~header rows)
+
+let print_title title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let fmt_ns t =
+  let ft = float_of_int t in
+  if t < 1_000 then Printf.sprintf "%d ns" t
+  else if t < 1_000_000 then Printf.sprintf "%.2f us" (ft /. 1e3)
+  else if t < 1_000_000_000 then Printf.sprintf "%.2f ms" (ft /. 1e6)
+  else Printf.sprintf "%.3f s" (ft /. 1e9)
+
+let fmt_f x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x

@@ -1,0 +1,1 @@
+lib/workloads/batch.ml: Kernel List

@@ -1,0 +1,1 @@
+lib/workloads/batch.mli: Kernel

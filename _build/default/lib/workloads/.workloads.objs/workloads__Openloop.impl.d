@@ -1,0 +1,1 @@
+lib/workloads/openloop.ml: Kernel Pool Recorder Sim

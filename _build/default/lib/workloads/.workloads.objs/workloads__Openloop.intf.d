@@ -1,0 +1,1 @@
+lib/workloads/openloop.mli: Kernel Recorder Sim

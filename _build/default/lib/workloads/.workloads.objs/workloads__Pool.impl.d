@@ -1,0 +1,1 @@
+lib/workloads/pool.ml: Array Kernel List Queue Sim

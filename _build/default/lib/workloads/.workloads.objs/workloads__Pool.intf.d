@@ -1,0 +1,1 @@
+lib/workloads/pool.mli: Kernel

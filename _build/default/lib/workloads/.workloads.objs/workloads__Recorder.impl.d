@@ -1,0 +1,1 @@
+lib/workloads/recorder.ml: Gstats

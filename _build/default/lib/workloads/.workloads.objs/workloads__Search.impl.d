@@ -1,0 +1,1 @@
+lib/workloads/search.ml: Array Float Gstats Hashtbl Hw Kernel List Pool Recorder Sim

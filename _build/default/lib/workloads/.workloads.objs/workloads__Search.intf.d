@@ -1,0 +1,1 @@
+lib/workloads/search.mli: Gstats Kernel Recorder

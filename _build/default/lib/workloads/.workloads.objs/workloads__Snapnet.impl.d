@@ -1,0 +1,1 @@
+lib/workloads/snapnet.ml: Array Kernel List Pool Printf Recorder Sim

@@ -1,0 +1,1 @@
+lib/workloads/snapnet.mli: Kernel Recorder

@@ -1,0 +1,1 @@
+lib/workloads/vm.ml: Fun Hw Kernel List Sim

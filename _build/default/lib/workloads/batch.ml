@@ -1,0 +1,22 @@
+module Task = Kernel.Task
+
+type t = { tasks : Task.t list; mutable marked : int }
+
+let create kernel ~n ?(slice = 50_000) ~spawn () =
+  ignore kernel;
+  let tasks =
+    List.init n (fun i -> spawn ~idx:i (Task.compute_forever ~slice))
+  in
+  { tasks; marked = 0 }
+
+let tasks t = t.tasks
+let cpu_time t = List.fold_left (fun acc (x : Task.t) -> acc + x.Task.sum_exec) 0 t.tasks
+let mark t = t.marked <- cpu_time t
+
+let share t ~since ~now ~cpus =
+  let window = now - since in
+  if window <= 0 || cpus <= 0 then 0.0
+  else begin
+    let used = cpu_time t - t.marked in
+    float_of_int used /. float_of_int (window * cpus)
+  end

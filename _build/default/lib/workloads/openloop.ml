@@ -1,0 +1,61 @@
+module Task = Kernel.Task
+
+type request = { arrival : int; service : int }
+
+type t = {
+  kernel : Kernel.t;
+  rng : Sim.Rng.t;
+  rate : float;
+  service : Sim.Dist.t;
+  rec_ : Recorder.t;
+  mutable pool : request Pool.t option;
+  mutable offered : int;
+  mutable record_after : int;
+}
+
+let pool t = match t.pool with Some p -> p | None -> assert false
+let recorder t = t.rec_
+let offered t = t.offered
+let queued_now t = Pool.backlog (pool t)
+let workers t = Pool.tasks (pool t)
+let set_record_after t time = t.record_after <- time
+
+let arrival t =
+  let now = Kernel.now t.kernel in
+  let service = Sim.Dist.sample_ns t.rng t.service in
+  t.offered <- t.offered + 1;
+  Pool.submit (pool t) { arrival = now; service }
+
+let start t ~until =
+  let engine = Kernel.engine t.kernel in
+  let rec tick () =
+    if Sim.Engine.now engine < until then begin
+      arrival t;
+      let gap = Sim.Rng.exponential t.rng ~mean:(1e9 /. t.rate) in
+      ignore (Sim.Engine.post_in engine ~delay:(max 1 (int_of_float gap)) tick)
+    end
+  in
+  let first = Sim.Rng.exponential t.rng ~mean:(1e9 /. t.rate) in
+  ignore (Sim.Engine.post_in engine ~delay:(max 1 (int_of_float first)) tick)
+
+let create kernel ~seed ~rate ~service ~nworkers ~spawn =
+  if rate <= 0.0 then invalid_arg "Openloop.create: rate must be positive";
+  let t =
+    {
+      kernel;
+      rng = Sim.Rng.create seed;
+      rate;
+      service;
+      rec_ = Recorder.create ();
+      pool = None;
+      offered = 0;
+      record_after = 0;
+    }
+  in
+  let work (req : request) (_task : Task.t) = [ Pool.Compute req.service ] in
+  let on_done (req : request) =
+    if req.arrival >= t.record_after then
+      Recorder.record t.rec_ ~now:(Kernel.now kernel) ~arrival:req.arrival
+  in
+  t.pool <- Some (Pool.create kernel ~n:nworkers ~spawn ~work ~on_done ());
+  t

@@ -1,0 +1,37 @@
+(** Generic worker-thread pool.
+
+    The shared engine behind the serving workloads: jobs are submitted to a
+    pool of native threads; an idle worker is woken to execute the job's
+    steps (CPU segments and I/O waits), then parks.  When every worker is
+    busy, jobs wait in a FIFO.  The scheduler under test decides when and
+    where the woken workers actually run — that is the whole point. *)
+
+type step =
+  | Compute of int  (** Run on-CPU for ns (preemptible). *)
+  | Io of int  (** Block off-CPU for ns (SSD access, RPC wait...). *)
+
+type 'a t
+
+val create :
+  Kernel.t ->
+  ?poll_ns:int ->
+  ?poll_chunk:int ->
+  n:int ->
+  spawn:(idx:int -> (unit -> Kernel.Task.action) -> Kernel.Task.t) ->
+  work:('a -> Kernel.Task.t -> step list) ->
+  on_done:('a -> unit) ->
+  unit ->
+  'a t
+(** [work job task] is evaluated when a worker starts the job, so it may
+    consult [task.cpu] for locality-dependent costs (§4.4).  [on_done] fires
+    at job completion.  With [poll_ns], a worker that runs out of jobs spins
+    on its queues for up to that long (in [poll_chunk]-ns slices, default
+    10 us) before parking — Snap's polling workers (§4.3). *)
+
+val submit : 'a t -> 'a -> unit
+val tasks : 'a t -> Kernel.Task.t list
+val task_of : 'a t -> int -> Kernel.Task.t
+val size : 'a t -> int
+val idle_workers : 'a t -> int
+val backlog : 'a t -> int
+(** Jobs waiting for a worker. *)

@@ -1,0 +1,15 @@
+type t = { hist : Gstats.Histogram.t }
+
+let create () = { hist = Gstats.Histogram.create () }
+let record t ~now ~arrival = Gstats.Histogram.record t.hist (now - arrival)
+let record_value t v = Gstats.Histogram.record t.hist v
+let completed t = Gstats.Histogram.count t.hist
+let hist t = t.hist
+let p t pct = Gstats.Histogram.percentile t.hist pct
+let mean t = Gstats.Histogram.mean t.hist
+
+let throughput t ~duration =
+  if duration <= 0 then 0.0
+  else float_of_int (completed t) /. (float_of_int duration /. 1e9)
+
+let reset t = Gstats.Histogram.reset t.hist

@@ -1,0 +1,24 @@
+(** Request-latency recorder shared by all workloads. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> now:int -> arrival:int -> unit
+(** Record one completed request whose end-to-end latency is
+    [now - arrival]. *)
+
+val record_value : t -> int -> unit
+(** Record a pre-computed latency. *)
+
+val completed : t -> int
+val hist : t -> Gstats.Histogram.t
+val p : t -> float -> int
+(** Percentile in nanoseconds. *)
+
+val mean : t -> float
+
+val throughput : t -> duration:int -> float
+(** Completed requests per second over [duration] nanoseconds. *)
+
+val reset : t -> unit

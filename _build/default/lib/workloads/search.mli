@@ -1,0 +1,45 @@
+(** Google-Search-like serving workload (§4.4).
+
+    Three query classes on a 256-CPU AMD Rome machine:
+
+    - {b A}: CPU- and memory-intensive, fanned out to worker threads tied to
+      the NUMA socket holding the query's data; service time inflates when a
+      worker lands on a cold CCX (L3 miss penalty) — the effect the ghOSt
+      policy's CCX-aware placement removes.
+    - {b B}: little computation plus an SSD access (compute, I/O wait,
+      compute), served by a pool of short-lived workers woken as needed.
+    - {b C}: CPU-intensive, long-living workers.
+
+    Latency and throughput are recorded per query type in one-second
+    windows, matching Fig. 8's per-second normalized series. *)
+
+type qtype = A | B | C
+
+type t
+
+val create :
+  Kernel.t ->
+  seed:int ->
+  ?rate_a:float ->
+  ?rate_b:float ->
+  ?rate_c:float ->
+  ?window:int ->
+  spawn:(qtype -> socket:int option -> idx:int -> (unit -> Kernel.Task.action) -> Kernel.Task.t) ->
+  unit ->
+  t
+(** [spawn] creates each worker; type-A workers come with the socket they
+    must be tied to ([sched_setaffinity] to that socket is the caller's
+    job — the THREAD_CREATED cpumask flows to the agent as in §4.4). *)
+
+val start : t -> until:int -> unit
+val set_record_after : t -> int -> unit
+
+val series : t -> qtype -> Gstats.Timeseries.t
+(** Per-window latency histograms and completion counts. *)
+
+val recorder : t -> qtype -> Recorder.t
+(** Whole-run latency distribution. *)
+
+val completed : t -> qtype -> int
+val ccx_moves : t -> int
+(** Times a worker resumed on a different CCX (cold-cache penalties paid). *)

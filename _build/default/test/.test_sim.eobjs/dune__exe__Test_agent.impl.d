@@ -1,0 +1,1 @@
+test/test_agent.ml: Alcotest Ghost Hw Kernel List Policies Printf Sim

@@ -1,0 +1,1 @@
+test/test_api_surface.ml: Alcotest Buffer Format Ghost Gstats Hashtbl Hw Kernel List Option Printf QCheck QCheck_alcotest Sim String

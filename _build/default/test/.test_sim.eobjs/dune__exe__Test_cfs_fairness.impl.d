@@ -1,0 +1,1 @@
+test/test_cfs_fairness.ml: Alcotest Float Gen Hw Kernel List Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Ghost Hw Kernel List Policies Printf Sim

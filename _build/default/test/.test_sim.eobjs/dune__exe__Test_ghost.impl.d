@@ -1,0 +1,1 @@
+test/test_ghost.ml: Alcotest Ghost Hw Kernel List Policies Printf Sim

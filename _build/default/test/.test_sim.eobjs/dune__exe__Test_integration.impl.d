@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Experiments Float Ghost Hw Kernel List Policies Printf Sim Workloads

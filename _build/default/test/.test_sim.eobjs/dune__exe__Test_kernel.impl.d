@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Hw Kernel List Printf Sim

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Ghost Hw Kernel List Option Policies Printf Sim

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Ghost Hw Kernel List Policies Printf QCheck QCheck_alcotest Sim String

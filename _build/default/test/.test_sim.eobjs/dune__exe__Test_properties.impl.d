@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Ghost Gstats Hw Int Kernel List QCheck QCheck_alcotest Set Sim

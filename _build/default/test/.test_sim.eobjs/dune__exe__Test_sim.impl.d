@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float List Printf QCheck QCheck_alcotest Sim

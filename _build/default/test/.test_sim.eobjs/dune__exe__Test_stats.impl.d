@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Gstats List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hw Kernel List Printf Sim Workloads

@@ -1,0 +1,207 @@
+(* Tests for the agent runtime itself: sequence numbers, charging, pokes,
+   handoff cycling, and attachment bookkeeping. *)
+
+module Task = Kernel.Task
+module Cpumask = Kernel.Cpumask
+module System = Ghost.System
+module Agent = Ghost.Agent
+module Txn = Ghost.Txn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ms = Sim.Units.ms
+let us = Sim.Units.us
+
+let machine ncores =
+  {
+    Hw.Machines.name = "agent-test";
+    topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:ncores ~smt:1;
+    costs = Hw.Costs.skylake;
+  }
+
+let setup ncores =
+  let k = Kernel.create (machine ncores) in
+  let sys = System.install k in
+  let e = System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
+  (k, sys, e)
+
+let test_aseq_tracks_messages () =
+  (* The global agent's aseq must advance by exactly one per message posted
+     to the queue it is associated with. *)
+  let k, sys, e = setup 2 in
+  let seqs = ref [] in
+  let pol : Agent.policy =
+    {
+      name = "aseq-probe";
+      init = ignore;
+      schedule = (fun ctx msgs -> if msgs <> [] then seqs := Agent.aseq ctx :: !seqs);
+      on_result = (fun _ _ -> ());
+    }
+  in
+  let _g = Agent.attach_global sys e pol in
+  let task = Kernel.create_task k ~name:"w" (Task.compute_forever ~slice:(us 100)) in
+  System.manage e task;
+  Kernel.start k task;
+  Kernel.run_until k (ms 1);
+  let after_create = match !seqs with s :: _ -> s | [] -> -1 in
+  check_bool "aseq advanced on CREATED" true (after_create >= 1);
+  Kernel.set_affinity k task (Cpumask.of_list ~ncpus:2 [ 0; 1 ]);
+  Kernel.run_until k (ms 2);
+  let after_affinity = match !seqs with s :: _ -> s | [] -> -1 in
+  check_int "one more message, one more seq" (after_create + 1) after_affinity
+
+let test_charge_lengthens_passes () =
+  (* A policy that charges heavily makes the agent pass longer, so fewer
+     iterations fit in the same simulated window. *)
+  let iters charge_ns =
+    let k, sys, e = setup 2 in
+    let pol : Agent.policy =
+      {
+        name = "burner";
+        init = ignore;
+        schedule = (fun ctx _ -> Agent.charge ctx charge_ns);
+        on_result = (fun _ _ -> ());
+      }
+    in
+    let g = Agent.attach_global sys e ~idle_gap:500 pol in
+    Kernel.run_until k (ms 5);
+    Agent.iterations g
+  in
+  let cheap = iters 0 and costly = iters 10_000 in
+  check_bool
+    (Printf.sprintf "charging slows the loop (%d vs %d iters)" cheap costly)
+    true
+    (costly * 5 < cheap)
+
+let test_handoff_returns_after_cfs_leaves () =
+  (* The global agent hops away from a CFS intruder, and hops again if the
+     intruder follows — each CPU keeps serving CFS work promptly. *)
+  let k, sys, e = setup 3 in
+  let _, pol = Policies.Fifo_centralized.policy () in
+  let g = Agent.attach_global sys e pol in
+  Kernel.run_until k (ms 1);
+  let hops = ref [] in
+  let chase n =
+    let rec go n () =
+      if n > 0 then begin
+        let target = Agent.global_cpu g in
+        let intruder =
+          Kernel.create_task k
+            ~name:(Printf.sprintf "intruder%d" n)
+            ~affinity:(Cpumask.singleton ~ncpus:3 target)
+            (Task.compute_total ~slice:(us 100) ~total:(us 500) (fun () -> Task.Exit))
+        in
+        Kernel.start k intruder;
+        ignore
+          (Sim.Engine.post_in (Kernel.engine k) ~delay:(ms 2) (fun () ->
+               hops := Agent.global_cpu g :: !hops;
+               go (n - 1) ()))
+      end
+    in
+    go n ()
+  in
+  chase 3;
+  Kernel.run_until k (ms 10);
+  check_int "three hops recorded" 3 (List.length !hops);
+  (* The agent moved at least once and the enclave still works. *)
+  check_bool "agent moved" true
+    (List.exists (fun c -> c <> List.hd !hops) !hops || List.hd !hops <> 0);
+  check_bool "agent group alive" true (Agent.is_attached g)
+
+let test_stop_is_idempotent () =
+  let k, sys, e = setup 2 in
+  let _, pol = Policies.Fifo_centralized.policy () in
+  let g = Agent.attach_global sys e pol in
+  Kernel.run_until k (ms 1);
+  Agent.stop g;
+  Agent.stop g;
+  Kernel.run_until k (ms 2);
+  check_bool "agents exited" true
+    (List.for_all
+       (fun (t : Task.t) -> t.Task.state = Task.Dead)
+       (System.agent_tasks e)
+    || System.agent_tasks e = [])
+
+let test_queue_of_cpu_modes () =
+  let _k, sys, e = setup 2 in
+  let seen = ref None in
+  let pol : Agent.policy =
+    {
+      name = "probe";
+      init = (fun ctx -> seen := Some (Agent.queue_of_cpu ctx 0 <> None));
+      schedule = (fun _ _ -> ());
+      on_result = (fun _ _ -> ());
+    }
+  in
+  let _g = Agent.attach_local sys e pol in
+  check_bool "local mode has per-cpu queues" true (!seen = Some true);
+  let _k2, sys2, e2 = setup 2 in
+  let seen2 = ref None in
+  let pol2 = { pol with Agent.init = (fun ctx -> seen2 := Some (Agent.queue_of_cpu ctx 0 <> None)) } in
+  let _g2 = Agent.attach_global sys2 e2 pol2 in
+  check_bool "global mode has none" true (!seen2 = Some false)
+
+let test_submit_estale_on_interleaved_message () =
+  (* A commit stamped with an aseq taken before new traffic arrives must
+     fail ESTALE when that traffic lands during the agent's busy interval. *)
+  let k, sys, e = setup 2 in
+  let results = ref [] in
+  let victim = ref None in
+  let pol : Agent.policy =
+    {
+      name = "estale-maker";
+      init = ignore;
+      schedule =
+        (fun ctx msgs ->
+          match (msgs, !victim) with
+          | _ :: _, Some (task : Task.t) when Task.is_runnable task ->
+            (* Deliberately long decision time so the driver's affinity
+               change lands mid-pass. *)
+            Agent.charge ctx (us 50);
+            let txn =
+              Agent.make_txn ctx ~tid:task.Task.tid ~target:1 ~with_aseq:true ()
+            in
+            Agent.submit ctx [ txn ]
+          | _ -> ());
+      on_result = (fun _ txn -> results := txn.Txn.status :: !results);
+    }
+  in
+  let _g = Agent.attach_global sys e pol in
+  let task = Kernel.create_task k ~name:"w" (Task.compute_forever ~slice:(us 100)) in
+  victim := Some task;
+  System.manage e task;
+  Kernel.start k task;
+  (* Affinity churn every 20us: some changes will land inside the 50us
+     decision window. *)
+  let rec churn n () =
+    if n > 0 then begin
+      Kernel.set_affinity k task (Cpumask.of_list ~ncpus:2 [ 0; 1 ]);
+      ignore (Sim.Engine.post_in (Kernel.engine k) ~delay:(us 20) (churn (n - 1)))
+    end
+  in
+  ignore (Sim.Engine.post_in (Kernel.engine k) ~delay:(us 10) (churn 50));
+  Kernel.run_until k (ms 5);
+  let estales =
+    List.length (List.filter (fun s -> s = Txn.Failed Txn.Estale) !results)
+  in
+  check_bool
+    (Printf.sprintf "ESTALE observed under churn (%d)" estales)
+    true (estales > 0)
+
+let () =
+  Alcotest.run "agent"
+    [
+      ( "sequence-numbers",
+        [
+          Alcotest.test_case "aseq tracks messages" `Quick test_aseq_tracks_messages;
+          Alcotest.test_case "estale mid-pass" `Quick
+            test_submit_estale_on_interleaved_message;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "charging slows passes" `Quick test_charge_lengthens_passes;
+          Alcotest.test_case "handoff chase" `Quick test_handoff_returns_after_cfs_leaves;
+          Alcotest.test_case "stop idempotent" `Quick test_stop_is_idempotent;
+          Alcotest.test_case "queue_of_cpu by mode" `Quick test_queue_of_cpu_modes;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+(* Tests for the Shinjuku data-plane baseline. *)
+
+module Dp = Baselines.Shinjuku_dataplane
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ms = Sim.Units.ms
+let us = Sim.Units.us
+
+let test_completes_requests () =
+  let engine = Sim.Engine.create () in
+  let dp = Dp.create engine ~seed:1 ~nworkers:4 () in
+  Dp.start dp ~rate:10_000.0 ~service:(Sim.Dist.Const 5_000.0) ~until:(ms 100);
+  Sim.Engine.run_until engine (ms 120);
+  let n = Workloads.Recorder.completed (Dp.recorder dp) in
+  check_bool (Printf.sprintf "completed ~1000 (%d)" n) true (n > 900 && n < 1100);
+  let p50 = Workloads.Recorder.p (Dp.recorder dp) 50.0 in
+  check_bool "latency ~ service + dispatch" true (p50 >= 5_000 && p50 < 8_000)
+
+let test_preemption_protects_shorts () =
+  (* One worker; a 10ms request arrives first, then short ones.  The 30us
+     timeslice keeps shorts from waiting 10ms. *)
+  let engine = Sim.Engine.create () in
+  let dp = Dp.create engine ~seed:2 ~nworkers:1 () in
+  Dp.start dp ~rate:5_000.0
+    ~service:(Sim.Dist.Bimodal { p_slow = 0.05; fast = 4_000.0; slow = 10_000_000.0 })
+    ~until:(ms 200);
+  Sim.Engine.run_until engine (ms 400);
+  let p50 = Workloads.Recorder.p (Dp.recorder dp) 50.0 in
+  check_bool
+    (Printf.sprintf "p50 far below 10ms (%d)" p50)
+    true
+    (p50 < ms 3)
+
+let test_run_to_completion_when_no_slice () =
+  (* With an effectively infinite timeslice, shorts do wait behind longs. *)
+  let engine = Sim.Engine.create () in
+  let dp = Dp.create engine ~seed:2 ~nworkers:1 ~timeslice:(Sim.Units.sec 1) () in
+  Dp.start dp ~rate:5_000.0
+    ~service:(Sim.Dist.Bimodal { p_slow = 0.05; fast = 4_000.0; slow = 10_000_000.0 })
+    ~until:(ms 200);
+  Sim.Engine.run_until engine (ms 600);
+  let p90 = Workloads.Recorder.p (Dp.recorder dp) 90.0 in
+  check_bool
+    (Printf.sprintf "p90 shows head-of-line blocking (%d)" p90)
+    true
+    (p90 > ms 5)
+
+let test_occupies_cpus () =
+  let engine = Sim.Engine.create () in
+  let dp = Dp.create engine ~seed:1 ~nworkers:20 () in
+  check_int "20 workers + dispatcher core" 22 (Dp.cpus_occupied dp)
+
+let test_record_after () =
+  let engine = Sim.Engine.create () in
+  let dp = Dp.create engine ~seed:1 ~nworkers:2 () in
+  Dp.set_record_after dp (ms 50);
+  Dp.start dp ~rate:10_000.0 ~service:(Sim.Dist.Const 1_000.0) ~until:(ms 100);
+  Sim.Engine.run_until engine (ms 120);
+  let n = Workloads.Recorder.completed (Dp.recorder dp) in
+  let offered = Dp.offered dp in
+  check_bool "warmup filtered" true (n < offered && n > 0);
+  ignore us
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "shinjuku-dataplane",
+        [
+          Alcotest.test_case "completes" `Quick test_completes_requests;
+          Alcotest.test_case "preemption" `Quick test_preemption_protects_shorts;
+          Alcotest.test_case "run-to-completion" `Quick
+            test_run_to_completion_when_no_slice;
+          Alcotest.test_case "cpu footprint" `Quick test_occupies_cpus;
+          Alcotest.test_case "record-after" `Quick test_record_after;
+        ] );
+    ]

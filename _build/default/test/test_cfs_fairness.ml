@@ -1,0 +1,167 @@
+(* Deeper CFS behaviour tests: weighted fairness as a property over random
+   nice values, sleeper fairness, wakeup preemption, and timeslice scaling. *)
+
+module Task = Kernel.Task
+
+let check_bool = Alcotest.(check bool)
+let ms = Sim.Units.ms
+let us = Sim.Units.us
+
+let machine ncores =
+  {
+    Hw.Machines.name = "cfs-test";
+    topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:ncores ~smt:1;
+    costs = Hw.Costs.skylake;
+  }
+
+(* Property: N compute-bound tasks with random nice values on one CPU get
+   CPU time proportional to their weights (within 20% relative error after
+   300ms). *)
+let test_weighted_fairness =
+  QCheck.Test.make ~name:"CFS shares are weight-proportional" ~count:20
+    QCheck.(list_of_size (Gen.int_range 2 5) (int_range (-5) 5))
+    (fun nices ->
+      let k = Kernel.create (machine 1) in
+      let tasks =
+        List.mapi
+          (fun i nice ->
+            let t =
+              Kernel.create_task k ~nice
+                ~name:(Printf.sprintf "t%d" i)
+                (Task.compute_forever ~slice:(us 200))
+            in
+            Kernel.start k t;
+            t)
+          nices
+      in
+      Kernel.run_until k (ms 300);
+      let weights = List.map Kernel.Cfs.weight_of_nice nices in
+      let total_w = float_of_int (List.fold_left ( + ) 0 weights) in
+      let total_exec =
+        float_of_int (List.fold_left (fun acc (t : Task.t) -> acc + t.Task.sum_exec) 0 tasks)
+      in
+      List.for_all2
+        (fun (t : Task.t) w ->
+          let expected = float_of_int w /. total_w in
+          let actual = float_of_int t.Task.sum_exec /. total_exec in
+          Float.abs (actual -. expected) <= 0.2 *. expected +. 0.02)
+        tasks weights)
+
+let test_sleeper_not_starved () =
+  (* A task that sleeps half the time must still get its share promptly
+     when it wakes (sleeper credit), not queue behind the hog's vruntime. *)
+  let k = Kernel.create (machine 1) in
+  let hog = Kernel.create_task k ~name:"hog" (Task.compute_forever ~slice:(us 200)) in
+  Kernel.start k hog;
+  let wake_delays = ref [] in
+  let cell = ref None in
+  let sleeper =
+    Kernel.create_task k ~name:"sleeper" (fun () ->
+        let rec loop () =
+          Task.Run
+            {
+              ns = us 100;
+              after =
+                (fun () ->
+                  let slept_at = Kernel.now k in
+                  ignore
+                    (Sim.Engine.post_in (Kernel.engine k) ~delay:(ms 1) (fun () ->
+                         match !cell with
+                         | Some task ->
+                           Kernel.wake k task;
+                           wake_delays :=
+                             (Kernel.now k - slept_at) :: !wake_delays
+                         | None -> ()));
+                  Task.Block { after = loop });
+            }
+        in
+        loop ())
+  in
+  cell := Some sleeper;
+  Kernel.start k sleeper;
+  Kernel.run_until k (ms 100);
+  (* The sleeper wakes ~50 times and must actually run each time. *)
+  check_bool "sleeper made progress" true (sleeper.Task.sum_exec > us 3000);
+  check_bool "hog did not monopolise" true (hog.Task.sum_exec < ms 100)
+
+let test_wakeup_preemption () =
+  (* A far-behind waker preempts the current task promptly rather than
+     waiting out its slice. *)
+  let k = Kernel.create (machine 1) in
+  let hog = Kernel.create_task k ~name:"hog" (Task.compute_forever ~slice:(ms 2)) in
+  Kernel.start k hog;
+  Kernel.run_until k (ms 20);
+  let started = ref (-1) in
+  let newcomer =
+    Kernel.create_task k ~name:"newcomer" (fun () ->
+        started := Kernel.now k;
+        Task.Run { ns = us 100; after = (fun () -> Task.Exit) })
+  in
+  Kernel.start k newcomer;
+  Kernel.run_until k (ms 30);
+  (* A fresh task joins at min_vruntime, so it waits at most one timeslice
+     (sched_latency / 2 here), not a full catch-up. *)
+  check_bool "newcomer ran within a slice" true (!started > 0 && !started < ms 24)
+
+let test_timeslice_shrinks_with_load () =
+  (* With many runnable tasks, each dispatch is bounded by min_granularity,
+     so everyone runs within a couple of scheduling latencies. *)
+  let k = Kernel.create (machine 1) in
+  let tasks =
+    List.init 8 (fun i ->
+        let t =
+          Kernel.create_task k
+            ~name:(Printf.sprintf "t%d" i)
+            (Task.compute_forever ~slice:(ms 10))
+        in
+        Kernel.start k t;
+        t)
+  in
+  Kernel.run_until k (ms 50);
+  List.iter
+    (fun (t : Task.t) ->
+      check_bool
+        (Printf.sprintf "%s ran within the first 50ms (%d)" t.Task.name
+           t.Task.sum_exec)
+        true
+        (t.Task.sum_exec > ms 2))
+    tasks
+
+let test_migration_on_imbalance () =
+  (* 3 tasks started on a 2-cpu box: periodic balancing must spread them so
+     all progress at ~2/3 speed. *)
+  let k = Kernel.create (machine 2) in
+  let tasks =
+    List.init 3 (fun i ->
+        let t =
+          Kernel.create_task k
+            ~name:(Printf.sprintf "t%d" i)
+            (Task.compute_forever ~slice:(us 500))
+        in
+        Kernel.start k t;
+        t)
+  in
+  Kernel.run_until k (ms 60);
+  List.iter
+    (fun (t : Task.t) ->
+      check_bool
+        (Printf.sprintf "%s got its 2/3 share (%d)" t.Task.name t.Task.sum_exec)
+        true
+        (float_of_int t.Task.sum_exec > 0.5 *. float_of_int (ms 60)))
+    tasks
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ test_weighted_fairness ] in
+  Alcotest.run "cfs-fairness"
+    [
+      ( "behaviour",
+        [
+          Alcotest.test_case "sleeper not starved" `Quick test_sleeper_not_starved;
+          Alcotest.test_case "wakeup preemption" `Quick test_wakeup_preemption;
+          Alcotest.test_case "timeslice under load" `Quick
+            test_timeslice_shrinks_with_load;
+          Alcotest.test_case "migration on imbalance" `Quick
+            test_migration_on_imbalance;
+        ] );
+      ("properties", qsuite);
+    ]

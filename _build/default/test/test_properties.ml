@@ -1,0 +1,225 @@
+(* Model-based property tests across the core data structures. *)
+
+module Cpumask = Kernel.Cpumask
+module Squeue = Ghost.Squeue
+module Msg = Ghost.Msg
+
+let qtest = QCheck.Test.make
+
+(* --- Cpumask ----------------------------------------------------------------- *)
+
+module IntSet = Set.Make (Int)
+
+let cpus_gen n = QCheck.(list (int_bound (n - 1)))
+
+let test_cpumask_roundtrip =
+  qtest ~name:"cpumask of_list/to_list = sorted dedup" ~count:300 (cpus_gen 64)
+    (fun cpus ->
+      let m = Cpumask.of_list ~ncpus:64 cpus in
+      Cpumask.to_list m = IntSet.elements (IntSet.of_list cpus))
+
+let test_cpumask_set_ops =
+  qtest ~name:"cpumask inter/union agree with sets" ~count:300
+    QCheck.(pair (cpus_gen 64) (cpus_gen 64))
+    (fun (a, b) ->
+      let ma = Cpumask.of_list ~ncpus:64 a and mb = Cpumask.of_list ~ncpus:64 b in
+      let sa = IntSet.of_list a and sb = IntSet.of_list b in
+      Cpumask.to_list (Cpumask.inter ma mb) = IntSet.elements (IntSet.inter sa sb)
+      && Cpumask.to_list (Cpumask.union ma mb) = IntSet.elements (IntSet.union sa sb))
+
+let test_cpumask_cardinal =
+  qtest ~name:"cpumask cardinal = set size" ~count:300 (cpus_gen 200) (fun cpus ->
+      let m = Cpumask.of_list ~ncpus:200 cpus in
+      Cpumask.cardinal m = IntSet.cardinal (IntSet.of_list cpus))
+
+let test_cpumask_add_remove =
+  qtest ~name:"cpumask add/remove are involutive" ~count:300
+    QCheck.(pair (cpus_gen 64) (int_bound 63))
+    (fun (cpus, c) ->
+      let m = Cpumask.of_list ~ncpus:64 cpus in
+      let added = Cpumask.add m c in
+      Cpumask.mem added c
+      && (not (Cpumask.mem (Cpumask.remove added c) c))
+      && Cpumask.equal (Cpumask.remove (Cpumask.add m c) c) (Cpumask.remove m c))
+
+(* --- Squeue ------------------------------------------------------------------- *)
+
+let mk_msg i =
+  { Msg.kind = Msg.THREAD_WAKEUP; tid = i; tseq = i; cpu = 0; posted_at = 0;
+    visible_at = 0 }
+
+let test_squeue_fifo =
+  qtest ~name:"squeue preserves FIFO order" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) small_int)
+    (fun tids ->
+      let q = Squeue.create ~id:1 ~capacity:100 in
+      List.iter (fun i -> ignore (Squeue.produce q (mk_msg i))) tids;
+      let rec drain acc =
+        match Squeue.consume q ~now:0 with
+        | Some m -> drain (m.Msg.tid :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = tids)
+
+let test_squeue_overflow_accounting =
+  qtest ~name:"squeue drops exactly the overflow" ~count:200
+    QCheck.(pair (int_range 1 20) (int_range 0 60))
+    (fun (cap, n) ->
+      let q = Squeue.create ~id:1 ~capacity:cap in
+      for i = 1 to n do
+        ignore (Squeue.produce q (mk_msg i))
+      done;
+      Squeue.length q = min cap n && Squeue.dropped q = max 0 (n - cap))
+
+let test_squeue_visibility =
+  qtest ~name:"squeue hides not-yet-visible messages" ~count:100
+    QCheck.(int_range 1 1000)
+    (fun vis ->
+      let q = Squeue.create ~id:1 ~capacity:8 in
+      ignore (Squeue.produce q { (mk_msg 1) with Msg.visible_at = vis });
+      Squeue.consume q ~now:(vis - 1) = None
+      && (match Squeue.consume q ~now:vis with Some _ -> true | None -> false))
+
+(* --- Eventq model ---------------------------------------------------------------- *)
+
+type op = Push of int | Pop | CancelLast
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map (fun t -> Push t) (int_bound 1000)); (2, return Pop);
+        (1, return CancelLast) ])
+
+let test_eventq_model =
+  qtest ~name:"eventq matches a sorted-list model" ~count:200
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 60) op_gen))
+    (fun ops ->
+      let q = Sim.Eventq.create () in
+      (* Model: list of (time, serial, alive ref). *)
+      let model = ref [] in
+      let serial = ref 0 in
+      let last_handle = ref None in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Push t ->
+            let h = Sim.Eventq.push q ~time:t ignore in
+            incr serial;
+            let alive = ref true in
+            model := (t, !serial, alive) :: !model;
+            last_handle := Some (h, alive)
+          | CancelLast -> (
+            match !last_handle with
+            | Some (h, alive) ->
+              Sim.Eventq.cancel q h;
+              alive := false
+            | None -> ())
+          | Pop -> (
+            let live =
+              List.filter (fun (_, _, alive) -> !alive) !model
+              |> List.sort (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+            in
+            match (Sim.Eventq.pop q, live) with
+            | None, [] -> ()
+            | Some (t, _), (mt, _, alive) :: _ ->
+              if t <> mt then ok := false;
+              alive := false
+            | Some _, [] | None, _ :: _ -> ok := false))
+        ops;
+      !ok)
+
+(* --- Histogram merge --------------------------------------------------------------- *)
+
+let test_histogram_merge_equiv =
+  qtest ~name:"merge equals recording the concatenation" ~count:100
+    QCheck.(pair (list (int_bound 1_000_000)) (list (int_bound 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Gstats.Histogram.create () and b = Gstats.Histogram.create () in
+      let c = Gstats.Histogram.create () in
+      List.iter (Gstats.Histogram.record a) xs;
+      List.iter (Gstats.Histogram.record b) ys;
+      List.iter (Gstats.Histogram.record c) (xs @ ys);
+      Gstats.Histogram.merge_into ~dst:a b;
+      Gstats.Histogram.count a = Gstats.Histogram.count c
+      && Gstats.Histogram.sum a = Gstats.Histogram.sum c
+      && Gstats.Histogram.percentile a 50.0 = Gstats.Histogram.percentile c 50.0
+      && Gstats.Histogram.percentile a 99.0 = Gstats.Histogram.percentile c 99.0)
+
+(* --- Topology -------------------------------------------------------------------- *)
+
+let dims_gen =
+  QCheck.Gen.(
+    map3
+      (fun s c k -> (s, c, k))
+      (int_range 1 2) (int_range 1 4) (int_range 1 4))
+
+let test_topology_partitions =
+  qtest ~name:"sockets/ccx/cores partition the cpus" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         map2 (fun (s, c, k) smt -> (s, c, k, smt)) dims_gen (int_range 1 2)))
+    (fun (sockets, ccx, cores, smt) ->
+      let t =
+        Hw.Topology.create ~sockets ~ccx_per_socket:ccx ~cores_per_ccx:cores ~smt
+      in
+      let all = Hw.Topology.cpus t in
+      let by_socket =
+        List.concat_map (Hw.Topology.cpus_of_socket t)
+          (List.init sockets (fun i -> i))
+      in
+      let by_ccx =
+        List.concat_map (Hw.Topology.cpus_of_ccx t)
+          (List.init (Hw.Topology.num_ccx t) (fun i -> i))
+      in
+      let by_core =
+        List.concat_map (Hw.Topology.cpus_of_core t)
+          (List.init (Hw.Topology.num_cores t) (fun i -> i))
+      in
+      List.sort compare by_socket = all
+      && List.sort compare by_ccx = all
+      && List.sort compare by_core = all)
+
+let test_topology_sibling_involution =
+  qtest ~name:"sibling of sibling is self (smt=2)" ~count:100
+    (QCheck.make dims_gen)
+    (fun (sockets, ccx, cores) ->
+      let t =
+        Hw.Topology.create ~sockets ~ccx_per_socket:ccx ~cores_per_ccx:cores ~smt:2
+      in
+      List.for_all
+        (fun cpu ->
+          match Hw.Topology.sibling_of t cpu with
+          | Some s -> s <> cpu && Hw.Topology.sibling_of t s = Some cpu
+          | None -> false)
+        (Hw.Topology.cpus t))
+
+(* --- Task combinators --------------------------------------------------------------- *)
+
+let test_compute_total_sums =
+  qtest ~name:"compute_total consumes exactly its total" ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 1 5000))
+    (fun (slice, total) ->
+      let behavior =
+        Kernel.Task.compute_total ~slice ~total (fun () -> Kernel.Task.Exit)
+      in
+      let rec consume action acc =
+        match action with
+        | Kernel.Task.Run { ns; after } -> consume (after ()) (acc + ns)
+        | Kernel.Task.Exit -> acc
+        | Kernel.Task.Block _ | Kernel.Task.Yield _ -> -1
+      in
+      consume (behavior ()) 0 = total)
+
+let () =
+  let suite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        test_cpumask_roundtrip; test_cpumask_set_ops; test_cpumask_cardinal;
+        test_cpumask_add_remove; test_squeue_fifo; test_squeue_overflow_accounting;
+        test_squeue_visibility; test_eventq_model; test_histogram_merge_equiv;
+        test_topology_partitions; test_topology_sibling_involution;
+        test_compute_total_sums;
+      ]
+  in
+  Alcotest.run "properties" [ ("model-based", suite) ]

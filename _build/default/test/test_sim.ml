@@ -1,0 +1,253 @@
+(* Tests for the simulation substrate: event queue, engine, RNG and
+   distributions. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Eventq ----------------------------------------------------------------- *)
+
+let test_eventq_order () =
+  let q = Sim.Eventq.create () in
+  let fired = ref [] in
+  let note tag () = fired := tag :: !fired in
+  ignore (Sim.Eventq.push q ~time:30 (note "c"));
+  ignore (Sim.Eventq.push q ~time:10 (note "a"));
+  ignore (Sim.Eventq.push q ~time:20 (note "b"));
+  let rec drain () =
+    match Sim.Eventq.pop q with
+    | Some (_, fn) ->
+      fn ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ] (List.rev !fired)
+
+let test_eventq_fifo_ties () =
+  let q = Sim.Eventq.create () in
+  let fired = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.Eventq.push q ~time:5 (fun () -> fired := i :: !fired))
+  done;
+  let rec drain () =
+    match Sim.Eventq.pop q with
+    | Some (_, fn) ->
+      fn ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int))
+    "insertion order on equal timestamps"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !fired)
+
+let test_eventq_cancel () =
+  let q = Sim.Eventq.create () in
+  let fired = ref 0 in
+  let h1 = Sim.Eventq.push q ~time:1 (fun () -> incr fired) in
+  ignore (Sim.Eventq.push q ~time:2 (fun () -> incr fired));
+  check_int "live before cancel" 2 (Sim.Eventq.live_count q);
+  Sim.Eventq.cancel q h1;
+  check_bool "handle marked" true (Sim.Eventq.is_cancelled h1);
+  check_int "live after cancel" 1 (Sim.Eventq.live_count q);
+  let rec drain () =
+    match Sim.Eventq.pop q with
+    | Some (_, fn) ->
+      fn ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "only live event fired" 1 !fired;
+  check_bool "empty at end" true (Sim.Eventq.is_empty q)
+
+let test_eventq_peek_skips_cancelled () =
+  let q = Sim.Eventq.create () in
+  let h = Sim.Eventq.push q ~time:1 ignore in
+  ignore (Sim.Eventq.push q ~time:7 ignore);
+  Sim.Eventq.cancel q h;
+  Alcotest.(check (option int)) "peek skips dead" (Some 7) (Sim.Eventq.peek_time q)
+
+let test_eventq_many =
+  QCheck.Test.make ~name:"eventq pops in nondecreasing time order" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Sim.Eventq.create () in
+      List.iter (fun time -> ignore (Sim.Eventq.push q ~time ignore)) times;
+      let rec drain last =
+        match Sim.Eventq.pop q with
+        | Some (time, _) -> time >= last && drain time
+        | None -> true
+      in
+      drain 0)
+
+(* --- Engine ----------------------------------------------------------------- *)
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.post e ~time:100 (fun () -> log := (100, Sim.Engine.now e) :: !log));
+  ignore (Sim.Engine.post e ~time:50 (fun () -> log := (50, Sim.Engine.now e) :: !log));
+  Sim.Engine.run_until e 75;
+  check_int "clock set to horizon" 75 (Sim.Engine.now e);
+  Alcotest.(check (list (pair int int))) "only first fired" [ (50, 50) ] !log;
+  Sim.Engine.run_until e 200;
+  Alcotest.(check (list (pair int int)))
+    "second fired at its time"
+    [ (100, 100); (50, 50) ]
+    !log
+
+let test_engine_post_in_past () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.run_until e 10;
+  Alcotest.check_raises "past post rejected"
+    (Invalid_argument "Engine.post: time 5 is before now 10") (fun () ->
+      ignore (Sim.Engine.post e ~time:5 ignore))
+
+let test_engine_cascading () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 0 then ignore (Sim.Engine.post_in e ~delay:10 (chain (n - 1)))
+  in
+  ignore (Sim.Engine.post_in e ~delay:10 (chain 9));
+  Sim.Engine.run e;
+  check_int "all chained events fired" 10 !count;
+  check_int "clock at last event" 100 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.post_in e ~delay:5 (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run e;
+  check_bool "cancelled event did not fire" false !fired
+
+(* --- Rng -------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 7 in
+  let c = Sim.Rng.split a in
+  check_bool "split stream differs" true (Sim.Rng.bits64 a <> Sim.Rng.bits64 c)
+
+let test_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int rng n in
+      v >= 0 && v < n)
+
+let test_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float in bounds" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let test_rng_exponential_mean () =
+  let rng = Sim.Rng.create 11 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential rng ~mean:50.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool
+    (Printf.sprintf "empirical mean %.2f within 2%% of 50" mean)
+    true
+    (Float.abs (mean -. 50.0) < 1.0)
+
+(* --- Dist ------------------------------------------------------------------- *)
+
+let test_dist_bimodal () =
+  let rng = Sim.Rng.create 3 in
+  let d = Sim.Dist.Bimodal { p_slow = 0.005; fast = 4000.0; slow = 10_000_000.0 } in
+  let n = 200_000 in
+  let slow = ref 0 in
+  for _ = 1 to n do
+    if Sim.Dist.sample rng d > 5000.0 then incr slow
+  done;
+  let frac = float_of_int !slow /. float_of_int n in
+  check_bool
+    (Printf.sprintf "slow fraction %.4f close to 0.005" frac)
+    true
+    (Float.abs (frac -. 0.005) < 0.002)
+
+let test_dist_means () =
+  let cases =
+    [
+      (Sim.Dist.Const 42.0, 42.0);
+      (Sim.Dist.Uniform (10.0, 20.0), 15.0);
+      (Sim.Dist.Exponential 7.0, 7.0);
+      (Sim.Dist.Bimodal { p_slow = 0.5; fast = 0.0; slow = 10.0 }, 5.0);
+      (Sim.Dist.Mixture [ (1.0, Sim.Dist.Const 1.0); (3.0, Sim.Dist.Const 5.0) ], 4.0);
+    ]
+  in
+  List.iter
+    (fun (d, expect) ->
+      Alcotest.(check (float 1e-9)) "analytic mean" expect (Sim.Dist.mean d))
+    cases
+
+let test_dist_sample_ns_positive =
+  QCheck.Test.make ~name:"sample_ns >= 1" ~count:300 QCheck.small_int (fun seed ->
+      let rng = Sim.Rng.create seed in
+      Sim.Dist.sample_ns rng (Sim.Dist.Const 0.0) >= 1
+      && Sim.Dist.sample_ns rng (Sim.Dist.Exponential 5.0) >= 1)
+
+(* --- Units ------------------------------------------------------------------ *)
+
+let test_units () =
+  check_int "us" 3_000 (Sim.Units.us 3);
+  check_int "ms" 2_000_000 (Sim.Units.ms 2);
+  check_int "sec" 1_000_000_000 (Sim.Units.sec 1);
+  check_int "us_f rounds" 1_500 (Sim.Units.us_f 1.5);
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Sim.Units.to_ms 1_500_000)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        test_eventq_many; test_rng_int_bounds; test_rng_float_bounds;
+        test_dist_sample_ns_positive;
+      ]
+  in
+  Alcotest.run "sim"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "timestamp order" `Quick test_eventq_order;
+          Alcotest.test_case "fifo on ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_eventq_cancel;
+          Alcotest.test_case "peek skips cancelled" `Quick
+            test_eventq_peek_skips_cancelled;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "post in past" `Quick test_engine_post_in_past;
+          Alcotest.test_case "cascading events" `Quick test_engine_cascading;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "bimodal fraction" `Quick test_dist_bimodal;
+          Alcotest.test_case "analytic means" `Quick test_dist_means;
+        ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+      ("properties", qsuite);
+    ]

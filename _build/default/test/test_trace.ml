@@ -1,0 +1,157 @@
+(* Tests for the scheduling trace ring and its kernel wiring. *)
+
+module Task = Kernel.Task
+module Trace = Kernel.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ms = Sim.Units.ms
+let us = Sim.Units.us
+
+let machine ncores =
+  {
+    Hw.Machines.name = "trace-test";
+    topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:ncores ~smt:1;
+    costs = Hw.Costs.skylake;
+  }
+
+let test_ring_basics () =
+  let tr = Trace.create ~capacity:4 () in
+  check_int "empty" 0 (Trace.length tr);
+  for i = 1 to 3 do
+    Trace.emit tr ~time:i (Trace.Idle { cpu = i })
+  done;
+  check_int "three records" 3 (Trace.length tr);
+  (match Trace.records tr with
+  | { Trace.time = 1; _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest first");
+  (* Overflow keeps the most recent. *)
+  for i = 4 to 10 do
+    Trace.emit tr ~time:i (Trace.Idle { cpu = i })
+  done;
+  check_int "bounded" 4 (Trace.length tr);
+  check_int "total counts everything" 10 (Trace.total tr);
+  (match Trace.records tr with
+  | { Trace.time = 7; _ } :: _ -> ()
+  | r :: _ -> Alcotest.failf "expected oldest=7, got %d" r.Trace.time
+  | [] -> Alcotest.fail "empty after overflow");
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.length tr)
+
+let test_kernel_emits_lifecycle () =
+  let k = Kernel.create (machine 2) in
+  let tr = Trace.create () in
+  Kernel.set_tracer k (Some tr);
+  let task =
+    Kernel.create_task k ~name:"traced" (fun () ->
+        Task.Run
+          {
+            ns = us 100;
+            after =
+              (fun () ->
+                Task.Block
+                  {
+                    after =
+                      (fun () -> Task.Run { ns = us 50; after = (fun () -> Task.Exit) });
+                  });
+          })
+  in
+  Kernel.start k task;
+  Kernel.run_until k (ms 1);
+  Kernel.wake k task;
+  Kernel.run_until k (ms 2);
+  let has pred = Trace.filter tr pred <> [] in
+  check_bool "woken" true
+    (has (function Trace.Woken { tid; _ } -> tid = task.Task.tid | _ -> false));
+  check_bool "dispatched" true
+    (has (function
+      | Trace.Dispatch { tid; name; _ } -> tid = task.Task.tid && name = "traced"
+      | _ -> false));
+  check_bool "blocked" true
+    (has (function Trace.Blocked { tid; _ } -> tid = task.Task.tid | _ -> false));
+  check_bool "exited" true
+    (has (function Trace.Exited { tid; _ } -> tid = task.Task.tid | _ -> false));
+  check_bool "idle transitions" true
+    (has (function Trace.Idle _ -> true | _ -> false))
+
+let test_kernel_emits_preemption () =
+  let k = Kernel.create (machine 1) in
+  let tr = Trace.create () in
+  Kernel.set_tracer k (Some tr);
+  let hog = Kernel.create_task k ~name:"hog" (Task.compute_forever ~slice:(us 500)) in
+  Kernel.start k hog;
+  Kernel.run_until k (ms 1);
+  let rt =
+    Kernel.create_task k ~policy:Task.Rt ~name:"rt"
+      (Task.compute_total ~slice:(us 50) ~total:(us 100) (fun () -> Task.Exit))
+  in
+  Kernel.start k rt;
+  Kernel.run_until k (ms 2);
+  check_bool "hog preemption traced" true
+    (Trace.filter tr (function
+       | Trace.Preempted { tid; _ } -> tid = hog.Task.tid
+       | _ -> false)
+    <> [])
+
+let test_trace_event_order () =
+  (* For a single task, Woken must precede Dispatch. *)
+  let k = Kernel.create (machine 1) in
+  let tr = Trace.create () in
+  Kernel.set_tracer k (Some tr);
+  let task =
+    Kernel.create_task k ~name:"x"
+      (Task.compute_total ~slice:(us 100) ~total:(us 100) (fun () -> Task.Exit))
+  in
+  Kernel.start k task;
+  Kernel.run_until k (ms 1);
+  let times = List.map (fun r -> r.Trace.time) (Trace.records tr) in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  check_bool "timestamps nondecreasing" true (nondecreasing times);
+  let idx pred =
+    let rec go i = function
+      | [] -> -1
+      | r :: rest -> if pred r.Trace.event then i else go (i + 1) rest
+    in
+    go 0 (Trace.records tr)
+  in
+  let woken = idx (function Trace.Woken _ -> true | _ -> false) in
+  let dispatched = idx (function Trace.Dispatch _ -> true | _ -> false) in
+  check_bool "woken before dispatch" true (woken >= 0 && dispatched > woken)
+
+let test_tracer_detach () =
+  let k = Kernel.create (machine 1) in
+  let tr = Trace.create () in
+  Kernel.set_tracer k (Some tr);
+  let t1 =
+    Kernel.create_task k ~name:"a"
+      (Task.compute_total ~slice:(us 50) ~total:(us 50) (fun () -> Task.Exit))
+  in
+  Kernel.start k t1;
+  Kernel.run_until k (ms 1);
+  let n = Trace.total tr in
+  check_bool "events recorded" true (n > 0);
+  Kernel.set_tracer k None;
+  let t2 =
+    Kernel.create_task k ~name:"b"
+      (Task.compute_total ~slice:(us 50) ~total:(us 50) (fun () -> Task.Exit))
+  in
+  Kernel.start k t2;
+  Kernel.run_until k (ms 2);
+  check_int "no events after detach" n (Trace.total tr)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [ Alcotest.test_case "basics and overflow" `Quick test_ring_basics ] );
+      ( "kernel-wiring",
+        [
+          Alcotest.test_case "lifecycle events" `Quick test_kernel_emits_lifecycle;
+          Alcotest.test_case "preemption" `Quick test_kernel_emits_preemption;
+          Alcotest.test_case "ordering" `Quick test_trace_event_order;
+          Alcotest.test_case "detach" `Quick test_tracer_detach;
+        ] );
+    ]
