@@ -22,10 +22,10 @@ type tstate = {
   mutable queue : Squeue.t;
   mutable latched_on : int option;
   mutable created_sent : bool;
-  enclave_id : int;
+  enclave : enclave;  (* direct pointer: no per-message enclave lookup *)
 }
 
-type enclave = {
+and enclave = {
   eid : int;
   sys : t;
   cpus : Cpumask.t;
@@ -40,6 +40,8 @@ type enclave = {
   mutable on_destroy : (destroy_reason -> unit) list;
   mutable bpf : (Bpf.t * (int -> int)) option;
   mutable msg_drops : int;
+  mutable managed_cache : Task.t list option;
+      (* sorted [managed_threads] view, invalidated on manage/unmanage *)
 }
 
 and t = {
@@ -137,10 +139,7 @@ let unlatch t cpu =
 let enclave_for t cpu =
   match t.owner.(cpu) with Some e when e.alive -> Some e | Some _ | None -> None
 
-let enclave_of_ts t ts =
-  match List.find_opt (fun e -> e.eid = ts.enclave_id) t.enclaves with
-  | Some e when e.alive -> Some e
-  | Some _ | None -> None
+let enclave_of_ts _t ts = if ts.enclave.alive then Some ts.enclave else None
 
 let class_enqueue t ~cpu ~is_new (task : Task.t) =
   ignore cpu;
@@ -254,7 +253,8 @@ let class_on_dead t ~cpu (task : Task.t) =
     (match enclave_of_ts t ts with
     | None -> ()
     | Some e -> post_thread_msg t e ts Msg.THREAD_DEAD ~cpu);
-    Hashtbl.remove t.tstates task.Task.tid
+    Hashtbl.remove t.tstates task.Task.tid;
+    ts.enclave.managed_cache <- None
 
 let class_on_affinity t (task : Task.t) =
   match tstate_of t task with
@@ -284,6 +284,7 @@ let ghost_cls t : Kernel.Class_intf.cls =
   {
     name = "ghost";
     policy = Task.Ghost;
+    tracks_queued = false;
     enqueue = (fun ~cpu ~is_new task -> class_enqueue t ~cpu ~is_new task);
     dequeue = (fun task -> class_dequeue t task);
     pick = (fun ~cpu ~filter -> class_pick t ~cpu ~filter);
@@ -336,10 +337,17 @@ let associate_queue e (task : Task.t) q =
     end
 
 let managed_threads e =
-  Hashtbl.fold
-    (fun _ ts acc -> if ts.enclave_id = e.eid then ts.task :: acc else acc)
-    e.sys.tstates []
-  |> List.sort (fun (a : Task.t) b -> compare a.tid b.tid)
+  match e.managed_cache with
+  | Some threads -> threads
+  | None ->
+    let threads =
+      Hashtbl.fold
+        (fun _ ts acc -> if ts.enclave == e then ts.task :: acc else acc)
+        e.sys.tstates []
+      |> List.sort (fun (a : Task.t) b -> compare a.tid b.tid)
+    in
+    e.managed_cache <- Some threads;
+    threads
 
 let manage e (task : Task.t) =
   if not e.alive then invalid_arg "manage: enclave destroyed";
@@ -352,10 +360,11 @@ let manage e (task : Task.t) =
       queue = e.default_q;
       latched_on = None;
       created_sent = false;
-      enclave_id = e.eid;
+      enclave = e;
     }
   in
   Hashtbl.add e.sys.tstates task.Task.tid ts;
+  e.managed_cache <- None;
   (match task.Task.state with
   | Task.Blocked ->
     (* Runnable/running threads get THREAD_CREATED via the class enqueue;
@@ -375,6 +384,7 @@ let unmanage t (task : Task.t) =
       ts.latched_on <- None
     | None -> ());
     Hashtbl.remove t.tstates task.Task.tid;
+    ts.enclave.managed_cache <- None;
     if task.Task.state <> Task.Dead then Kernel.set_policy t.kernel task Task.Cfs
 
 let register_agent e task sw = e.agents <- (task, sw) :: e.agents
@@ -432,7 +442,7 @@ let watchdog_check t e timeout =
   let victim =
     Hashtbl.fold
       (fun _ ts acc ->
-        if acc = None && ts.enclave_id = e.eid && starving ts then Some ts.task
+        if acc = None && ts.enclave == e && starving ts then Some ts.task
         else acc)
       t.tstates None
   in
@@ -471,6 +481,7 @@ let create_enclave t ?watchdog_timeout ?(deliver_ticks = false) ~cpus () =
       on_destroy = [];
       bpf = None;
       msg_drops = 0;
+      managed_cache = None;
     }
   in
   e.queues <- [ e.default_q ];
@@ -517,7 +528,7 @@ let validate t e ~agent_sw (txn : Txn.t) =
     match Hashtbl.find_opt t.tstates txn.tid with
     | None -> Some Txn.Enoent
     | Some ts ->
-      if ts.enclave_id <> e.eid then Some Txn.Enoent
+      if ts.enclave != e then Some Txn.Enoent
       else if ts.task.Task.state = Task.Dead then Some Txn.Enoent
       else begin
         let stale_agent =

@@ -9,7 +9,12 @@ end
 
 module Tree = Set.Make (TaskOrd)
 
-type rq = { mutable tree : Tree.t; mutable min_vruntime : float; mutable weight : int }
+type rq = {
+  mutable tree : Tree.t;
+  mutable min_vruntime : float;
+  mutable weight : int;
+  mutable nr : int;  (* cached Tree.cardinal, kept exact by insert/remove *)
+}
 
 type t = { env : Class_intf.env; rqs : rq array }
 
@@ -62,15 +67,22 @@ let insert t cpu (task : Task.t) =
   let rq = t.rqs.(cpu) in
   task.cpu <- cpu;
   task.on_rq <- true;
-  rq.tree <- Tree.add task rq.tree;
-  rq.weight <- rq.weight + task_weight task
+  let tree = Tree.add task rq.tree in
+  if tree != rq.tree then begin
+    rq.tree <- tree;
+    rq.weight <- rq.weight + task_weight task;
+    rq.nr <- rq.nr + 1;
+    t.env.Class_intf.note_queued ~cpu 1
+  end
 
 let remove t (task : Task.t) =
   if task.on_rq && task.cpu >= 0 && task.cpu < t.env.Class_intf.ncpus then begin
     let rq = rq_of t task in
     if Tree.mem task rq.tree then begin
       rq.tree <- Tree.remove task rq.tree;
-      rq.weight <- rq.weight - task_weight task
+      rq.weight <- rq.weight - task_weight task;
+      rq.nr <- rq.nr - 1;
+      t.env.Class_intf.note_queued ~cpu:task.cpu (-1)
     end
   end;
   task.on_rq <- false
@@ -105,12 +117,12 @@ let update t ~cpu (task : Task.t) ~ran =
   refresh_min t cpu
 
 let timeslice t cpu =
-  let nr = Tree.cardinal t.rqs.(cpu).tree + 1 in
+  let nr = t.rqs.(cpu).nr + 1 in
   max (sched_latency / nr) min_granularity
 
 let tick t ~cpu (task : Task.t) ~since_dispatch =
   ignore task;
-  if Tree.cardinal t.rqs.(cpu).tree > 0 && since_dispatch >= timeslice t cpu then
+  if t.rqs.(cpu).nr > 0 && since_dispatch >= timeslice t cpu then
     t.env.resched cpu
 
 let wakeup_preempt (curr : Task.t) (task : Task.t) =
@@ -209,7 +221,7 @@ let steal t ~cpu ~filter =
     if c = cpu then None
     else begin
       let rq = t.rqs.(c) in
-      if Tree.cardinal rq.tree < 1 then None
+      if rq.nr < 1 then None
       else Seq.find allowed (Tree.to_rev_seq rq.tree)
     end
   in
@@ -233,7 +245,7 @@ let balance t =
   let busiest = ref (-1) and most = ref 0 in
   let idlest = ref (-1) and least = ref max_int in
   for c = 0 to n - 1 do
-    let nr = Tree.cardinal t.rqs.(c).tree in
+    let nr = t.rqs.(c).nr in
     let running = match t.env.curr c with Some _ -> 1 | None -> 0 in
     (* Only CPUs with something queued can donate. *)
     if nr >= 1 && nr + running > !most then begin
@@ -306,7 +318,7 @@ let create env =
       env;
       rqs =
         Array.init env.Class_intf.ncpus (fun _ ->
-            { tree = Tree.empty; min_vruntime = 0.0; weight = 0 });
+            { tree = Tree.empty; min_vruntime = 0.0; weight = 0; nr = 0 });
     }
   in
   let rec tick_balance () =
@@ -317,12 +329,13 @@ let create env =
   ignore (Sim.Engine.post_in env.engine ~delay:balance_period tick_balance);
   t
 
-let nr_queued t = Array.fold_left (fun acc rq -> acc + Tree.cardinal rq.tree) 0 t.rqs
+let nr_queued t = Array.fold_left (fun acc rq -> acc + rq.nr) 0 t.rqs
 
 let cls t : Class_intf.cls =
   {
     name = "cfs";
     policy = Task.Cfs;
+    tracks_queued = true;
     enqueue = (fun ~cpu ~is_new task -> enqueue t ~cpu ~is_new task);
     dequeue = (fun task -> remove t task);
     pick = (fun ~cpu ~filter -> pick t ~cpu ~filter);
@@ -332,7 +345,7 @@ let cls t : Class_intf.cls =
     tick = (fun ~cpu task ~since_dispatch -> tick t ~cpu task ~since_dispatch);
     select_cpu = (fun task -> select_cpu t task);
     wakeup_preempt = (fun ~curr task -> wakeup_preempt curr task);
-    nr_runnable = (fun ~cpu -> Tree.cardinal t.rqs.(cpu).tree);
+    nr_runnable = (fun ~cpu -> t.rqs.(cpu).nr);
     attach =
       (fun ~cpu task ->
         (* Join at the local min_vruntime so the newcomer neither monopolises

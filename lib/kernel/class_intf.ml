@@ -15,11 +15,21 @@ type env = {
   curr : int -> Task.t option;  (** Task currently on a CPU. *)
   cpu_idle : int -> bool;  (** No current task and nothing runnable there. *)
   resched : int -> unit;  (** Request a reschedule of a CPU. *)
+  note_queued : cpu:int -> int -> unit;
+      (** Report a runnable-count change ([+1]/[-1]) on a CPU's runqueue.
+          Classes with [tracks_queued = true] call this at every enqueue and
+          dequeue so the kernel can answer {!cpu_idle} from a cached per-CPU
+          counter instead of scanning every class. *)
 }
 
 type cls = {
   name : string;
   policy : Task.policy;
+  tracks_queued : bool;
+      (** Whether this class reports every runnable-count change through
+          [env.note_queued].  Classes that cannot (ghOSt: latched-thread
+          runnability flips without a queue operation) answer
+          [nr_runnable] in O(1) and are scanned individually. *)
   enqueue : cpu:int -> is_new:bool -> Task.t -> unit;
       (** Task became runnable; [cpu] was chosen by [select_cpu].  [is_new]
           distinguishes first start from wakeup (ghOSt: THREAD_CREATED vs

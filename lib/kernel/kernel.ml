@@ -35,9 +35,17 @@ type t = {
   core_sched : bool;
   cpus : cpu_state array;
   mutable classes : Class_intf.cls list;  (* priority order *)
+  by_policy : Class_intf.cls option array;  (* indexed by Task.policy_rank *)
+  mutable scan_classes : Class_intf.cls list;
+      (* classes with [tracks_queued = false]: their runnable counts are not
+         folded into [queued] and must be asked individually *)
+  queued : int array;
+      (* per-CPU runnable count aggregated over tracking classes, maintained
+         through [env.note_queued] so idle checks are O(1) *)
   tasks : (int, Task.t) Hashtbl.t;
   mutable next_tid : int;
-  mutable tick_listeners : (int -> unit) list;
+  mutable tick_listeners : (int -> unit) array;
+  mutable n_tick_listeners : int;
   mutable tracer : Trace.t option;
   stats : stats;
 }
@@ -54,15 +62,20 @@ let stats t = t.stats
 let curr t cpu = t.cpus.(cpu).curr
 
 let find_class t policy =
-  match List.find_opt (fun (c : Class_intf.cls) -> c.policy = policy) t.classes with
+  match t.by_policy.(Task.policy_rank policy) with
   | Some c -> c
   | None -> invalid_arg "Kernel.find_class: class not installed"
 
 let class_of t (task : Task.t) = find_class t task.policy
 
-let cpu_idle t cpu =
-  t.cpus.(cpu).curr = None
-  && List.for_all (fun (c : Class_intf.cls) -> c.nr_runnable ~cpu = 0) t.classes
+(* Anything queued on [cpu]?  The aggregate counter covers every tracking
+   class; only non-tracking classes (ghOSt) are asked individually, and each
+   answers in O(1). *)
+let any_queued t cpu =
+  t.queued.(cpu) > 0
+  || List.exists (fun (c : Class_intf.cls) -> c.nr_runnable ~cpu > 0) t.scan_classes
+
+let cpu_idle t cpu = t.cpus.(cpu).curr = None && not (any_queued t cpu)
 
 let idle_cpus t =
   List.filter (cpu_idle t) (Hw.Topology.cpus (topo t))
@@ -72,12 +85,22 @@ let idle_total t cpu =
   cs.idle_total + (if cs.curr = None then now t - cs.idle_since else 0)
 
 let lower_class_waiting t cpu =
-  List.exists
-    (fun (c : Class_intf.cls) ->
-      (c.policy = Task.Cfs || c.policy = Task.Microquanta) && c.nr_runnable ~cpu > 0)
-    t.classes
+  let waiting policy =
+    match t.by_policy.(Task.policy_rank policy) with
+    | Some (c : Class_intf.cls) -> c.nr_runnable ~cpu > 0
+    | None -> false
+  in
+  waiting Task.Cfs || waiting Task.Microquanta
 
-let on_tick t fn = t.tick_listeners <- t.tick_listeners @ [ fn ]
+let on_tick t fn =
+  let n = t.n_tick_listeners in
+  if n = Array.length t.tick_listeners then begin
+    let grown = Array.make (max 8 (2 * n)) (fun (_ : int) -> ()) in
+    Array.blit t.tick_listeners 0 grown 0 n;
+    t.tick_listeners <- grown
+  end;
+  t.tick_listeners.(n) <- fn;
+  t.n_tick_listeners <- n + 1
 
 let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
@@ -218,10 +241,7 @@ and go_idle t cs ~prev =
     (* Our curr changed to idle: the sibling's filtered-out tasks may now be
        eligible. *)
     match Hw.Topology.sibling_of (topo t) cs.cid with
-    | Some s
-      when List.exists (fun (c : Class_intf.cls) -> c.nr_runnable ~cpu:s > 0) t.classes
-      ->
-      resched t s
+    | Some s when any_queued t s -> resched t s
     | Some _ | None -> ()
   end
 
@@ -271,10 +291,7 @@ and core_sched_kick t cs (next : Task.t) =
       match t.cpus.(s).curr with
       | Some st when not (cookie_compatible st next) -> resched t s
       | Some _ -> ()
-      | None ->
-        if
-          List.exists (fun (c : Class_intf.cls) -> c.nr_runnable ~cpu:s > 0) t.classes
-        then resched t s)
+      | None -> if any_queued t s then resched t s)
     | None -> ()
   end
 
@@ -457,12 +474,10 @@ let start_ticks t =
             (* An idle CPU with queued work retries its pick: under core
                scheduling a cookie-filtered task becomes eligible once the
                fairness valve opens or the sibling's task changes. *)
-            if
-              List.exists
-                (fun (c : Class_intf.cls) -> c.nr_runnable ~cpu:cs.cid > 0)
-                t.classes
-            then resched t cs.cid);
-          List.iter (fun fn -> fn cs.cid) t.tick_listeners
+            if any_queued t cs.cid then resched t cs.cid);
+          for i = 0 to t.n_tick_listeners - 1 do
+            t.tick_listeners.(i) cs.cid
+          done
         end;
         ignore (Sim.Engine.post_in t.engine ~delay:period tick)
       in
@@ -483,11 +498,15 @@ let class_env_of t : Class_intf.env =
     curr = (fun cpu -> t.cpus.(cpu).curr);
     cpu_idle = (fun cpu -> cpu_idle t cpu);
     resched = (fun cpu -> resched t cpu);
+    note_queued = (fun ~cpu d -> t.queued.(cpu) <- t.queued.(cpu) + d);
   }
 
 let class_env = class_env_of
 
-let install_class t cls = t.classes <- t.classes @ [ cls ]
+let install_class t (cls : Class_intf.cls) =
+  t.classes <- t.classes @ [ cls ];
+  t.by_policy.(Task.policy_rank cls.policy) <- Some cls;
+  if not cls.tracks_queued then t.scan_classes <- t.scan_classes @ [ cls ]
 
 let create ?(core_sched = false) ?(seed = 42) machine =
   let ncpus = Hw.Topology.num_cpus machine.Hw.Machines.topo in
@@ -514,9 +533,13 @@ let create ?(core_sched = false) ?(seed = 42) machine =
               idle_total = 0;
             });
       classes = [];
+      by_policy = Array.make 4 None;  (* one slot per Task.policy_rank *)
+      scan_classes = [];
+      queued = Array.make ncpus 0;
       tasks = Hashtbl.create 256;
       next_tid = 1;
-      tick_listeners = [];
+      tick_listeners = [||];
+      n_tick_listeners = 0;
       tracer = None;
       stats = { ctx_switches = 0; ipis = 0; wakeups = 0; reschedules = 0 };
     }
@@ -525,7 +548,7 @@ let create ?(core_sched = false) ?(seed = 42) machine =
   let rt = Rt.create env in
   let mq = Microquanta.create env in
   let cfs = Cfs.create env in
-  t.classes <- [ Rt.cls rt; Microquanta.cls mq; Cfs.cls cfs ];
+  List.iter (install_class t) [ Rt.cls rt; Microquanta.cls mq; Cfs.cls cfs ];
   start_ticks t;
   t
 

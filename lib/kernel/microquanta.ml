@@ -1,19 +1,34 @@
 type t = {
   env : Class_intf.env;
   rqs : Task.t list array;
+  nr : int array;
   mutable throttled : Task.t list;
 }
 
-let create env = { env; rqs = Array.make env.Class_intf.ncpus []; throttled = [] }
+let create env =
+  {
+    env;
+    rqs = Array.make env.Class_intf.ncpus [];
+    nr = Array.make env.Class_intf.ncpus 0;
+    throttled = [];
+  }
 
 let enqueue_rq t ~cpu (task : Task.t) =
   task.cpu <- cpu;
   task.on_rq <- true;
-  t.rqs.(cpu) <- t.rqs.(cpu) @ [ task ]
+  t.rqs.(cpu) <- t.rqs.(cpu) @ [ task ];
+  t.nr.(cpu) <- t.nr.(cpu) + 1;
+  t.env.Class_intf.note_queued ~cpu 1
 
 let dequeue t (task : Task.t) =
-  if task.on_rq && task.cpu >= 0 && task.cpu < t.env.Class_intf.ncpus then
-    t.rqs.(task.cpu) <- List.filter (fun x -> x != task) t.rqs.(task.cpu);
+  if task.on_rq && task.cpu >= 0 && task.cpu < t.env.Class_intf.ncpus then begin
+    let cpu = task.cpu in
+    if List.memq task t.rqs.(cpu) then begin
+      t.rqs.(cpu) <- List.filter (fun x -> x != task) t.rqs.(cpu);
+      t.nr.(cpu) <- t.nr.(cpu) - 1;
+      t.env.Class_intf.note_queued ~cpu (-1)
+    end
+  end;
   task.on_rq <- false
 
 (* Refresh the budget at the next period boundary.  If the task is still
@@ -117,6 +132,7 @@ let cls t : Class_intf.cls =
   {
     name = "microquanta";
     policy = Task.Microquanta;
+    tracks_queued = true;
     enqueue = (fun ~cpu ~is_new task -> enqueue t ~cpu ~is_new task);
     dequeue = (fun task -> dequeue t task);
     pick = (fun ~cpu ~filter -> pick t ~cpu ~filter);
@@ -126,7 +142,7 @@ let cls t : Class_intf.cls =
     tick = (fun ~cpu task ~since_dispatch -> tick t ~cpu task ~since_dispatch);
     select_cpu = (fun task -> select_cpu t task);
     wakeup_preempt = (fun ~curr:_ _ -> false);
-    nr_runnable = (fun ~cpu -> List.length t.rqs.(cpu));
+    nr_runnable = (fun ~cpu -> t.nr.(cpu));
     attach =
       (fun ~cpu:_ task ->
         task.Task.mq_budget <- task.Task.mq_quanta;

@@ -1,9 +1,10 @@
 type handle = Eventq.handle
 
-type t = { mutable clock : int; events : Eventq.t }
+type t = { mutable clock : int; events : Eventq.t; mutable fired : int }
 
-let create () = { clock = 0; events = Eventq.create () }
+let create () = { clock = 0; events = Eventq.create (); fired = 0 }
 let now e = e.clock
+let events_fired e = e.fired
 
 let post e ~time fn =
   if time < e.clock then
@@ -23,6 +24,7 @@ let step e =
   | None -> false
   | Some (time, fn) ->
     e.clock <- time;
+    e.fired <- e.fired + 1;
     fn ();
     true
 

@@ -31,6 +31,10 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of live pending events. *)
 
+val events_fired : t -> int
+(** Total events fired since creation (the numerator of the engine's
+    events/sec throughput metric). *)
+
 val run_until : t -> int -> unit
 (** [run_until e t] fires all events with timestamp [<= t], then sets the
     clock to [t]. *)

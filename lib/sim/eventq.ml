@@ -1,106 +1,74 @@
-type cell = {
-  time : int;
-  seq : int;
-  fn : unit -> unit;
-  mutable cancelled : bool;
-}
+(* Cancellable priority queue of timed events: a two-tier scheduler clock.
 
-type handle = cell
+   The dense short-horizon traffic (per-CPU ticks, quantum expiry, message
+   and IPI delivery — almost everything a simulation posts lands within a
+   few tick periods of now) goes to a hierarchical timer {!Wheel} with O(1)
+   amortized push/cancel/pop.  Far-future events — and, for standalone
+   users, events posted before the wheel's base — overflow into the seed
+   binary {!Heapq}.  A cell never migrates between tiers; its [in_heap]
+   flag routes cancellation bookkeeping.
+
+   Pop order is exact (time, seq): both tiers order cells identically, and
+   the pop path compares their heads, so the merge is bit-identical to a
+   single global heap.  Fired cells are marked cancelled (as the seed
+   implementation did) so a handle kept after its event ran is inert. *)
+
+type handle = Heapq.cell
 
 type t = {
-  mutable heap : cell array;
-  mutable size : int;
+  wheel : Wheel.t;
+  heap : Heapq.t;
   mutable next_seq : int;
-  mutable live : int;
 }
 
-let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true }
-let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; live = 0 }
-let is_empty q = q.live = 0
-let live_count q = q.live
+let create () = { wheel = Wheel.create (); heap = Heapq.create (); next_seq = 0 }
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow q =
-  let heap = Array.make (2 * Array.length q.heap) dummy in
-  Array.blit q.heap 0 heap 0 q.size;
-  q.heap <- heap
-
-let rec sift_up q i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if earlier q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
-      sift_up q parent
-    end
-  end
-
-let rec sift_down q i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < q.size && earlier q.heap.(l) q.heap.(i) then l else i in
-  let smallest =
-    if r < q.size && earlier q.heap.(r) q.heap.(smallest) then r else smallest
-  in
-  if smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(smallest);
-    q.heap.(smallest) <- tmp;
-    sift_down q smallest
-  end
+let live_count q = Wheel.live q.wheel + Heapq.live_count q.heap
+let is_empty q = live_count q = 0
 
 let push q ~time fn =
-  let cell = { time; seq = q.next_seq; fn; cancelled = false } in
+  let cell =
+    { Heapq.time; seq = q.next_seq; fn; cancelled = false; in_heap = false }
+  in
   q.next_seq <- q.next_seq + 1;
-  if q.size = Array.length q.heap then grow q;
-  q.heap.(q.size) <- cell;
-  q.size <- q.size + 1;
-  q.live <- q.live + 1;
-  sift_up q (q.size - 1);
+  if Wheel.accepts q.wheel ~time then Wheel.add q.wheel cell
+  else begin
+    cell.in_heap <- true;
+    Heapq.add q.heap cell
+  end;
   cell
 
-(* Cancellation is lazy: the cell stays in the heap (and is skipped on pop),
-   but [live] is adjusted immediately so emptiness checks stay exact.  A
-   handle owned by the caller after its event fired is already marked
-   cancelled by [pop], so double-accounting cannot occur. *)
-let cancel q cell =
-  if not cell.cancelled then begin
-    cell.cancelled <- true;
-    q.live <- q.live - 1
+let cancel q (cell : handle) =
+  if not cell.Heapq.cancelled then begin
+    cell.Heapq.cancelled <- true;
+    if cell.Heapq.in_heap then Heapq.note_cancel q.heap
+    else Wheel.note_cancel q.wheel
   end
 
-let is_cancelled cell = cell.cancelled
+let is_cancelled (cell : handle) = cell.Heapq.cancelled
 
-let pop_cell q =
-  if q.size = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    q.heap.(0) <- q.heap.(q.size);
-    q.heap.(q.size) <- dummy;
-    if q.size > 0 then sift_down q 0;
-    Some top
-  end
+let fire (cell : Heapq.cell) =
+  cell.Heapq.cancelled <- true;
+  Some (cell.Heapq.time, cell.Heapq.fn)
 
-let rec pop q =
-  match pop_cell q with
-  | None -> None
-  | Some cell ->
-    if cell.cancelled then pop q
-    else begin
-      cell.cancelled <- true;
-      q.live <- q.live - 1;
-      Some (cell.time, cell.fn)
-    end
+let take_wheel q w =
+  Wheel.take q.wheel w;
+  fire w
 
-let rec peek_time q =
-  if q.size = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    if top.cancelled then begin
-      ignore (pop_cell q);
-      peek_time q
-    end
-    else Some top.time
-  end
+let pop q =
+  match (Wheel.peek q.wheel, Heapq.peek_live q.heap) with
+  | None, None -> None
+  | Some w, None -> take_wheel q w
+  | Some w, Some h when Heapq.earlier w h -> take_wheel q w
+  | (Some _ | None), Some _ ->
+    let cell = Option.get (Heapq.pop_live q.heap) in
+    (* Keep the wheel's base near the clock so short-delay pushes file at
+       level 0; safe because this cell was the global minimum. *)
+    Wheel.advance q.wheel cell.Heapq.time;
+    fire cell
+
+let peek_time q =
+  match (Wheel.peek q.wheel, Heapq.peek_live q.heap) with
+  | None, None -> None
+  | Some c, None | None, Some c -> Some c.Heapq.time
+  | Some w, Some h -> Some (if Heapq.earlier w h then w.Heapq.time else h.Heapq.time)

@@ -1,14 +1,17 @@
 (** Cancellable priority queue of timed events.
 
-    A binary min-heap keyed by [(time, sequence)].  The sequence number makes
-    ordering of same-time events deterministic (insertion order), which the
-    whole simulator relies on for reproducibility.  Cancellation is lazy: a
-    cancelled event stays in the heap and is discarded when popped. *)
+    A two-tier scheduler clock: a hierarchical timer wheel ({!Wheel}) for the
+    dense short-horizon traffic, with the seed binary heap ({!Heapq}) as an
+    overflow tier for far-future (or past-posted) events.  Pop order is the
+    exact [(time, sequence)] order of a single global heap — the sequence
+    number makes same-time events fire in insertion order, which the whole
+    simulator relies on for reproducibility.  Cancellation is lazy with
+    automatic compaction once cancelled cells outnumber live ones. *)
 
 type t
 (** The event queue. *)
 
-type handle
+type handle = Heapq.cell
 (** A handle on a scheduled event, usable to cancel it. *)
 
 val create : unit -> t

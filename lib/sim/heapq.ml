@@ -1,0 +1,167 @@
+(* Binary min-heap of timed event cells, keyed by (time, seq).
+
+   This was the simulator's only event queue before the timer wheel landed
+   (see {!Wheel} and {!Eventq}); it survives in two roles:
+
+   - the overflow tier of {!Eventq}, holding far-future events that fall
+     outside the wheel's horizon (and, for the standalone model tests,
+     events posted in the past);
+   - a standalone heap-only queue, kept API-compatible with {!Eventq} so the
+     [bench/main.exe engine] target can measure the wheel against the exact
+     seed data structure.
+
+   Cancellation is lazy, but no longer unbounded: when more than half of the
+   stored cells are cancelled the heap compacts in place (Floyd heapify),
+   so cancel-heavy policies cannot double their memory in garbage. *)
+
+type cell = {
+  time : int;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+  mutable in_heap : bool;  (* which Eventq tier owns the cell (for cancel) *)
+}
+
+type t = {
+  mutable heap : cell array;
+  mutable size : int;  (* stored cells, including lazily-cancelled ones *)
+  mutable dead : int;  (* cancelled cells still stored *)
+  mutable next_seq : int;  (* standalone pushes only; Eventq brings its own *)
+}
+
+let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true; in_heap = true }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let create () = { heap = Array.make 64 dummy; size = 0; dead = 0; next_seq = 0 }
+
+let live_count q = q.size - q.dead
+let is_empty q = live_count q = 0
+let stored q = q.size
+
+let grow q =
+  let heap = Array.make (2 * Array.length q.heap) dummy in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < q.size && earlier q.heap.(l) q.heap.(i) then l else i in
+  let smallest =
+    if r < q.size && earlier q.heap.(r) q.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let add q cell =
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- cell;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+(* Drop every cancelled cell and rebuild the heap bottom-up (Floyd). *)
+let compact q =
+  let n = q.size in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let c = q.heap.(i) in
+    if not c.cancelled then begin
+      q.heap.(!j) <- c;
+      incr j
+    end
+  done;
+  for i = !j to n - 1 do
+    q.heap.(i) <- dummy
+  done;
+  q.size <- !j;
+  q.dead <- 0;
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
+(* Called after a stored cell was marked cancelled (the mark itself is done
+   by the owner, which may be {!Eventq}). *)
+let note_cancel q =
+  q.dead <- q.dead + 1;
+  if q.size >= 64 && q.dead > q.size / 2 then compact q
+
+let pop_cell q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- dummy;
+    if q.size > 0 then sift_down q 0;
+    Some top
+  end
+
+(* Earliest live cell, removed.  The caller owns the returned cell (it is no
+   longer stored here) and is responsible for marking it cancelled once
+   fired. *)
+let rec pop_live q =
+  match pop_cell q with
+  | None -> None
+  | Some cell ->
+    if cell.cancelled then begin
+      q.dead <- q.dead - 1;
+      pop_live q
+    end
+    else Some cell
+
+(* Earliest live cell, left in place (cancelled cells at the top are
+   reclaimed on the way). *)
+let rec peek_live q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if top.cancelled then begin
+      ignore (pop_cell q);
+      q.dead <- q.dead - 1;
+      peek_live q
+    end
+    else Some top
+  end
+
+(* --- Standalone queue API (heap-only baseline, mirrors Eventq) ------------- *)
+
+type handle = cell
+
+let push q ~time fn =
+  let cell = { time; seq = q.next_seq; fn; cancelled = false; in_heap = true } in
+  q.next_seq <- q.next_seq + 1;
+  add q cell;
+  cell
+
+let cancel q cell =
+  if not cell.cancelled then begin
+    cell.cancelled <- true;
+    note_cancel q
+  end
+
+let is_cancelled cell = cell.cancelled
+
+let pop q =
+  match pop_live q with
+  | None -> None
+  | Some cell ->
+    cell.cancelled <- true;
+    Some (cell.time, cell.fn)
+
+let peek_time q =
+  match peek_live q with Some cell -> Some cell.time | None -> None

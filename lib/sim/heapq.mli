@@ -1,0 +1,60 @@
+(** Binary min-heap of timed event cells, keyed by [(time, seq)].
+
+    Two roles: the far-future overflow tier of {!Eventq}, and a standalone
+    heap-only event queue (the seed implementation) kept API-compatible with
+    {!Eventq} so benchmarks can compare the two directly.  Cancellation is
+    lazy with automatic compaction once cancelled cells outnumber live
+    ones. *)
+
+type cell = {
+  time : int;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+  mutable in_heap : bool;
+      (** Which {!Eventq} tier stores the cell: [true] = this heap, [false] =
+          the timer wheel.  Fixed at push time (cells never migrate between
+          tiers). *)
+}
+(** A scheduled event.  [(time, seq)] totally orders cells: seq numbers are
+    unique, so ties in time resolve to insertion order. *)
+
+val earlier : cell -> cell -> bool
+(** Strict [(time, seq)] order. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val live_count : t -> int
+val stored : t -> int
+(** Cells held, including lazily-cancelled garbage. *)
+
+(** {1 Cell-level tier API (used by {!Eventq})} *)
+
+val add : t -> cell -> unit
+(** Store a live cell.  The caller assigns [seq]. *)
+
+val note_cancel : t -> unit
+(** Tell the heap one of its stored cells was just marked cancelled; may
+    trigger compaction. *)
+
+val pop_live : t -> cell option
+(** Remove and return the earliest live cell ([None] if none).  The cell is
+    no longer stored; the caller marks it cancelled after firing it. *)
+
+val peek_live : t -> cell option
+(** Earliest live cell without removing it. *)
+
+val compact : t -> unit
+(** Drop all cancelled cells and re-heapify. *)
+
+(** {1 Standalone queue API (heap-only baseline)} *)
+
+type handle = cell
+
+val push : t -> time:int -> (unit -> unit) -> handle
+val cancel : t -> handle -> unit
+val is_cancelled : handle -> bool
+val pop : t -> (int * (unit -> unit)) option
+val peek_time : t -> int option

@@ -1,0 +1,286 @@
+(* Hierarchical timer wheel — the near-horizon tier of {!Eventq}.
+
+   Linux-style layout: [levels] levels of [32] slots each, shifted up by a
+   [granularity] of 2^9 ns.  A slot at level [l] spans [2^9 * 32^l] ns —
+   level 0 resolves 512 ns buckets and covers 16 us, and the whole wheel
+   covers 2^44 ns (~4.8 h of virtual time) from [base].  The coarse bottom
+   granularity means the dominant traffic (rescheds, context switches,
+   ticks: delays up to tens of microseconds) files at level 0 or 1 directly
+   and is popped with at most one move, instead of trickling down the full
+   hierarchy one level at a time.
+
+   An event is filed at the lowest level whose epoch it shares with [base];
+   as [base] advances, higher-level slots are split ("cascaded") into lower
+   levels, each cell moving at most [levels - 1] times, so push/pop are O(1)
+   amortized with no comparisons against unrelated events.
+
+   Exact ordering is preserved: a level-0 slot is sorted by (time, seq) on
+   first drain.  A push into a partially drained slot (always at a time at
+   or after the drain cursor's — the engine never posts into the past)
+   clears [sorted], and the next peek re-sorts the undrained remainder, so
+   pop order stays bit-identical to a global heap.
+
+   Per-level occupancy bitmaps make "find the next non-empty slot" a
+   count-trailing-zeros, so an idle wheel skips empty regions in O(1) rather
+   than stepping slot by slot.
+
+   Cancellation is lazy (cells are dropped when their slot is drained or
+   cascaded); when cancelled cells outnumber live ones the wheel sweeps all
+   occupied slots and reclaims them. *)
+
+let granularity = 9  (* level-0 slots span 2^9 ns *)
+let bits = 5
+let slots_per_level = 1 lsl bits
+let slot_mask = slots_per_level - 1
+let levels = 7
+
+let epoch_shift = granularity + (bits * levels)
+(* the wheel spans [base, base + 2^44) *)
+
+(* Bit position of level [l]'s slot index within a timestamp. *)
+let shift l = granularity + (bits * l)
+
+type slot = {
+  mutable cells : Heapq.cell array;
+  mutable len : int;
+  mutable pos : int;  (* drain cursor; non-zero only in the active slot *)
+  mutable sorted : bool;
+}
+
+type t = {
+  slots : slot array;  (* levels * 32, row-major by level *)
+  occupancy : int array;  (* per-level bitmap of non-empty slots *)
+  mutable base : int;  (* all stored cells have time >= base *)
+  mutable size : int;  (* stored cells, including lazily-cancelled ones *)
+  mutable dead : int;  (* cancelled cells still stored *)
+}
+
+let dummy_cell =
+  { Heapq.time = 0; seq = 0; fn = ignore; cancelled = true; in_heap = false }
+
+let create () =
+  {
+    slots =
+      Array.init (levels * slots_per_level) (fun _ ->
+          { cells = [||]; len = 0; pos = 0; sorted = false });
+    occupancy = Array.make levels 0;
+    base = 0;
+    size = 0;
+    dead = 0;
+  }
+
+let stored t = t.size
+let live t = t.size - t.dead
+
+let accepts t ~time =
+  time >= t.base && time lsr epoch_shift = t.base lsr epoch_shift
+
+(* Lowest level whose epoch contains both [time] and [base]; [accepts]
+   guarantees termination at [levels - 1].  Top-level recursion (and no
+   closures anywhere on the hot path): without flambda a local [rec] or
+   [ref] is a minor-heap allocation per call. *)
+let rec level_from base time l =
+  if time lsr (shift (l + 1)) = base lsr (shift (l + 1)) then l
+  else level_from base time (l + 1)
+
+let level_for t time = level_from t.base time 0
+
+let slot_push slot cell =
+  if slot.len = Array.length slot.cells then begin
+    let cap = max 8 (2 * Array.length slot.cells) in
+    let a = Array.make cap dummy_cell in
+    Array.blit slot.cells 0 a 0 slot.len;
+    slot.cells <- a
+  end;
+  slot.cells.(slot.len) <- cell;
+  slot.len <- slot.len + 1;
+  (* Appending to a slot already sorted for draining: the new cell's time is
+     >= the cursor's but may precede later cells; re-sort the remainder on
+     the next peek. *)
+  if slot.sorted then slot.sorted <- false
+
+let reset_slot slot =
+  (* Keep the capacity, drop the cell references (fired closures must be
+     collectable). *)
+  Array.fill slot.cells 0 slot.len dummy_cell;
+  slot.len <- 0;
+  slot.pos <- 0;
+  slot.sorted <- false
+
+let insert_cell t cell =
+  let l = level_for t cell.Heapq.time in
+  let idx = (cell.Heapq.time lsr shift l) land slot_mask in
+  slot_push t.slots.((l * slots_per_level) + idx) cell;
+  t.occupancy.(l) <- t.occupancy.(l) lor (1 lsl idx)
+
+let add t cell =
+  if not (accepts t ~time:cell.Heapq.time) then
+    invalid_arg "Wheel.add: time outside the wheel horizon";
+  insert_cell t cell;
+  t.size <- t.size + 1
+
+let lsb_index x =
+  let x = x land -x in
+  let i = if x land 0xFFFF0000 <> 0 then 16 else 0 in
+  let i = if x land 0xFF00FF00 <> 0 then i + 8 else i in
+  let i = if x land 0xF0F0F0F0 <> 0 then i + 4 else i in
+  let i = if x land 0xCCCCCCCC <> 0 then i + 2 else i in
+  if x land 0xAAAAAAAA <> 0 then i + 1 else i
+
+let cmp_cell a b =
+  if Heapq.earlier a b then -1 else if Heapq.earlier b a then 1 else 0
+
+let sort_slot slot =
+  let lo = slot.pos and hi = slot.len in
+  if hi - lo > 1 then begin
+    if hi - lo <= 16 then
+      for i = lo + 1 to hi - 1 do
+        let c = slot.cells.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && Heapq.earlier c slot.cells.(!j) do
+          slot.cells.(!j + 1) <- slot.cells.(!j);
+          decr j
+        done;
+        slot.cells.(!j + 1) <- c
+      done
+    else begin
+      let a = Array.sub slot.cells lo (hi - lo) in
+      Array.sort cmp_cell a;
+      Array.blit a 0 slot.cells lo (hi - lo)
+    end
+  end;
+  slot.sorted <- true
+
+(* Advance the drain cursor past cancelled cells; true iff a live cell is
+   left at [slot.pos]. *)
+let rec skip_cancelled t slot =
+  if slot.pos >= slot.len then false
+  else begin
+    let c = slot.cells.(slot.pos) in
+    if c.Heapq.cancelled then begin
+      slot.cells.(slot.pos) <- dummy_cell;
+      slot.pos <- slot.pos + 1;
+      t.size <- t.size - 1;
+      t.dead <- t.dead - 1;
+      skip_cancelled t slot
+    end
+    else true
+  end
+
+let rec find_level t l =
+  if l >= levels then -1 else if t.occupancy.(l) <> 0 then l else find_level t (l + 1)
+
+(* Earliest live cell, left in place.  Advances [base] (cascading
+   higher-level slots down) and reclaims cancelled cells on the way, so the
+   result is always at the level-0 slot [lsb occupancy.(0)], position
+   [pos]. *)
+let rec peek t =
+  if t.size = 0 then None
+  else if t.occupancy.(0) <> 0 then begin
+    let idx = lsb_index t.occupancy.(0) in
+    let slot = t.slots.(idx) in
+    if not slot.sorted then sort_slot slot;
+    if skip_cancelled t slot then Some slot.cells.(slot.pos)
+    else begin
+      reset_slot slot;
+      t.occupancy.(0) <- t.occupancy.(0) land lnot (1 lsl idx);
+      peek t
+    end
+  end
+  else begin
+    match find_level t 1 with
+    | -1 -> None  (* unreachable while size > 0; defensive *)
+    | l ->
+      let idx = lsb_index t.occupancy.(l) in
+      let slot = t.slots.((l * slots_per_level) + idx) in
+      (* Nothing lives before this slot: jump base to its start, then split
+         its cells into lower levels (each lands strictly below [l]). *)
+      let upper = t.base lsr (shift (l + 1)) in
+      t.base <- (upper lsl (shift (l + 1))) lor (idx lsl (shift l));
+      t.occupancy.(l) <- t.occupancy.(l) land lnot (1 lsl idx);
+      for i = 0 to slot.len - 1 do
+        let c = slot.cells.(i) in
+        if c.Heapq.cancelled then begin
+          t.size <- t.size - 1;
+          t.dead <- t.dead - 1
+        end
+        else insert_cell t c
+      done;
+      reset_slot slot;
+      peek t
+  end
+
+(* Remove the cell at the drain cursor; [peek] has just normalised the wheel
+   so that cell is the minimum. *)
+let take_at_cursor t =
+  let idx = lsb_index t.occupancy.(0) in
+  let slot = t.slots.(idx) in
+  let c = slot.cells.(slot.pos) in
+  slot.cells.(slot.pos) <- dummy_cell;
+  slot.pos <- slot.pos + 1;
+  t.size <- t.size - 1;
+  if slot.pos = slot.len then begin
+    reset_slot slot;
+    t.occupancy.(0) <- t.occupancy.(0) land lnot (1 lsl idx)
+  end;
+  if c.Heapq.time > t.base then t.base <- c.Heapq.time
+
+(* Remove the cell a [peek] with no intervening wheel mutation returned;
+   O(1), no re-normalisation.  The caller marks it cancelled once fired. *)
+let take t (cell : Heapq.cell) =
+  let idx = lsb_index t.occupancy.(0) in
+  let slot = t.slots.(idx) in
+  if slot.pos < slot.len && slot.cells.(slot.pos) == cell then take_at_cursor t
+  else invalid_arg "Wheel.take: cell is not the peeked minimum"
+
+(* Remove and return the earliest live cell.  The caller marks it cancelled
+   once fired. *)
+let pop t =
+  match peek t with
+  | None -> None
+  | Some _ as r ->
+    take_at_cursor t;
+    r
+
+(* Move [base] forward to [time] (e.g. after the overflow tier fired an
+   event), so subsequent short-delay pushes file near level 0.  The caller
+   guarantees no stored cell is earlier than [time]; crossing the top-level
+   epoch is only possible while the wheel is empty. *)
+let advance t time =
+  if time > t.base && (t.size = 0 || time lsr epoch_shift = t.base lsr epoch_shift)
+  then t.base <- time
+
+(* Sweep every occupied slot, dropping cancelled cells in place (stable, so
+   sorted slots stay sorted). *)
+let compact t =
+  for l = 0 to levels - 1 do
+    let occ = ref t.occupancy.(l) in
+    while !occ <> 0 do
+      let idx = lsb_index !occ in
+      occ := !occ land lnot (1 lsl idx);
+      let slot = t.slots.((l * slots_per_level) + idx) in
+      let j = ref 0 in
+      for i = slot.pos to slot.len - 1 do
+        let c = slot.cells.(i) in
+        if c.Heapq.cancelled then begin
+          t.size <- t.size - 1;
+          t.dead <- t.dead - 1
+        end
+        else begin
+          slot.cells.(!j) <- c;
+          incr j
+        end
+      done;
+      Array.fill slot.cells !j (slot.len - !j) dummy_cell;
+      slot.len <- !j;
+      slot.pos <- 0;
+      if !j = 0 then begin
+        slot.sorted <- false;
+        t.occupancy.(l) <- t.occupancy.(l) land lnot (1 lsl idx)
+      end
+    done
+  done
+
+let note_cancel t =
+  t.dead <- t.dead + 1;
+  if t.size >= 256 && t.dead > t.size / 2 then compact t

@@ -1,0 +1,52 @@
+(** Hierarchical timer wheel: the near-horizon tier of {!Eventq}.
+
+    Seven levels of 32 slots (a level-[l] slot spans [2^9 * 32^l] ns) cover
+    [2^44] ns (~4.8 h) of virtual time from [base] with O(1) amortized
+    insert/extract and exact [(time, seq)] FIFO ordering — level-0 slots
+    bucket 512 ns and are [(time, seq)]-sorted on drain, so pop order is
+    bit-identical to a global binary heap over the same cells.  Per-level
+    occupancy bitmaps locate the next non-empty slot without scanning.
+    Cells are {!Heapq.cell}s so the two {!Eventq} tiers share handles. *)
+
+type t
+
+val create : unit -> t
+(** An empty wheel with [base = 0]. *)
+
+val accepts : t -> time:int -> bool
+(** Whether an event at [time] fits this wheel's current horizon
+    ([base <= time < (base / 2^44 + 1) * 2^44]).  Events outside belong in
+    the overflow heap. *)
+
+val add : t -> Heapq.cell -> unit
+(** Store a live cell; raises [Invalid_argument] if [accepts] is false. *)
+
+val peek : t -> Heapq.cell option
+(** Earliest live cell, left stored.  May advance [base], cascade slots and
+    reclaim cancelled cells. *)
+
+val pop : t -> Heapq.cell option
+(** Remove and return the earliest live cell.  The caller marks it cancelled
+    after firing.  Advances [base] to the popped time. *)
+
+val take : t -> Heapq.cell -> unit
+(** [take t c] removes [c], which must be the result of a {!peek} with no
+    intervening wheel mutation (raises [Invalid_argument] otherwise).  O(1):
+    skips the re-normalisation {!pop} would repeat. *)
+
+val advance : t -> int -> unit
+(** Move [base] forward (no-op backwards).  Precondition: no stored cell is
+    earlier than the new base. *)
+
+val note_cancel : t -> unit
+(** A stored cell was just marked cancelled; may trigger a compaction
+    sweep. *)
+
+val compact : t -> unit
+(** Drop all cancelled cells now. *)
+
+val stored : t -> int
+(** Cells held, including cancelled garbage. *)
+
+val live : t -> int
+(** Non-cancelled cells held. *)

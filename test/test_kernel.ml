@@ -346,6 +346,81 @@ let test_core_sched_throughput_cost () =
     true
     (cs >= plain)
 
+(* The kernel answers [cpu_idle] from a per-CPU counter fed by class
+   enqueue/dequeue callbacks; the classes answer [nr_runnable] from their own
+   cached counts.  Cross-check both against ground truth (tasks with
+   [on_rq] set) at every tick of a churny multi-class workload — blocking,
+   waking, throttling, affinity migration, kills. *)
+let test_queued_count_invariant () =
+  let k = Kernel.create (tiny 4) in
+  let checks = ref 0 in
+  let check_counts where =
+    let tasks = Kernel.tasks k in
+    for c = 0 to Kernel.ncpus k - 1 do
+      let truth =
+        List.length
+          (List.filter (fun (x : Task.t) -> x.on_rq && x.cpu = c) tasks)
+      in
+      let cached =
+        List.fold_left
+          (fun acc policy ->
+            acc + (Kernel.find_class k policy).Kernel.Class_intf.nr_runnable ~cpu:c)
+          0
+          [ Task.Rt; Task.Microquanta; Task.Cfs ]
+      in
+      incr checks;
+      check_int (Printf.sprintf "%s: queued on cpu %d" where c) truth cached;
+      check_bool
+        (Printf.sprintf "%s: cpu_idle consistent on cpu %d" where c)
+        (Kernel.curr k c = None && cached = 0)
+        (Kernel.cpu_idle k c)
+    done
+  in
+  Kernel.on_tick k (fun cpu -> if cpu = 0 then check_counts "tick");
+  let spawn n policy total =
+    List.init n (fun i ->
+        let task, _ =
+          finite_task k ~name:(Printf.sprintf "%s%d" "t" i) ~policy ~total ()
+        in
+        Kernel.start k task;
+        task)
+  in
+  let cfs_tasks = spawn 6 Task.Cfs (ms 20) in
+  let _rt = spawn 2 Task.Rt (ms 3) in
+  let _mq = spawn 2 Task.Microquanta (ms 10) in
+  (* A sleeper that blocks and gets woken repeatedly. *)
+  let sleeper =
+    let rec body () = Task.Run { ns = ms 1; after = (fun () -> Task.Block { after = body }) } in
+    Kernel.create_task k ~name:"sleeper" body
+  in
+  Kernel.start k sleeper;
+  let engine = Kernel.engine k in
+  let rec waker () =
+    Kernel.wake k sleeper;
+    ignore (Sim.Engine.post_in engine ~delay:(ms 3) waker)
+  in
+  ignore (Sim.Engine.post_in engine ~delay:(ms 2) waker);
+  (* Affinity churn: bounce a CFS task between CPU pairs. *)
+  let rec flip i () =
+    (match cfs_tasks with
+    | victim :: _ when victim.Task.state <> Task.Dead ->
+      Kernel.set_affinity k victim
+        (Cpumask.of_list ~ncpus:4 [ i mod 4; (i + 1) mod 4 ])
+    | _ -> ());
+    ignore (Sim.Engine.post_in engine ~delay:(ms 2) (flip (i + 1)))
+  in
+  ignore (Sim.Engine.post_in engine ~delay:(ms 1) (flip 0));
+  (* Kill one mid-flight. *)
+  ignore
+    (Sim.Engine.post_in engine ~delay:(ms 7) (fun () ->
+         match cfs_tasks with
+         | _ :: second :: _ when second.Task.state <> Task.Dead ->
+           Kernel.kill k second
+         | _ -> ()));
+  Kernel.run_until k (ms 60);
+  check_counts "end";
+  check_bool (Printf.sprintf "enough checkpoints (%d)" !checks) true (!checks > 100)
+
 let test_context_switch_counting () =
   let k = Kernel.create (tiny 1) in
   let a, _ = finite_task k ~name:"a" ~total:(ms 50) () in
@@ -367,6 +442,8 @@ let () =
           Alcotest.test_case "kill" `Quick test_kill;
           Alcotest.test_case "idle accounting" `Quick test_idle_accounting;
           Alcotest.test_case "switch counting" `Quick test_context_switch_counting;
+          Alcotest.test_case "queued-count invariant" `Quick
+            test_queued_count_invariant;
         ] );
       ( "cfs",
         [

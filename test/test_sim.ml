@@ -82,6 +82,86 @@ let test_eventq_many =
       in
       drain 0)
 
+(* Model check for the two-tier wheel+heap queue: run a long randomized
+   push/cancel/pop trace against a naive sorted-list reference and demand
+   bit-identical pop order — (time, seq) ties included, which the uid
+   encodes since both assign sequence numbers in push order.  Delays span
+   level-0 buckets, mid levels, and the far-future overflow heap; pushes
+   never go into the past (engine semantics). *)
+let run_eventq_model ~seed ~ops ~p_pop ~p_cancel () =
+  let rng = Sim.Rng.create seed in
+  let q = Sim.Eventq.create () in
+  (* Sorted ascending by (time, uid); each entry carries its Eventq handle. *)
+  let model = ref [] in
+  let next_uid = ref 0 in
+  let now = ref 0 in
+  let last_fired = ref (-1) in
+  let delay () =
+    match Sim.Rng.int rng 10 with
+    | 0 | 1 -> 0
+    | 2 | 3 | 4 | 5 -> Sim.Rng.int rng 16_000 (* level-0/1 buckets *)
+    | 6 | 7 -> Sim.Rng.int rng 10_000_000 (* mid levels *)
+    | 8 -> Sim.Rng.int rng 30_000_000_000 (* high levels *)
+    | _ -> Sim.Rng.int rng 30_000_000_000_000 (* past the wheel: heap tier *)
+  in
+  let insert_model entry =
+    let rec go = function
+      | [] -> [ entry ]
+      | ((t, u, _) :: _) as rest
+        when let et, eu, _ = entry in
+             et < t || (et = t && eu < u) ->
+        entry :: rest
+      | x :: rest -> x :: go rest
+    in
+    model := go !model
+  in
+  let push () =
+    let time = !now + delay () in
+    let uid = !next_uid in
+    incr next_uid;
+    let h = Sim.Eventq.push q ~time (fun () -> last_fired := uid) in
+    insert_model (time, uid, h)
+  in
+  let pop_both () =
+    match (Sim.Eventq.pop q, !model) with
+    | None, [] -> ()
+    | Some (time, fn), (mt, muid, _) :: rest ->
+      model := rest;
+      now := time;
+      fn ();
+      if time <> mt || !last_fired <> muid then
+        Alcotest.failf "pop mismatch: queue (%d, uid %d) vs model (%d, uid %d)"
+          time !last_fired mt muid
+    | Some (time, _), [] -> Alcotest.failf "queue fired (%d) but model empty" time
+    | None, (mt, _, _) :: _ -> Alcotest.failf "queue empty but model has (%d)" mt
+  in
+  let cancel_random () =
+    match !model with
+    | [] -> ()
+    | entries ->
+      let i = Sim.Rng.int rng (List.length entries) in
+      let time, uid, h = List.nth entries i in
+      Sim.Eventq.cancel q h;
+      model :=
+        List.filter (fun (t, u, _) -> not (t = time && u = uid)) entries
+  in
+  for _ = 1 to ops do
+    let r = Sim.Rng.float rng 1.0 in
+    if r < p_pop then pop_both ()
+    else if r < p_pop +. p_cancel then cancel_random ()
+    else push ()
+  done;
+  while !model <> [] || not (Sim.Eventq.is_empty q) do
+    pop_both ()
+  done;
+  check_bool "drained" true (Sim.Eventq.is_empty q)
+
+let test_eventq_model () =
+  run_eventq_model ~seed:42 ~ops:12_000 ~p_pop:0.35 ~p_cancel:0.15 ()
+
+let test_eventq_model_cancel_heavy () =
+  run_eventq_model ~seed:1337 ~ops:12_000 ~p_pop:0.2 ~p_cancel:0.45 ()
+
 (* --- Engine ----------------------------------------------------------------- *)
 
 let test_engine_run_until () =
@@ -229,6 +309,9 @@ let () =
           Alcotest.test_case "cancel" `Quick test_eventq_cancel;
           Alcotest.test_case "peek skips cancelled" `Quick
             test_eventq_peek_skips_cancelled;
+          Alcotest.test_case "12k-op model check" `Quick test_eventq_model;
+          Alcotest.test_case "12k-op model check (cancel-heavy)" `Quick
+            test_eventq_model_cancel_heavy;
         ] );
       ( "engine",
         [
