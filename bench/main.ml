@@ -273,6 +273,42 @@ end
 module Bench_heap = Engine_bench (Sim.Heapq)
 module Bench_two_tier = Engine_bench (Sim.Eventq)
 
+(* --- Observability overhead --------------------------------------------------- *)
+
+(* The instrumented Squeue produce+consume roundtrip — the hottest hooked
+   path — timed with no obs sink vs one installed.  The disabled number is
+   what every ordinary run pays for the hooks being compiled in (a load and
+   compare per site) and must stay at the seed's level; the enabled number
+   bounds what `ghost_bench_cli trace` costs. *)
+let obs_roundtrip ~events =
+  let q = Ghost.Squeue.create ~id:1 ~capacity:64 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to events do
+    let msg =
+      {
+        Ghost.Msg.kind = Ghost.Msg.THREAD_WAKEUP;
+        tid = 1;
+        tseq = i;
+        cpu = 0;
+        posted_at = i;
+        visible_at = i;
+      }
+    in
+    ignore (Ghost.Squeue.produce q msg);
+    ignore (Ghost.Squeue.consume q ~now:i)
+  done;
+  float_of_int events /. (Unix.gettimeofday () -. t0)
+
+let run_obs_overhead ~events =
+  let disabled = obs_roundtrip ~events in
+  Obs.Metrics.reset ();
+  Obs.Sink.install (Obs.Sink.create ());
+  let enabled =
+    Fun.protect ~finally:Obs.Sink.uninstall (fun () -> obs_roundtrip ~events)
+  in
+  Obs.Metrics.reset ();
+  (disabled, enabled)
+
 let run_engine () =
   let events = if !quick then 300_000 else 2_000_000 in
   Gstats.Table.print_title
@@ -306,6 +342,18 @@ let run_engine () =
        (fun (name, rh, rt) ->
          [ name; fmt_rate rh; fmt_rate rt; Printf.sprintf "%.2fx" (rt /. rh) ])
        results);
+  let obs_events = if !quick then 200_000 else 1_000_000 in
+  let obs_disabled, obs_enabled = run_obs_overhead ~events:obs_events in
+  Gstats.Table.print
+    ~header:[ "obs sink (squeue roundtrip)"; "events/sec"; "vs disabled" ]
+    [
+      [ "disabled"; fmt_rate obs_disabled; "1.00x" ];
+      [
+        "enabled";
+        fmt_rate obs_enabled;
+        Printf.sprintf "%.2fx" (obs_enabled /. obs_disabled);
+      ];
+    ];
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc "{\n  \"events\": %d,\n  \"workloads\": [\n" events;
   List.iteri
@@ -316,7 +364,12 @@ let run_engine () =
         name rh rt (rt /. rh)
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"obs_overhead\": {\"disabled_events_per_sec\": %.0f, \
+     \"enabled_events_per_sec\": %.0f, \"enabled_over_disabled\": %.3f}\n"
+    obs_disabled obs_enabled (obs_enabled /. obs_disabled);
+  Printf.fprintf oc "}\n";
   close_out oc;
   print_endline "wrote BENCH_engine.json"
 

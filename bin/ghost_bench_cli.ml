@@ -157,50 +157,134 @@ let tickless_cmd =
     (Cmd.info "tickless" ~doc:"Tick-less scheduling for guest workloads (5)")
     Term.(const run $ duration_arg ~default:500 ~doc:"measured window (ms)")
 
-let trace_cmd =
-  let n = Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"events to print") in
-  let run n =
-    (* A small ghOSt-scheduled scenario with the trace ring attached:
-       the simulator's sched_switch/sched_wakeup view. *)
-    let machine =
+(* --- trace --------------------------------------------------------------- *)
+
+(* A small ghOSt-scheduled scenario: four short jobs under a centralized
+   FIFO agent on a 3-CPU machine.  The default trace subject — small enough
+   that every dispatch is visible at once in the Perfetto UI. *)
+let trace_demo duration_ns =
+  let machine =
+    {
+      Hw.Machines.name = "trace-demo";
+      topo =
+        Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:3 ~smt:1;
+      costs = Hw.Costs.skylake;
+    }
+  in
+  let kernel = Kernel.create machine in
+  let sys = Ghost.System.install kernel in
+  let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
+  let _, pol = Policies.Fifo_centralized.policy ~timeslice:(Sim.Units.us 100) () in
+  let _g = Ghost.Agent.attach_global sys e pol in
+  List.iter
+    (fun i ->
+      let t =
+        Kernel.create_task kernel
+          ~name:(Printf.sprintf "job%d" i)
+          (Kernel.Task.compute_total ~slice:(Sim.Units.us 80)
+             ~total:(Sim.Units.us 400) (fun () -> Kernel.Task.Exit))
+      in
+      Ghost.System.manage e t;
+      Kernel.start kernel t)
+    [ 0; 1; 2; 3 ];
+  Kernel.run_until kernel duration_ns
+
+let trace_experiments =
+  [ ("demo", "small 3-CPU FIFO scenario");
+    ("fig5", "global agent scalability (one machine)");
+    ("fig6", "ghOSt-Shinjuku at one offered load");
+    ("fig7", "Snap RTT, ghOSt vs MicroQuanta");
+    ("fig8", "Google Search under the ghOSt policy");
+    ("table3", "ghOSt operation microbenchmarks");
+    ("table4", "secure VM core scheduling");
+    ("bpf", "BPF pick_next_task ablation");
+    ("tickless", "tick-less guest scheduling") ]
+
+let run_traced_experiment name duration_ns =
+  match name with
+  | "demo" -> trace_demo duration_ns
+  | "fig5" ->
+    (* The full 2-socket sweep emits hundreds of millions of events; an
+       8-CPU machine keeps the trace loadable in the Perfetto UI while
+       exercising the same sweep code. *)
+    let small =
       {
-        Hw.Machines.name = "trace-demo";
+        Hw.Machines.name = "skylake-8cpu";
         topo =
-          Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:3 ~smt:1;
+          Hw.Topology.create ~sockets:1 ~ccx_per_socket:2 ~cores_per_ccx:4
+            ~smt:1;
         costs = Hw.Costs.skylake;
       }
     in
-    let kernel = Kernel.create machine in
-    let tr = Kernel.Trace.create () in
-    Kernel.set_tracer kernel (Some tr);
-    let sys = Ghost.System.install kernel in
-    let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
-    let _, pol = Policies.Fifo_centralized.policy ~timeslice:(Sim.Units.us 100) () in
-    let _g = Ghost.Agent.attach_global sys e pol in
+    ignore (Experiments.Fig5.run ~measure_ns:duration_ns ~machines:[ small ] ())
+  | "fig6" ->
+    ignore
+      (Experiments.Fig6.run
+         ~rates:[ List.hd Experiments.Fig6.default_rates ]
+         ~measure_ns:duration_ns ())
+  | "fig7" -> ignore (Experiments.Fig7.run ~duration_ns ())
+  | "fig8" ->
+    let mode =
+      List.assoc "ghost" (Experiments.Fig8.default_modes ())
+    in
+    ignore (Experiments.Fig8.run ~duration_ns ~warmup_ns:0 mode)
+  | "table3" -> ignore (Experiments.Table3.run ~samples:50 ())
+  | "table4" -> ignore (Experiments.Table4.run ~work_ns:duration_ns ())
+  | "bpf" -> ignore (Experiments.Bpf_ablation.run ~duration_ns ())
+  | "tickless" -> ignore (Experiments.Tickless.run ~duration_ns ())
+  | _ -> assert false
+
+let trace_cmd =
+  let exp =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) trace_experiments))) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            (Printf.sprintf "experiment to trace: %s"
+               (String.concat ", "
+                  (List.map
+                     (fun (n, d) -> Printf.sprintf "$(b,%s) (%s)" n d)
+                     trace_experiments))))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"output file (default $(docv) = EXPERIMENT.trace.json)")
+  in
+  let run exp out duration =
+    let path = match out with Some p -> p | None -> exp ^ ".trace.json" in
+    Obs.Metrics.reset ();
+    let sink = Obs.Sink.create () in
+    Obs.Sink.install sink;
+    Fun.protect ~finally:Obs.Sink.uninstall (fun () ->
+        run_traced_experiment exp (ms duration));
+    Obs.Perfetto.write_file sink ~path;
+    Printf.printf "%s: %d events over %.3f ms of sim time\n" path
+      (Obs.Sink.length sink)
+      (float_of_int (Obs.Sink.last_time sink) /. 1e6);
+    Printf.printf "open in https://ui.perfetto.dev (Open trace file)\n\n";
     List.iter
-      (fun i ->
-        let t =
-          Kernel.create_task kernel
-            ~name:(Printf.sprintf "job%d" i)
-            (Kernel.Task.compute_total ~slice:(Sim.Units.us 80)
-               ~total:(Sim.Units.us 400) (fun () -> Kernel.Task.Exit))
-        in
-        Ghost.System.manage e t;
-        Kernel.start kernel t)
-      [ 0; 1; 2; 3 ];
-    Kernel.run_until kernel (ms 5);
-    let records = Kernel.Trace.records tr in
-    let shown = List.filteri (fun i _ -> i < n) records in
-    List.iter
-      (fun r ->
-        Format.printf "%9dns %a@." r.Kernel.Trace.time Kernel.Trace.pp_event
-          r.Kernel.Trace.event)
-      shown;
-    Printf.printf "... (%d events total)\n" (Kernel.Trace.total tr)
+      (fun (name, v) ->
+        match v with
+        | Obs.Metrics.Counter n -> Printf.printf "  %-28s %d\n" name n
+        | Obs.Metrics.Gauge n -> Printf.printf "  %-28s %d (gauge)\n" name n
+        | Obs.Metrics.Histogram h ->
+          Printf.printf "  %-28s n=%d p50=%dns p99=%dns max=%dns\n" name
+            h.Obs.Metrics.count h.Obs.Metrics.p50 h.Obs.Metrics.p99
+            h.Obs.Metrics.max)
+      (Obs.Metrics.snapshot ())
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Dump a scheduling trace of a small ghOSt scenario")
-    Term.(const run $ n)
+    (Cmd.info "trace"
+       ~doc:
+         "Run an experiment with span tracing enabled and export a \
+          Perfetto/Chrome trace_event JSON file")
+    Term.(
+      const run $ exp $ out
+      $ duration_arg ~default:5 ~doc:"traced sim duration (ms)")
 
 let main_cmd =
   let doc = "reproduce the ghOSt paper's evaluation (SOSP '21)" in

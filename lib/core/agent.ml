@@ -176,6 +176,13 @@ let run_pass g ~cpu ~queues ~after_apply =
   ctx.charged <- base_pass_cost;
   ctx.batches <- [];
   g.iters <- g.iters + 1;
+  let pass_start = Kernel.now g.kern in
+  let pass_span =
+    if Obs.Hooks.enabled () then
+      Obs.Hooks.agent_pass_begin ~now:pass_start ~cpu
+        ~eid:(System.enclave_id g.enc)
+    else 0
+  in
   let msgs = List.concat_map (fun q -> drain_list ctx q) queues in
   g.pol.schedule ctx msgs;
   let batches = List.rev ctx.batches in
@@ -201,6 +208,12 @@ let run_pass g ~cpu ~queues ~after_apply =
           List.iter
             (fun (_, txns) -> List.iter (fun txn -> g.pol.on_result ctx txn) txns)
             batches;
+          if pass_span <> 0 then
+            Obs.Hooks.agent_pass_end ~now:(Kernel.now g.kern) ~began:pass_start
+              ~id:pass_span ~nmsgs:(List.length msgs)
+              ~ntxns:
+                (List.fold_left (fun acc (_, txns) -> acc + List.length txns) 0
+                   batches);
           after_apply ());
     }
 

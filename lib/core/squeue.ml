@@ -26,10 +26,17 @@ let dropped q = q.dropped
 let produce q msg =
   if Queue.length q.items >= q.capacity then begin
     q.dropped <- q.dropped + 1;
+    if Obs.Hooks.enabled () then
+      Obs.Hooks.msg_drop ~time:msg.Msg.posted_at ~qid:q.qid
+        ~kind:(Msg.kind_to_string msg.Msg.kind) ~tid:msg.Msg.tid;
     false
   end
   else begin
     Queue.push msg q.items;
+    if Obs.Hooks.enabled () then
+      Obs.Hooks.msg_produce ~time:msg.Msg.posted_at ~qid:q.qid
+        ~kind:(Msg.kind_to_string msg.Msg.kind) ~tid:msg.Msg.tid
+        ~tseq:msg.Msg.tseq;
     List.iter (fun sw -> ignore (Status_word.bump sw)) q.aseq_targets;
     (match q.wakeup with Some fn -> fn () | None -> ());
     true
@@ -37,7 +44,12 @@ let produce q msg =
 
 let consume q ~now =
   match Queue.peek_opt q.items with
-  | Some msg when msg.Msg.visible_at <= now -> Some (Queue.pop q.items)
+  | Some msg when msg.Msg.visible_at <= now ->
+    let m = Queue.pop q.items in
+    if Obs.Hooks.enabled () then
+      Obs.Hooks.msg_consume ~time:now ~qid:q.qid ~tid:m.Msg.tid ~tseq:m.Msg.tseq
+        ~posted:m.Msg.posted_at;
+    Some m
   | Some _ | None -> None
 
 let exists q pred =

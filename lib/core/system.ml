@@ -14,6 +14,7 @@ type stats = {
   mutable estales : int;
   mutable bpf_picks : int;
   mutable watchdog_fires : int;
+  mutable msg_drops : int;
 }
 
 type tstate = {
@@ -66,6 +67,10 @@ let destroy_reason e = e.reason
 let on_destroy e fn = e.on_destroy <- fn :: e.on_destroy
 let default_queue e = e.default_q
 let agent_tasks e = List.map fst e.agents
+let enclave_msg_drops e = e.msg_drops
+
+let enclave_dropped e =
+  List.fold_left (fun acc q -> acc + Squeue.dropped q) 0 e.queues
 
 let tstate_of t (task : Task.t) = Hashtbl.find_opt t.tstates task.tid
 let is_managed t task = tstate_of t task <> None
@@ -90,7 +95,19 @@ let latched t ~cpu = t.latched_slots.(cpu)
 
 let post_to t e q (msg : Msg.t) =
   t.stats.msgs_posted <- t.stats.msgs_posted + 1;
-  if not (Squeue.produce q msg) then e.msg_drops <- e.msg_drops + 1
+  if not (Squeue.produce q msg) then begin
+    (* Overflow losses used to be invisible unless the caller polled every
+       queue; count them at enclave and system level and shout once. *)
+    if e.msg_drops = 0 then
+      Log.warn (fun m ->
+          m "enclave %d: message queue %d overflow at t=%dns, %s(tid=%d) dropped \
+             (further drops counted silently)"
+            e.eid (Squeue.id q)
+            (Kernel.now t.kernel)
+            (Msg.kind_to_string msg.Msg.kind) msg.Msg.tid);
+    e.msg_drops <- e.msg_drops + 1;
+    t.stats.msg_drops <- t.stats.msg_drops + 1
+  end
 
 let post_thread_msg t e ts kind ~cpu =
   let tseq = Status_word.bump ts.sw in
@@ -315,6 +332,7 @@ let fresh_queue t ~capacity =
 
 let create_queue e ~capacity =
   let q = fresh_queue e.sys ~capacity in
+  Obs.Sink.note_queue_owner ~qid:(Squeue.id q) ~eid:e.eid;
   e.queues <- q :: e.queues;
   q
 
@@ -387,7 +405,11 @@ let unmanage t (task : Task.t) =
     ts.enclave.managed_cache <- None;
     if task.Task.state <> Task.Dead then Kernel.set_policy t.kernel task Task.Cfs
 
-let register_agent e task sw = e.agents <- (task, sw) :: e.agents
+let register_agent e task sw =
+  if Obs.Hooks.enabled () then
+    Obs.Hooks.agent_attached ~now:(Kernel.now e.sys.kernel) ~eid:e.eid
+      ~tid:task.Task.tid;
+  e.agents <- (task, sw) :: e.agents
 
 let rec destroy_enclave ?(reason = Explicit) t e =
   if e.alive then begin
@@ -403,6 +425,16 @@ let rec destroy_enclave ?(reason = Explicit) t e =
           (Kernel.now t.kernel)
           (List.length (managed_threads e)));
     if reason = Watchdog then t.stats.watchdog_fires <- t.stats.watchdog_fires + 1;
+    if Obs.Hooks.enabled () then begin
+      let now = Kernel.now t.kernel in
+      if reason = Agent_crash then Obs.Hooks.agent_crash ~now ~eid:e.eid;
+      Obs.Hooks.enclave_destroyed ~now ~eid:e.eid
+        ~reason:
+          (match reason with
+          | Explicit -> "explicit"
+          | Watchdog -> "watchdog"
+          | Agent_crash -> "agent-crash")
+    end;
     (* Free the CPUs. *)
     Cpumask.iter (fun cpu -> t.owner.(cpu) <- None) e.cpus;
     (* Unlatch and hand every managed thread back to CFS; they keep running,
@@ -451,6 +483,8 @@ let watchdog_check t e timeout =
     Log.warn (fun m ->
         m "watchdog: %s(%d) runnable but unscheduled for >%dns in enclave %d"
           task.Task.name task.Task.tid timeout e.eid);
+    if Obs.Hooks.enabled () then
+      Obs.Hooks.watchdog_fire ~now ~eid:e.eid ~tid:task.Task.tid;
     destroy_enclave ~reason:Watchdog t e
   | None -> ()
 
@@ -485,8 +519,12 @@ let create_enclave t ?watchdog_timeout ?(deliver_ticks = false) ~cpus () =
     }
   in
   e.queues <- [ e.default_q ];
+  Obs.Sink.note_queue_owner ~qid:(Squeue.id e.default_q) ~eid;
   Cpumask.iter (fun cpu -> t.owner.(cpu) <- Some e) cpus;
   t.enclaves <- e :: t.enclaves;
+  if Obs.Hooks.enabled () then
+    Obs.Hooks.enclave_created ~now:(Kernel.now t.kernel) ~eid
+      ~ncpus:(List.length (Cpumask.to_list cpus));
   (match watchdog_timeout with
   | Some timeout ->
     let period = max (timeout / 2) 1_000_000 in
@@ -511,6 +549,15 @@ let set_deliver_ticks e flag = e.deliver_ticks <- flag
 let make_txn t ~tid ~cpu ?agent_seq ?thread_seq () =
   let id = t.next_txn in
   t.next_txn <- id + 1;
+  if Obs.Hooks.enabled () then begin
+    let eid =
+      if cpu >= 0 && cpu < Array.length t.owner then
+        match t.owner.(cpu) with Some e -> e.eid | None -> -1
+      else -1
+    in
+    Obs.Hooks.txn_create ~now:(Kernel.now t.kernel) ~txn_id:id ~tid ~target:cpu
+      ~eid
+  end;
   {
     Txn.txn_id = id;
     tid;
@@ -597,7 +644,11 @@ let commit t e ~agent_cpu ~agent_sw ~atomic txns =
       else begin
         t.stats.commit_failures <- t.stats.commit_failures + 1;
         if x.status = Txn.Failed Txn.Estale then t.stats.estales <- t.stats.estales + 1
-      end)
+      end;
+      if Obs.Hooks.enabled () then
+        Obs.Hooks.txn_decided ~now ~txn_id:x.txn_id ~tid:x.tid
+          ~status:(Txn.status_to_string x.status)
+          ~committed:(Txn.committed x))
     txns;
   (* Apply: latch everything, then one batched IPI sweep for remote CPUs. *)
   List.iter (fun txn -> apply_latch t e txn) committed;
@@ -654,6 +705,7 @@ let install kernel =
           estales = 0;
           bpf_picks = 0;
           watchdog_fires = 0;
+          msg_drops = 0;
         };
     }
   in

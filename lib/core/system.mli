@@ -22,6 +22,9 @@ type stats = {
   mutable estales : int;
   mutable bpf_picks : int;
   mutable watchdog_fires : int;
+  mutable msg_drops : int;
+      (** Kernel-side messages lost to queue overflow, across all enclaves.
+          The first drop per enclave also logs a warning. *)
 }
 
 val install : Kernel.t -> t
@@ -51,6 +54,14 @@ val destroy_enclave : ?reason:destroy_reason -> t -> enclave -> unit
 val enclave_alive : enclave -> bool
 val enclave_id : enclave -> int
 val enclave_cpus : enclave -> Kernel.Cpumask.t
+
+val enclave_msg_drops : enclave -> int
+(** Kernel-posted messages this enclave lost to queue overflow. *)
+
+val enclave_dropped : enclave -> int
+(** Sum of {!Squeue.dropped} over every queue the enclave owns (includes
+    producers other than the kernel post path). *)
+
 val enclave_of_cpu : t -> int -> enclave option
 val destroy_reason : enclave -> destroy_reason option
 val on_destroy : enclave -> (destroy_reason -> unit) -> unit

@@ -106,9 +106,11 @@ let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
 
 let trace t event =
-  match t.tracer with
+  (match t.tracer with
   | Some tr -> Trace.emit tr ~time:(now t) event
-  | None -> ()
+  | None -> ());
+  if Obs.Hooks.enabled () then
+    Obs.Hooks.sched ~now:(now t) (Trace.to_obs_sched event)
 
 (* --- Core scheduling (§4.5 in-kernel baseline) --------------------------- *)
 
@@ -475,6 +477,8 @@ let start_ticks t =
                scheduling a cookie-filtered task becomes eligible once the
                fairness valve opens or the sibling's task changes. *)
             if any_queued t cs.cid then resched t cs.cid);
+          if Obs.Hooks.enabled () then
+            Obs.Hooks.sched ~now:(now t) (Obs.Sink.Tick { cpu = cs.cid });
           for i = 0 to t.n_tick_listeners - 1 do
             t.tick_listeners.(i) cs.cid
           done

@@ -27,13 +27,29 @@ let emit t ~time event =
 let length t = min t.total (Array.length t.ring)
 let total t = t.total
 
-let records t =
+let iter t f =
   let cap = Array.length t.ring in
   let n = length t in
   let start = (t.head - n + cap) mod cap in
-  List.filter_map
-    (fun i -> t.ring.((start + i) mod cap))
-    (List.init n (fun i -> i))
+  for i = 0 to n - 1 do
+    match t.ring.((start + i) mod cap) with
+    | Some r -> f r
+    | None -> ()
+  done
+
+let records t =
+  (* Direct array walk, backwards, so the list is built oldest-first with no
+     intermediate index list or reversal. *)
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = (t.head - n + cap) mod cap in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((start + i) mod cap) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  !out
 
 let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
@@ -56,7 +72,19 @@ let pp_event ppf = function
 
 let dump ?(oc = stdout) t =
   let ppf = Format.formatter_of_out_channel oc in
-  List.iter
-    (fun r -> Format.fprintf ppf "%9dns %a@." r.time pp_event r.event)
-    (records t);
+  iter t (fun r -> Format.fprintf ppf "%9dns %a@." r.time pp_event r.event);
   Format.pp_print_flush ppf ()
+
+(* --- Observability bridge --------------------------------------------------- *)
+
+let to_obs_sched = function
+  | Dispatch { cpu; tid; name; migrated } -> Obs.Sink.Dispatch { cpu; tid; name; migrated }
+  | Preempted { cpu; tid } -> Obs.Sink.Preempt { cpu; tid }
+  | Blocked { cpu; tid } -> Obs.Sink.Block { cpu; tid }
+  | Yielded { cpu; tid } -> Obs.Sink.Yield { cpu; tid }
+  | Exited { cpu; tid } -> Obs.Sink.Exit { cpu; tid }
+  | Woken { tid; target_cpu } -> Obs.Sink.Wake { tid; target_cpu }
+  | Idle { cpu } -> Obs.Sink.Idle { cpu }
+
+let to_sink t sink =
+  iter t (fun r -> Obs.Sink.sched sink ~time:r.time (to_obs_sched r.event))

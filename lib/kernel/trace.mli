@@ -31,6 +31,9 @@ val total : t -> int
 val records : t -> record list
 (** Oldest first. *)
 
+val iter : t -> (record -> unit) -> unit
+(** Apply to every held record, oldest first, without allocating a list. *)
+
 val clear : t -> unit
 
 val filter : t -> (event -> bool) -> record list
@@ -38,3 +41,10 @@ val filter : t -> (event -> bool) -> record list
 val pp_event : Format.formatter -> event -> unit
 val dump : ?oc:out_channel -> t -> unit
 (** Human-readable dump, one event per line. *)
+
+val to_obs_sched : event -> Obs.Sink.sched
+(** Map a ring event to its observability-sink equivalent. *)
+
+val to_sink : t -> Obs.Sink.t -> unit
+(** Replay every held record into an observability sink (for exporting a
+    ring captured without a live sink, e.g. via {!Obs.Perfetto}). *)

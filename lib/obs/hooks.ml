@@ -1,0 +1,201 @@
+let enabled = Sink.enabled
+
+(* Instruments are registered once at module init; handles are mutable
+   cells, so updates below are single stores. *)
+
+let c_dispatches = Metrics.counter "sched.dispatches"
+let c_preemptions = Metrics.counter "sched.preemptions"
+let c_wakeups = Metrics.counter "sched.wakeups"
+let c_blocks = Metrics.counter "sched.blocks"
+let c_ticks = Metrics.counter "sched.ticks"
+let h_wake_to_dispatch = Metrics.histogram "sched.wakeup_to_dispatch_ns"
+
+let c_produced = Metrics.counter "msg.produced"
+let c_consumed = Metrics.counter "msg.consumed"
+let c_dropped = Metrics.counter "msg.dropped"
+let h_queue_delay = Metrics.histogram "msg.queue_delay_ns"
+
+let c_txn_committed = Metrics.counter "txn.committed"
+let c_txn_failed = Metrics.counter "txn.failed"
+let h_txn_commit = Metrics.histogram "txn.commit_latency_ns"
+let h_txn_fail = Metrics.histogram "txn.fail_latency_ns"
+
+let c_passes = Metrics.counter "agent.passes"
+let h_pass = Metrics.histogram "agent.pass_ns"
+
+let c_enclaves_created = Metrics.counter "enclave.created"
+let c_enclaves_destroyed = Metrics.counter "enclave.destroyed"
+let c_watchdog = Metrics.counter "enclave.watchdog_fires"
+let c_agent_crashes = Metrics.counter "enclave.agent_crashes"
+
+let si = string_of_int
+
+(* --- Kernel ----------------------------------------------------------------- *)
+
+let sched ~now ev =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    (match ev with
+    | Sink.Dispatch { tid; cpu; _ } -> (
+      Metrics.incr c_dispatches;
+      (* Close the wakeup→dispatch chain opened at message-produce time. *)
+      match Sink.take_sched_span s ~tid with
+      | Some (id, began) ->
+        Metrics.observe h_wake_to_dispatch (now - began);
+        Sink.span_end s ~time:now ~args:[ ("cpu", si cpu) ] id
+      | None -> ())
+    | Sink.Preempt _ -> Metrics.incr c_preemptions
+    | Sink.Wake _ -> Metrics.incr c_wakeups
+    | Sink.Block _ -> Metrics.incr c_blocks
+    | Sink.Tick _ -> Metrics.incr c_ticks
+    | Sink.Yield _ | Sink.Exit _ | Sink.Idle _ -> ());
+    Sink.sched s ~time:now ev
+
+(* --- Message queues ---------------------------------------------------------- *)
+
+let chain_opening kind = kind = "THREAD_WAKEUP" || kind = "THREAD_CREATED"
+
+let msg_produce ~time ~qid ~kind ~tid ~tseq =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_produced;
+    if tid >= 0 && tseq > 0 then begin
+      let track = Sink.queue_track ~qid in
+      (* A wakeup (or birth) starts a scheduling decision: open the chain
+         span that the eventual dispatch will close. *)
+      if chain_opening kind && Sink.find_sched_span s ~tid = None then begin
+        let id =
+          Sink.span_begin s ~time ~name:("sched:" ^ kind) ~track
+            ~args:[ ("tid", si tid) ]
+            ()
+        in
+        Sink.open_sched_span s ~tid ~id ~began:time
+      end;
+      let parent = Option.value (Sink.find_sched_span s ~tid) ~default:0 in
+      let id =
+        Sink.span_begin s ~time ~parent ~name:("msg:" ^ kind) ~track
+          ~args:[ ("tid", si tid); ("tseq", si tseq); ("qid", si qid) ]
+          ()
+      in
+      Sink.open_msg_span s ~tid ~tseq ~id
+    end
+
+let msg_consume ~time ~qid ~tid ~tseq ~posted =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    ignore qid;
+    Metrics.incr c_consumed;
+    Metrics.observe h_queue_delay (time - posted);
+    (match Sink.take_msg_span s ~tid ~tseq with
+    | Some id -> Sink.span_end s ~time id
+    | None -> ())
+
+let msg_drop ~time ~qid ~kind ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_dropped;
+    Sink.instant s ~time ~name:"msg-drop" ~track:(Sink.queue_track ~qid)
+      ~args:[ ("qid", si qid); ("kind", kind); ("tid", si tid) ]
+      ()
+
+(* --- Transactions ------------------------------------------------------------ *)
+
+let txn_create ~now ~txn_id ~tid ~target ~eid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    let parent =
+      match Sink.cur_pass s with
+      | 0 -> Option.value (Sink.find_sched_span s ~tid) ~default:0
+      | pass -> pass
+    in
+    let track = if eid >= 0 then Sink.Enclave eid else Sink.Global in
+    let id =
+      Sink.span_begin s ~time:now ~parent ~name:"txn" ~track
+        ~args:[ ("txn", si txn_id); ("tid", si tid); ("cpu", si target) ]
+        ()
+    in
+    Sink.open_txn_span s ~txn_id ~id ~began:now
+
+let txn_decided ~now ~txn_id ~tid ~status ~committed =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    ignore tid;
+    if committed then Metrics.incr c_txn_committed else Metrics.incr c_txn_failed;
+    (match Sink.take_txn_span s ~txn_id with
+    | Some (id, began) ->
+      Metrics.observe (if committed then h_txn_commit else h_txn_fail) (now - began);
+      Sink.span_end s ~time:now ~args:[ ("status", status) ] id
+    | None -> ())
+
+(* --- Agents ------------------------------------------------------------------ *)
+
+let agent_pass_begin ~now ~cpu ~eid =
+  match Sink.current () with
+  | None -> 0
+  | Some s ->
+    Metrics.incr c_passes;
+    let id =
+      Sink.span_begin s ~time:now ~name:"agent-pass" ~track:(Sink.Enclave eid)
+        ~args:[ ("cpu", si cpu) ]
+        ()
+    in
+    Sink.set_cur_pass s id;
+    id
+
+let agent_pass_end ~now ~began ~id ~nmsgs ~ntxns =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.observe h_pass (now - began);
+    if Sink.cur_pass s = id then Sink.set_cur_pass s 0;
+    Sink.span_end s ~time:now ~args:[ ("msgs", si nmsgs); ("txns", si ntxns) ] id
+
+let agent_attached ~now ~eid ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Sink.instant s ~time:now ~name:"agent-attach" ~track:(Sink.Enclave eid)
+      ~args:[ ("tid", si tid) ]
+      ()
+
+let agent_crash ~now ~eid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_agent_crashes;
+    Sink.instant s ~time:now ~name:"agent-crash" ~track:(Sink.Enclave eid) ()
+
+(* --- Enclave lifecycle ------------------------------------------------------- *)
+
+let enclave_created ~now ~eid ~ncpus =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_enclaves_created;
+    Sink.instant s ~time:now ~name:"enclave-created" ~track:(Sink.Enclave eid)
+      ~args:[ ("cpus", si ncpus) ]
+      ()
+
+let enclave_destroyed ~now ~eid ~reason =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_enclaves_destroyed;
+    Sink.instant s ~time:now ~name:"enclave-destroyed" ~track:(Sink.Enclave eid)
+      ~args:[ ("reason", reason) ]
+      ()
+
+let watchdog_fire ~now ~eid ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_watchdog;
+    Sink.instant s ~time:now ~name:"watchdog-fire" ~track:(Sink.Enclave eid)
+      ~args:[ ("tid", si tid) ]
+      ()

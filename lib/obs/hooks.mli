@@ -1,0 +1,65 @@
+(** Instrumentation entry points for the kernel and ghOSt layers.
+
+    Each hook records into the installed {!Sink} (spans, instants, sched
+    events) {e and} updates the corresponding {!Metrics} instruments, so a
+    single call site in the instrumented module covers both.  Every hook is
+    a no-op when no sink is installed; call sites should still guard with
+    {!enabled} before building any argument that allocates:
+
+    {[ if Obs.Hooks.enabled () then Obs.Hooks.sched ~now (Dispatch {...}) ]}
+
+    The cross-layer causal chain of one ghOSt scheduling decision is
+    stitched here: a THREAD_WAKEUP/THREAD_CREATED produce opens a
+    ["sched:..."] span keyed by tid; the message's own queueing span and
+    the transaction spans the agent creates for that tid parent under it;
+    the chain closes when the kernel dispatches the thread. *)
+
+val enabled : unit -> bool
+
+(** {1 Kernel (dispatch / preempt / tick)} *)
+
+val sched : now:int -> Sink.sched -> unit
+(** Record a scheduler event.  [Dispatch] additionally closes the thread's
+    open wakeup→dispatch chain span and observes its latency. *)
+
+(** {1 Message queues (produce / consume / drop)} *)
+
+val msg_produce :
+  time:int -> qid:int -> kind:string -> tid:int -> tseq:int -> unit
+(** Opens the message's queueing span (and the scheduling chain span for
+    wakeup/creation messages).  [tid < 0] (TIMER_TICK) only counts. *)
+
+val msg_consume :
+  time:int -> qid:int -> tid:int -> tseq:int -> posted:int -> unit
+(** Closes the queueing span; observes [time - posted] as queue delay. *)
+
+val msg_drop : time:int -> qid:int -> kind:string -> tid:int -> unit
+(** Instant event on the owning enclave's track, plus the drop counter. *)
+
+(** {1 Transactions (commit / fail latency)} *)
+
+val txn_create : now:int -> txn_id:int -> tid:int -> target:int -> eid:int -> unit
+(** Opens the transaction span, parented under the current agent pass (or
+    the thread's scheduling chain when no pass is active). *)
+
+val txn_decided :
+  now:int -> txn_id:int -> tid:int -> status:string -> committed:bool -> unit
+(** Closes the transaction span with its outcome; observes create→decide
+    latency into [txn.commit_latency_ns] or [txn.fail_latency_ns]. *)
+
+(** {1 Agents} *)
+
+val agent_pass_begin : now:int -> cpu:int -> eid:int -> int
+(** Opens a pass span and makes it the current transaction parent.
+    Returns the span id (0 when disabled). *)
+
+val agent_pass_end : now:int -> began:int -> id:int -> nmsgs:int -> ntxns:int -> unit
+
+val agent_attached : now:int -> eid:int -> tid:int -> unit
+val agent_crash : now:int -> eid:int -> unit
+
+(** {1 Enclave lifecycle} *)
+
+val enclave_created : now:int -> eid:int -> ncpus:int -> unit
+val enclave_destroyed : now:int -> eid:int -> reason:string -> unit
+val watchdog_fire : now:int -> eid:int -> tid:int -> unit

@@ -1,0 +1,35 @@
+(** Minimal JSON: a value type, a writer and a strict parser.
+
+    The container has no JSON library, and the observability layer needs
+    both directions — the Perfetto exporter writes trace files, and the
+    tests parse them back to assert well-formedness.  Only what those two
+    uses need is implemented; numbers are floats, objects are assoc lists
+    in insertion order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val write : Buffer.t -> t -> unit
+(** Compact serialization (no whitespace). *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage is an error.
+    The error string carries the offending byte offset. *)
+
+(** {1 Accessors (for tests and tools)} *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] — [None] on missing key or non-object. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [] for anything else. *)
+
+val str : t -> string option
+val num : t -> float option

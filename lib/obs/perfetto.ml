@@ -1,0 +1,178 @@
+(* pid layout: one synthetic "process" per track family.  Chrome/Perfetto
+   group timelines by pid, so CPUs share pid 1 (one thread per CPU) and each
+   enclave gets its own pid for its async spans and instants. *)
+
+let pid_cpus = 1
+let pid_global = 99
+let pid_of_enclave eid = 100 + eid
+
+let pid_of_track = function
+  | Sink.Cpu _ -> pid_cpus
+  | Sink.Enclave eid -> pid_of_enclave eid
+  | Sink.Global -> pid_global
+
+let tid_of_track = function Sink.Cpu c -> c | Sink.Enclave _ | Sink.Global -> 0
+
+let jint i = Json.Num (float_of_int i)
+let jts ns = Json.Num (float_of_int ns /. 1000.0)
+let jargs args = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+let export sink =
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let base name ph ~ts ~pid ~tid extra =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str ph);
+         ("ts", jts ts);
+         ("pid", jint pid);
+         ("tid", jint tid);
+       ]
+      @ extra)
+  in
+  (* Per-CPU dispatch slices: B on dispatch, E on whatever ends the running
+     interval.  At most one slice is open per CPU, so B/E pairs are always
+     matched per track. *)
+  let open_slice : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let close_slice ~ts cpu =
+    if Hashtbl.mem open_slice cpu then begin
+      Hashtbl.remove open_slice cpu;
+      emit (base "" "E" ~ts ~pid:pid_cpus ~tid:cpu [])
+    end
+  in
+  let begin_slice ~ts cpu name args =
+    close_slice ~ts cpu;
+    Hashtbl.replace open_slice cpu ();
+    emit (base name "B" ~ts ~pid:pid_cpus ~tid:cpu [ ("args", jargs args) ])
+  in
+  let cpu_instant ~ts cpu name args =
+    emit
+      (base name "i" ~ts ~pid:pid_cpus ~tid:cpu
+         (("s", Json.Str "t") :: (if args = [] then [] else [ ("args", jargs args) ])))
+  in
+  (* Spans become async b/e pairs; ends carry only the id in the sink, so
+     remember each begin's name and pid. *)
+  let span_info : (int, string * int) Hashtbl.t = Hashtbl.create 256 in
+  let async ph ~ts ~pid ~id name extra =
+    emit
+      (base name ph ~ts ~pid ~tid:0
+         ([ ("cat", Json.Str "obs"); ("id", Json.Str (Printf.sprintf "0x%x" id)) ]
+         @ extra))
+  in
+  let cpus = Hashtbl.create 16 in
+  let enclaves = Hashtbl.create 16 in
+  let note_track = function
+    | Sink.Cpu c -> Hashtbl.replace cpus c ()
+    | Sink.Enclave e -> Hashtbl.replace enclaves e ()
+    | Sink.Global -> ()
+  in
+  let note_cpu c = Hashtbl.replace cpus c () in
+  (* Sort by time (stable: equal timestamps keep recording order, which is
+     causal order within one sim step). *)
+  let evs = Array.make (Sink.length sink) None in
+  let i = ref 0 in
+  Sink.iter sink (fun ev ->
+      evs.(!i) <- Some ev;
+      incr i);
+  let evs = Array.map (function Some e -> e | None -> assert false) evs in
+  Array.stable_sort (fun (a : Sink.ev) b -> compare a.time b.time) evs;
+  Array.iter
+    (fun (ev : Sink.ev) ->
+      let ts = ev.time in
+      note_track ev.track;
+      match ev.kind with
+      | Sink.Sched s -> (
+        match s with
+        | Sink.Dispatch { cpu; tid; name; migrated } ->
+          note_cpu cpu;
+          begin_slice ~ts cpu ("run:" ^ name)
+            (("tid", string_of_int tid)
+            :: (if migrated then [ ("migrated", "true") ] else []))
+        | Sink.Preempt { cpu; _ }
+        | Sink.Block { cpu; _ }
+        | Sink.Yield { cpu; _ }
+        | Sink.Exit { cpu; _ }
+        | Sink.Idle { cpu } ->
+          note_cpu cpu;
+          close_slice ~ts cpu
+        | Sink.Wake { tid; target_cpu } ->
+          note_cpu target_cpu;
+          cpu_instant ~ts target_cpu "wake" [ ("tid", string_of_int tid) ]
+        | Sink.Tick { cpu } ->
+          note_cpu cpu;
+          cpu_instant ~ts cpu "tick" [])
+      | Sink.Span_begin { id; parent; name } ->
+        let pid = pid_of_track ev.track in
+        Hashtbl.replace span_info id (name, pid);
+        let args =
+          if parent = 0 then ev.args
+          else ("parent", Printf.sprintf "0x%x" parent) :: ev.args
+        in
+        async "b" ~ts ~pid ~id name [ ("args", jargs args) ]
+      | Sink.Span_end { id } -> (
+        match Hashtbl.find_opt span_info id with
+        | Some (name, pid) ->
+          Hashtbl.remove span_info id;
+          async "e" ~ts ~pid ~id name
+            (if ev.args = [] then [] else [ ("args", jargs ev.args) ])
+        | None -> ())
+      | Sink.Instant { name } ->
+        emit
+          (base name "i" ~ts
+             ~pid:(pid_of_track ev.track)
+             ~tid:(tid_of_track ev.track)
+             (("s", Json.Str "p")
+             :: (if ev.args = [] then [] else [ ("args", jargs ev.args) ])))
+    )
+    evs;
+  (* Self-repair: terminate anything still open at the last timestamp so
+     every begin has an end. *)
+  let final = Sink.last_time sink in
+  Hashtbl.iter (fun cpu () -> emit (base "" "E" ~ts:final ~pid:pid_cpus ~tid:cpu []))
+    open_slice;
+  Hashtbl.iter
+    (fun id (name, pid) ->
+      async "e" ~ts:final ~pid ~id name [ ("args", jargs [ ("truncated", "true") ]) ])
+    span_info;
+  (* Track naming metadata. *)
+  let meta = ref [] in
+  let meta_ev name ~pid ~tid value =
+    meta :=
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("ph", Json.Str "M");
+          ("pid", jint pid);
+          ("tid", jint tid);
+          ("args", Json.Obj [ ("name", Json.Str value) ]);
+        ]
+      :: !meta
+  in
+  meta_ev "process_name" ~pid:pid_cpus ~tid:0 "cpus";
+  meta_ev "process_name" ~pid:pid_global ~tid:0 "ghost-global";
+  Hashtbl.iter
+    (fun c () ->
+      meta_ev "thread_name" ~pid:pid_cpus ~tid:c (Printf.sprintf "cpu%d" c))
+    cpus;
+  Hashtbl.iter
+    (fun e () ->
+      meta_ev "process_name" ~pid:(pid_of_enclave e) ~tid:0
+        (Printf.sprintf "enclave-%d" e))
+    enclaves;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (!meta @ List.rev !out));
+      ("displayTimeUnit", Json.Str "ns");
+      ("metrics", Metrics.snapshot_json ());
+    ]
+
+let export_string sink = Json.to_string (export sink)
+
+let write_file sink ~path =
+  let oc = open_out path in
+  let buf = Buffer.create 65536 in
+  Json.write buf (export sink);
+  Buffer.output_buffer oc buf;
+  output_char oc '\n';
+  close_out oc

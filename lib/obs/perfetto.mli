@@ -1,0 +1,30 @@
+(** Perfetto / Chrome [trace_event] JSON exporter.
+
+    Renders a {!Sink} into the legacy Chrome trace-event format, loadable
+    at [ui.perfetto.dev] (or chrome://tracing):
+
+    - scheduler events become duration slices ([B]/[E]) on one thread per
+      CPU under a "cpus" process — the per-CPU dispatch timeline — with
+      wakeups and ticks as instants on the same tracks;
+    - spans become async [b]/[e] pairs grouped into one process per
+      enclave, so a scheduling decision (wakeup message → agent pass →
+      transaction → dispatch) reads as a causal chain on the enclave's
+      track;
+    - instants (enclave lifecycle, watchdog fires, agent crashes, message
+      drops) appear on their enclave's track.
+
+    The export is self-repairing: slices still open and spans never closed
+    at the end of the sink are terminated at the last recorded timestamp,
+    so the output always has matched begin/end pairs.  Timestamps are
+    microseconds ([ts] is ns/1000, 3 decimal places); events are emitted in
+    nondecreasing [ts] order per track.
+
+    A snapshot of the {!Metrics} registry rides along under the top-level
+    ["metrics"] key (ignored by viewers, convenient for tools). *)
+
+val export : Sink.t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ns", "metrics": {...}}] *)
+
+val export_string : Sink.t -> string
+
+val write_file : Sink.t -> path:string -> unit

@@ -1,0 +1,142 @@
+type track = Cpu of int | Enclave of int | Global
+
+type sched =
+  | Dispatch of { cpu : int; tid : int; name : string; migrated : bool }
+  | Preempt of { cpu : int; tid : int }
+  | Block of { cpu : int; tid : int }
+  | Yield of { cpu : int; tid : int }
+  | Exit of { cpu : int; tid : int }
+  | Wake of { tid : int; target_cpu : int }
+  | Idle of { cpu : int }
+  | Tick of { cpu : int }
+
+type kind =
+  | Span_begin of { id : int; parent : int; name : string }
+  | Span_end of { id : int }
+  | Instant of { name : string }
+  | Sched of sched
+
+type ev = { time : int; track : track; kind : kind; args : (string * string) list }
+
+let dummy_ev = { time = 0; track = Global; kind = Instant { name = "" }; args = [] }
+
+type t = {
+  mutable evs : ev array;
+  mutable n : int;
+  mutable next_id : int;
+  mutable max_time : int;
+  msg_open : (int * int, int) Hashtbl.t;  (* (tid, tseq) -> span id *)
+  sched_open : (int, int * int) Hashtbl.t;  (* tid -> (span id, began) *)
+  txn_open : (int, int * int) Hashtbl.t;  (* txn_id -> (span id, began) *)
+  mutable pass : int;  (* span id of the in-flight agent pass, 0 = none *)
+}
+
+let create () =
+  {
+    evs = Array.make 1024 dummy_ev;
+    n = 0;
+    next_id = 1;
+    max_time = 0;
+    msg_open = Hashtbl.create 256;
+    sched_open = Hashtbl.create 64;
+    txn_open = Hashtbl.create 64;
+    pass = 0;
+  }
+
+(* --- Global installation ---------------------------------------------------- *)
+
+let installed : t option ref = ref None
+
+let install t = installed := Some t
+let uninstall () = installed := None
+let current () = !installed
+let enabled () = !installed != None
+
+(* --- Recording -------------------------------------------------------------- *)
+
+let push t ev =
+  if t.n = Array.length t.evs then begin
+    let grown = Array.make (2 * t.n) dummy_ev in
+    Array.blit t.evs 0 grown 0 t.n;
+    t.evs <- grown
+  end;
+  t.evs.(t.n) <- ev;
+  t.n <- t.n + 1;
+  if ev.time > t.max_time then t.max_time <- ev.time
+
+let sched t ~time s = push t { time; track = Global; kind = Sched s; args = [] }
+
+let span_begin t ~time ?(parent = 0) ~name ~track ?(args = []) () =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  push t { time; track; kind = Span_begin { id; parent; name }; args };
+  id
+
+let span_end t ~time ?(args = []) id =
+  push t { time; track = Global; kind = Span_end { id }; args }
+
+let instant t ~time ~name ~track ?(args = []) () =
+  push t { time; track; kind = Instant { name }; args }
+
+(* --- Reading ---------------------------------------------------------------- *)
+
+let length t = t.n
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.evs.(i)
+  done
+
+let events t =
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    out := t.evs.(i) :: !out
+  done;
+  !out
+
+let last_time t = t.max_time
+
+(* --- Keyed joining ---------------------------------------------------------- *)
+
+let open_msg_span t ~tid ~tseq ~id = Hashtbl.replace t.msg_open (tid, tseq) id
+
+let take_msg_span t ~tid ~tseq =
+  match Hashtbl.find_opt t.msg_open (tid, tseq) with
+  | Some id ->
+    Hashtbl.remove t.msg_open (tid, tseq);
+    Some id
+  | None -> None
+
+let open_sched_span t ~tid ~id ~began = Hashtbl.replace t.sched_open tid (id, began)
+let find_sched_span t ~tid = Option.map fst (Hashtbl.find_opt t.sched_open tid)
+
+let take_sched_span t ~tid =
+  match Hashtbl.find_opt t.sched_open tid with
+  | Some entry ->
+    Hashtbl.remove t.sched_open tid;
+    Some entry
+  | None -> None
+
+let open_txn_span t ~txn_id ~id ~began = Hashtbl.replace t.txn_open txn_id (id, began)
+
+let take_txn_span t ~txn_id =
+  match Hashtbl.find_opt t.txn_open txn_id with
+  | Some entry ->
+    Hashtbl.remove t.txn_open txn_id;
+    Some entry
+  | None -> None
+
+let set_cur_pass t id = t.pass <- id
+let cur_pass t = t.pass
+
+(* --- Queue ownership -------------------------------------------------------- *)
+
+let queue_owners : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let note_queue_owner ~qid ~eid = Hashtbl.replace queue_owners qid eid
+let queue_owner ~qid = Hashtbl.find_opt queue_owners qid
+
+let queue_track ~qid =
+  match Hashtbl.find_opt queue_owners qid with
+  | Some eid -> Enclave eid
+  | None -> Global

@@ -1,0 +1,111 @@
+(** Trace event sink: spans, instants and scheduler events over sim time.
+
+    A sink is an append-only in-memory event log.  At most one sink is
+    {e installed} globally; instrumentation sites throughout the kernel and
+    ghOSt layers test {!enabled} (a single load and compare) and do nothing
+    — no allocation, no formatting — when no sink is installed, so
+    benchmark numbers are unaffected by the instrumentation being compiled
+    in.
+
+    Spans are begin/end pairs with optional parent links, identified by a
+    sink-assigned integer id; the keyed tables below let producers and
+    consumers in different layers join the two halves of a span without
+    threading ids through message types. *)
+
+type track =
+  | Cpu of int  (** rendered on the per-CPU timeline *)
+  | Enclave of int  (** rendered on the enclave's async track *)
+  | Global
+
+(** Scheduler events, mirroring {!Kernel.Trace.event} (duplicated here so
+    [kernel] can depend on [obs] without a cycle), plus timer ticks. *)
+type sched =
+  | Dispatch of { cpu : int; tid : int; name : string; migrated : bool }
+  | Preempt of { cpu : int; tid : int }
+  | Block of { cpu : int; tid : int }
+  | Yield of { cpu : int; tid : int }
+  | Exit of { cpu : int; tid : int }
+  | Wake of { tid : int; target_cpu : int }
+  | Idle of { cpu : int }
+  | Tick of { cpu : int }
+
+type kind =
+  | Span_begin of { id : int; parent : int; name : string }
+      (** [parent = 0] means no parent. *)
+  | Span_end of { id : int }
+  | Instant of { name : string }
+  | Sched of sched
+
+type ev = { time : int; track : track; kind : kind; args : (string * string) list }
+
+type t
+
+val create : unit -> t
+
+(** {1 Global installation} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val current : unit -> t option
+
+val enabled : unit -> bool
+(** The zero-cost gate: instrumentation sites check this before building
+    any event payload. *)
+
+(** {1 Recording} *)
+
+val sched : t -> time:int -> sched -> unit
+
+val span_begin :
+  t -> time:int -> ?parent:int -> name:string -> track:track ->
+  ?args:(string * string) list -> unit -> int
+(** Returns the new span's id (> 0). *)
+
+val span_end : t -> time:int -> ?args:(string * string) list -> int -> unit
+
+val instant :
+  t -> time:int -> name:string -> track:track ->
+  ?args:(string * string) list -> unit -> unit
+
+(** {1 Reading} *)
+
+val length : t -> int
+val iter : t -> (ev -> unit) -> unit
+val events : t -> ev list
+val last_time : t -> int
+(** Largest timestamp recorded; 0 when empty. *)
+
+(** {1 Cross-layer span joining}
+
+    Small keyed tables so the layer that opens a span and the layer that
+    closes it need not share state: thread messages are keyed by
+    [(tid, tseq)] (unique per message), wakeup→dispatch chains by [tid],
+    transactions by [txn_id]. *)
+
+val open_msg_span : t -> tid:int -> tseq:int -> id:int -> unit
+val take_msg_span : t -> tid:int -> tseq:int -> int option
+
+val open_sched_span : t -> tid:int -> id:int -> began:int -> unit
+val find_sched_span : t -> tid:int -> int option
+val take_sched_span : t -> tid:int -> (int * int) option
+(** [(id, began)] — removes the entry. *)
+
+val open_txn_span : t -> txn_id:int -> id:int -> began:int -> unit
+val take_txn_span : t -> txn_id:int -> (int * int) option
+
+val set_cur_pass : t -> int -> unit
+val cur_pass : t -> int
+(** Span id of the agent pass currently executing its policy code; 0 when
+    none.  Used to parent transaction spans under the pass that created
+    them. *)
+
+(** {1 Queue ownership}
+
+    [qid → enclave id], recorded unconditionally at queue-creation time
+    (not gated on {!enabled}: creation is rare and a sink installed later
+    still needs the mapping). *)
+
+val note_queue_owner : qid:int -> eid:int -> unit
+val queue_owner : qid:int -> int option
+val queue_track : qid:int -> track
+(** [Enclave eid] when known, [Global] otherwise. *)

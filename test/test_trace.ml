@@ -38,6 +38,18 @@ let test_ring_basics () =
   Trace.clear tr;
   check_int "cleared" 0 (Trace.length tr)
 
+let test_iter_matches_records () =
+  let tr = Trace.create ~capacity:8 () in
+  for i = 1 to 13 do
+    (* Overflows the ring so both paths must agree on the wrapped window. *)
+    Trace.emit tr ~time:i (Trace.Idle { cpu = i })
+  done;
+  let via_iter = ref [] in
+  Trace.iter tr (fun r -> via_iter := r :: !via_iter);
+  check_bool "iter visits records-list order" true
+    (List.rev !via_iter = Trace.records tr);
+  check_int "iter count" (Trace.length tr) (List.length !via_iter)
+
 let test_kernel_emits_lifecycle () =
   let k = Kernel.create (machine 2) in
   let tr = Trace.create () in
@@ -146,7 +158,10 @@ let () =
   Alcotest.run "trace"
     [
       ( "ring",
-        [ Alcotest.test_case "basics and overflow" `Quick test_ring_basics ] );
+        [
+          Alcotest.test_case "basics and overflow" `Quick test_ring_basics;
+          Alcotest.test_case "iter matches records" `Quick test_iter_matches_records;
+        ] );
       ( "kernel-wiring",
         [
           Alcotest.test_case "lifecycle events" `Quick test_kernel_emits_lifecycle;
