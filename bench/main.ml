@@ -4,7 +4,7 @@
 
    Usage:  main.exe [target ...]
    Targets: table2 table3 fig5 fig6a fig6bc fig7a fig7b fig8 table4
-            bpf micro engine quick all (default: all) *)
+            bpf tickless upgrade resilience micro engine quick all (default: all) *)
 
 let quick = ref false
 
@@ -75,6 +75,18 @@ let run_bpf () =
 let run_tickless () =
   let duration_ns = if !quick then ms 300 else ms 500 in
   Experiments.Tickless.print (Experiments.Tickless.run ~duration_ns ())
+
+let run_upgrade () =
+  let measure_ns = if !quick then ms 150 else ms 300 in
+  let upgrade_offset = if !quick then ms 50 else ms 100 in
+  Experiments.Upgrade.print
+    (Experiments.Upgrade.run ~measure_ns ~upgrade_offset ())
+
+let run_resilience () =
+  Experiments.Resilience.print
+    (Experiments.Resilience.run ~scenario:Experiments.Resilience.Crash ());
+  Experiments.Resilience.print
+    (Experiments.Resilience.run ~scenario:Experiments.Resilience.Stuck ())
 
 (* --- Real-time microbenchmarks (Bechamel) ------------------------------------ *)
 
@@ -309,6 +321,50 @@ let run_obs_overhead ~events =
   Obs.Metrics.reset ();
   (disabled, enabled)
 
+(* --- Fault-hook overhead ------------------------------------------------------- *)
+
+(* A small ghOSt serving scenario timed with no injector vs an armed empty
+   plan.  An empty plan posts nothing to the event queue, so the two runs
+   execute the same simulation; the ratio bounds what merely having
+   lib/faults wired in costs every ordinary run (it should be noise). *)
+let faults_scenario ~arm ~sim_ns =
+  let machine =
+    {
+      Hw.Machines.name = "faults-overhead";
+      topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:4 ~smt:1;
+      costs = Hw.Costs.skylake;
+    }
+  in
+  let kernel = Kernel.create ~seed:11 machine in
+  let sys = Ghost.System.install kernel in
+  let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
+  let _, pol = Policies.Fifo_centralized.policy ~timeslice:(Sim.Units.us 100) () in
+  let g = Ghost.Agent.attach_global sys e pol in
+  for i = 0 to 5 do
+    let t =
+      Kernel.create_task kernel
+        ~name:(Printf.sprintf "w%d" i)
+        (Kernel.Task.compute_forever ~slice:(Sim.Units.us 50))
+    in
+    Ghost.System.manage e t;
+    Kernel.start kernel t
+  done;
+  if arm then
+    ignore
+      (Faults.Injector.arm ~rng:(Kernel.rng kernel)
+         { Faults.Injector.sys; enclave = e; group = Some g; replace = None }
+         Faults.Plan.empty);
+  let t0 = Unix.gettimeofday () in
+  Kernel.run_until kernel sim_ns;
+  let wall = Unix.gettimeofday () -. t0 in
+  (Sim.Engine.events_fired (Kernel.engine kernel), wall)
+
+let run_faults_overhead ~sim_ns =
+  let fired_off, wall_off = faults_scenario ~arm:false ~sim_ns in
+  let fired_on, wall_on = faults_scenario ~arm:true ~sim_ns in
+  assert (fired_off = fired_on);
+  (float_of_int fired_off /. wall_off, float_of_int fired_on /. wall_on)
+
 let run_engine () =
   let events = if !quick then 300_000 else 2_000_000 in
   Gstats.Table.print_title
@@ -354,6 +410,18 @@ let run_engine () =
         Printf.sprintf "%.2fx" (obs_enabled /. obs_disabled);
       ];
     ];
+  let faults_sim_ns = if !quick then ms 100 else ms 400 in
+  let faults_off, faults_on = run_faults_overhead ~sim_ns:faults_sim_ns in
+  Gstats.Table.print
+    ~header:[ "fault hooks (ghost scenario)"; "events/sec"; "vs unarmed" ]
+    [
+      [ "no injector"; fmt_rate faults_off; "1.00x" ];
+      [
+        "empty plan armed";
+        fmt_rate faults_on;
+        Printf.sprintf "%.2fx" (faults_on /. faults_off);
+      ];
+    ];
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc "{\n  \"events\": %d,\n  \"workloads\": [\n" events;
   List.iteri
@@ -367,8 +435,12 @@ let run_engine () =
   Printf.fprintf oc "  ],\n";
   Printf.fprintf oc
     "  \"obs_overhead\": {\"disabled_events_per_sec\": %.0f, \
-     \"enabled_events_per_sec\": %.0f, \"enabled_over_disabled\": %.3f}\n"
+     \"enabled_events_per_sec\": %.0f, \"enabled_over_disabled\": %.3f},\n"
     obs_disabled obs_enabled (obs_enabled /. obs_disabled);
+  Printf.fprintf oc
+    "  \"faults_overhead\": {\"unarmed_events_per_sec\": %.0f, \
+     \"armed_empty_events_per_sec\": %.0f, \"armed_over_unarmed\": %.3f}\n"
+    faults_off faults_on (faults_on /. faults_off);
   Printf.fprintf oc "}\n";
   close_out oc;
   print_endline "wrote BENCH_engine.json"
@@ -388,6 +460,8 @@ let all_targets =
     ("table4", run_table4);
     ("bpf", run_bpf);
     ("tickless", run_tickless);
+    ("upgrade", run_upgrade);
+    ("resilience", run_resilience);
     ("micro", run_micro);
     ("engine", run_engine);
   ]

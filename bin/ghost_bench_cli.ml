@@ -157,6 +157,97 @@ let tickless_cmd =
     (Cmd.info "tickless" ~doc:"Tick-less scheduling for guest workloads (5)")
     Term.(const run $ duration_arg ~default:500 ~doc:"measured window (ms)")
 
+(* --- faults -------------------------------------------------------------- *)
+
+(* A spec containing '@' is a full plan ("crash@80ms,burst@100ms:n=50000");
+   otherwise it names a preset, injected 40% into the run. *)
+let resolve_plan spec ~horizon_ns =
+  if String.contains spec '@' then
+    match Faults.Plan.parse spec with
+    | Ok p -> p
+    | Error e ->
+      Printf.eprintf "bad --plan %S: %s\n" spec e;
+      exit 2
+  else
+    match Faults.Plan.preset spec ~at:(horizon_ns * 2 / 5) with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown preset %S (one of: %s, or an explicit plan)\n" spec
+        (String.concat ", " Faults.Plan.preset_names);
+      exit 2
+
+let faults_cmd =
+  let exp =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("upgrade", `Upgrade); ("resilience", `Resilience);
+                  ("fig6", `Fig6) ]))
+          None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "harness to inject into: $(b,upgrade) (Fig. 9-style windowed p99 \
+             around the fault), $(b,resilience) (finite jobs; do they all \
+             complete?), $(b,fig6) (ghOSt-Shinjuku sweep point + recovery \
+             report)")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "fault plan: a preset ($(b,crash), $(b,upgrade), $(b,stuck), \
+             $(b,slow), $(b,burst), $(b,none)) or an explicit schedule like \
+             upgrade@120ms:gap=100us or crash@80ms,burst@60ms:n=50000; \
+             events separated by commas, times suffixed ns/us/ms/s")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("crash", Experiments.Resilience.Crash);
+                    ("stuck", Experiments.Resilience.Stuck) ])
+          Experiments.Resilience.Crash
+      & info [ "scenario" ] ~doc:"resilience default plan: crash or stuck")
+  in
+  let run exp plan scenario duration =
+    match exp with
+    | `Upgrade ->
+      let measure_ns = ms duration in
+      let plan =
+        Option.map (resolve_plan ~horizon_ns:(ms 50 + measure_ns)) plan
+      in
+      Experiments.Upgrade.print (Experiments.Upgrade.run ~measure_ns ?plan ())
+    | `Resilience ->
+      let plan = Option.map (resolve_plan ~horizon_ns:(ms 100)) plan in
+      Experiments.Resilience.print
+        (Experiments.Resilience.run ~scenario ?plan ())
+    | `Fig6 ->
+      let measure_ns = ms duration in
+      let horizon_ns = ms 200 + measure_ns in
+      let plan =
+        match plan with
+        | Some spec -> resolve_plan spec ~horizon_ns
+        | None -> Option.get (Faults.Plan.preset "upgrade" ~at:(horizon_ns * 2 / 5))
+      in
+      let point, report =
+        Experiments.Fig6.run_ghost_faulted ~measure_ns ~plan ()
+      in
+      Experiments.Fig6.print ~title:"Fig. 6 point under faults" [ point ];
+      Faults.Report.print report
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject a deterministic fault plan (agent crash, in-place upgrade, \
+          stuck agent, slow commits, message burst) into a serving experiment \
+          and print the recovery report (§3.4)")
+    Term.(
+      const run $ exp $ plan $ scenario
+      $ duration_arg ~default:300 ~doc:"measured window (ms)")
+
 (* --- trace --------------------------------------------------------------- *)
 
 (* A small ghOSt-scheduled scenario: four short jobs under a centralized
@@ -291,6 +382,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "ghost_bench_cli" ~version:"1.0" ~doc)
     [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; table4_cmd;
-      bpf_cmd; tickless_cmd; trace_cmd ]
+      bpf_cmd; tickless_cmd; faults_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

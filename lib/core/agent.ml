@@ -26,6 +26,8 @@ and group = {
   mutable stopped : bool;
   mutable attached : bool;
   mutable the_ctx : ctx option;
+  mutable paused : bool;  (* fault injection: hung agent process *)
+  mutable pass_penalty : int;  (* fault injection: extra ns per pass *)
 }
 
 and mode = Global | Local
@@ -187,6 +189,7 @@ let run_pass g ~cpu ~queues ~after_apply =
   g.pol.schedule ctx msgs;
   let batches = List.rev ctx.batches in
   ctx.charged <- ctx.charged + commit_cost g ~agent_cpu:cpu batches;
+  if g.pass_penalty > 0 then ctx.charged <- ctx.charged + g.pass_penalty;
   let c = Kernel.costs g.kern in
   let charged =
     if sibling_busy g cpu then scale_f c.Hw.Costs.smt_contention ctx.charged
@@ -230,6 +233,9 @@ let find_handoff_target g ~from =
 let rec global_behavior g cpu () =
   if not (alive g) then Task.Exit
   else if g.gcpu <> cpu then Task.Block { after = global_behavior g cpu }
+  else if g.paused then
+    (* A hung agent: occupies its CPU but drains nothing, commits nothing. *)
+    Task.Run { ns = g.idle_gap; after = global_behavior g cpu }
   else if Kernel.lower_class_waiting g.kern cpu then begin
     (* Hot handoff: vacate for the CFS/MicroQuanta work waiting here. *)
     match find_handoff_target g ~from:cpu with
@@ -261,6 +267,8 @@ let local_queues g cpu =
 
 let rec local_behavior g cpu () =
   if not (alive g) then Task.Exit
+  else if g.paused then
+    Task.Run { ns = g.idle_gap; after = local_behavior g cpu }
   else begin
     let queues = local_queues g cpu in
     let pending = List.exists (fun q -> Squeue.length q > 0) queues in
@@ -311,6 +319,8 @@ let make_group sys enc ~mode ~min_iteration ?(idle_gap = 1_000) pol =
     stopped = false;
     attached = false;
     the_ctx = None;
+    paused = false;
+    pass_penalty = 0;
   }
 
 let attach_global sys enc ?(min_iteration = 200) ?idle_gap pol =
@@ -372,3 +382,21 @@ let crash g =
 let global_cpu g = g.gcpu
 let iterations g = g.iters
 let is_attached g = g.attached
+
+(* --- Fault-injection points ------------------------------------------------- *)
+
+let set_paused g flag =
+  if g.paused <> flag then begin
+    g.paused <- flag;
+    if not flag then
+      (* Resuming agents owe a pass: queues may have filled while hung. *)
+      Hashtbl.iter
+        (fun cpu (task : Task.t) ->
+          Hashtbl.replace g.poked cpu ();
+          Kernel.wake g.kern task)
+        g.agents
+  end
+
+let paused g = g.paused
+let set_pass_penalty g ns = g.pass_penalty <- max 0 ns
+let pass_penalty g = g.pass_penalty

@@ -66,6 +66,27 @@ val iterations : group -> int
 
 val is_attached : group -> bool
 
+(** {1 Fault-injection points (lib/faults)}
+
+    Plain field writes: both knobs cost one load on the agent hot path when
+    unset, so an unarmed system pays nothing for them. *)
+
+val set_paused : group -> bool -> unit
+(** Simulate a hung agent process: paused agents keep occupying their CPUs
+    but drain no messages and commit nothing, so managed threads starve and
+    the watchdog eventually trips (§3.4).  Unpausing pokes every agent so it
+    immediately works through the backlog. *)
+
+val paused : group -> bool
+
+val set_pass_penalty : group -> int -> unit
+(** Charge an extra [ns] to every scheduling pass — a degraded/slow agent
+    whose transaction commits apply late (commits are validated when the
+    pass's busy interval ends, so delaying the interval delays — and with
+    message races, ESTALEs — the commits).  0 disables. *)
+
+val pass_penalty : group -> int
+
 (** {1 The agent API (available inside policy callbacks)} *)
 
 val sys : ctx -> System.t

@@ -54,7 +54,7 @@ let run_shinjuku ~rate ~warmup_ns ~measure_ns =
 
 (* --- ghOSt-Shinjuku ----------------------------------------------------------- *)
 
-let run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns =
+let run_ghost_plan ~rate ~with_batch ~warmup_ns ~measure_ns ~plan =
   let machine = Hw.Machines.xeon_e5_1s in
   let kernel, sys = Common.make_system machine in
   (* Agent on CPU 0, workers scheduled on CPUs 1..20. *)
@@ -63,8 +63,20 @@ let run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns =
   let is_batch (task : Task.t) =
     String.length task.Task.name >= 5 && String.sub task.Task.name 0 5 = "batch"
   in
-  let _st, pol = Policies.Shinjuku.policy ~shenango_ext:with_batch ~is_batch () in
-  let _g = Agent.attach_global sys e pol in
+  let mk_policy () =
+    snd (Policies.Shinjuku.policy ~shenango_ext:with_batch ~is_batch ())
+  in
+  let g = Agent.attach_global sys e (mk_policy ()) in
+  let inj =
+    Faults.Injector.arm ~rng:(Kernel.rng kernel)
+      {
+        Faults.Injector.sys;
+        enclave = e;
+        group = Some g;
+        replace = Some (fun () -> Agent.attach_global sys e (mk_policy ()));
+      }
+      plan
+  in
   let spawn ~idx behavior =
     Common.spawn_ghost kernel e ~name:(Printf.sprintf "worker%d" idx) behavior
   in
@@ -94,8 +106,16 @@ let run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns =
         ~cpus:worker_cpus
     | None -> 0.0
   in
-  point_of Ghost_shinjuku ~rate ~rec_:(Workloads.Openloop.recorder ol) ~measure_ns
-    ~share
+  ( point_of Ghost_shinjuku ~rate ~rec_:(Workloads.Openloop.recorder ol)
+      ~measure_ns ~share,
+    Faults.Injector.report inj )
+
+let run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns =
+  fst (run_ghost_plan ~rate ~with_batch ~warmup_ns ~measure_ns ~plan:Faults.Plan.empty)
+
+let run_ghost_faulted ?(rate = 240_000.) ?(with_batch = false)
+    ?(warmup_ns = Sim.Units.ms 200) ?(measure_ns = Sim.Units.ms 800) ~plan () =
+  run_ghost_plan ~rate ~with_batch ~warmup_ns ~measure_ns ~plan
 
 (* --- CFS-Shinjuku -------------------------------------------------------------- *)
 

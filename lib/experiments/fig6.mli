@@ -37,6 +37,18 @@ val run :
   unit ->
   point list
 
+val run_ghost_faulted :
+  ?rate:float ->
+  ?with_batch:bool ->
+  ?warmup_ns:int ->
+  ?measure_ns:int ->
+  plan:Faults.Plan.t ->
+  unit ->
+  point * Faults.Report.t
+(** One ghOSt-Shinjuku point with a fault plan armed against its enclave
+    (replacement for [Upgrade] events is a fresh Shinjuku agent).  Default
+    rate 240 kq/s — just below saturation, where a disturbance shows. *)
+
 val print : title:string -> point list -> unit
 
 val rocksdb_service : Sim.Dist.t

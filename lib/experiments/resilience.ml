@@ -1,0 +1,105 @@
+module Task = Kernel.Task
+module System = Ghost.System
+module Agent = Ghost.Agent
+
+let ms = Sim.Units.ms
+let us = Sim.Units.us
+
+type scenario = Crash | Stuck
+
+type result = {
+  scenario : scenario;
+  report : Faults.Report.t;
+  destroy_reason : string option;
+  all_cfs_at_destroy : bool;
+  completed : int;
+  total_jobs : int;
+  all_completed : bool;
+  finished_at : int option;
+}
+
+let machine =
+  {
+    Hw.Machines.name = "resilience-4c";
+    topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:4 ~smt:1;
+    costs = Hw.Costs.skylake;
+  }
+
+let scenario_to_string = function Crash -> "crash" | Stuck -> "stuck"
+
+let reason_to_string = function
+  | System.Explicit -> "explicit"
+  | System.Watchdog -> "watchdog"
+  | System.Agent_crash -> "agent-crash"
+
+let default_plan = function
+  | Crash -> Faults.Plan.make ~name:"crash under load"
+               [ { at = ms 20; jitter = 0; kind = Crash } ]
+  | Stuck -> Faults.Plan.make ~name:"stuck agent under load"
+               [ { at = ms 20; jitter = 0; kind = Stall { duration = ms 100 } } ]
+
+let run ?(seed = 42) ?(scenario = Crash) ?plan () =
+  let plan = match plan with Some p -> p | None -> default_plan scenario in
+  let kernel, sys = Common.make_system ~seed machine in
+  let e =
+    System.create_enclave sys ~watchdog_timeout:(ms 10)
+      ~cpus:(Kernel.full_mask kernel) ()
+  in
+  let _, pol = Policies.Fifo_centralized.policy ~timeslice:(us 100) () in
+  let g = Agent.attach_global sys e pol in
+  let total_jobs = 8 in
+  let finished_at = ref None in
+  let jobs =
+    List.init total_jobs (fun i ->
+        Common.spawn_ghost kernel e ~name:(Printf.sprintf "job%d" i)
+          (Task.compute_total ~slice:(us 100) ~total:(ms 20) (fun () ->
+               finished_at := Some (Kernel.now kernel);
+               Task.Exit)))
+  in
+  (* Snapshot the jobs' scheduling class the instant the enclave dies:
+     System unmanages threads (back to CFS) before running callbacks, so
+     this is the paper's "threads transparently revert" check. *)
+  let all_cfs_at_destroy = ref false in
+  System.on_destroy e (fun _reason ->
+      all_cfs_at_destroy :=
+        List.for_all
+          (fun (t : Task.t) -> t.Task.state = Task.Dead || t.Task.policy = Task.Cfs)
+          jobs);
+  let inj =
+    Faults.Injector.arm ~rng:(Kernel.rng kernel)
+      { Faults.Injector.sys; enclave = e; group = Some g; replace = None }
+      plan
+  in
+  (* 8 jobs x 20 ms on <= 4 CPUs needs >= 40 ms of perfect packing; 500 ms
+     leaves room for the fault, the grace period / watchdog, and CFS. *)
+  Kernel.run_until kernel (ms 500);
+  let completed =
+    List.length (List.filter (fun (t : Task.t) -> t.Task.state = Task.Dead) jobs)
+  in
+  {
+    scenario;
+    report = Faults.Injector.report inj;
+    destroy_reason = Option.map reason_to_string (System.destroy_reason e);
+    all_cfs_at_destroy = !all_cfs_at_destroy;
+    completed;
+    total_jobs;
+    all_completed = completed = total_jobs;
+    finished_at = !finished_at;
+  }
+
+let print r =
+  Gstats.Table.print_title
+    (Printf.sprintf "Resilience (§3.4): %s agent under load"
+       (scenario_to_string r.scenario));
+  Faults.Report.print r.report;
+  let verdict ok = if ok then "PASS" else "FAIL" in
+  Printf.printf "destroy reason:          %s\n"
+    (Option.value r.destroy_reason ~default:"(enclave still alive)");
+  Printf.printf "threads on CFS at death: %s\n" (verdict r.all_cfs_at_destroy);
+  Printf.printf "jobs completed:          %d/%d (%s)\n" r.completed r.total_jobs
+    (verdict r.all_completed);
+  (match r.finished_at with
+  | Some t -> Printf.printf "last job finished at:    %.1f ms\n" (float_of_int t /. 1e6)
+  | None -> Printf.printf "last job finished at:    never\n");
+  Printf.printf "verdict: %s\n"
+    (verdict (r.all_completed && r.all_cfs_at_destroy && r.destroy_reason <> None))

@@ -1,0 +1,54 @@
+(** Fig. 9-style in-place agent upgrade under load (§3.4).
+
+    A Shinjuku-policy global agent serves an open-loop load; mid-run the
+    agent is stopped and a replacement attaches after a configurable handoff
+    gap, rebuilding its runqueue from [managed_threads].  We plot windowed
+    p99 latency against an undisturbed run of the same seed: the paper's
+    claim is a bounded, barely perceptible spike — latency returns to the
+    undisturbed level once the replacement has caught up.
+
+    The same harness runs {e any} fault plan against the serving stack
+    ([?plan]), which is what `ghost_bench_cli faults upgrade --plan ...`
+    uses. *)
+
+type window = {
+  w_start : int;  (** Window start, absolute sim ns. *)
+  completions : int;
+  p99 : int;  (** p99 end-to-end latency of completions in the window, ns. *)
+}
+
+type result = {
+  upgrade_at : int;
+  window_ns : int;
+  baseline : window list;  (** Undisturbed run (armed with the empty plan). *)
+  faulted : window list;
+  report : Faults.Report.t;
+  baseline_p99_us : float;  (** Whole-measure p99 of the undisturbed run. *)
+  spike_p99_us : float;  (** Peak windowed p99 after the fault. *)
+  spike_width_ms : float;
+      (** Fault time → first window back within 10% of the undisturbed
+          run's same-window p99 (measure-end if never). *)
+  degraded : int;
+      (** Faulted-run completions in the spike window above the undisturbed
+          run's whole-run p99. *)
+  recovered_ratio : float;
+      (** Post-recovery p99 / undisturbed same-interval p99. *)
+  recovered : bool;  (** [recovered_ratio <= 1.10]. *)
+}
+
+val run :
+  ?seed:int ->
+  ?rate:float ->
+  ?warmup_ns:int ->
+  ?measure_ns:int ->
+  ?upgrade_offset:int ->
+  ?handoff_gap:int ->
+  ?window_ns:int ->
+  ?plan:Faults.Plan.t ->
+  unit ->
+  result
+(** Defaults: seed 42, 400 kq/s exponential 10 us service on 8 worker CPUs,
+    50 ms warm-up, 300 ms measured, upgrade 100 ms in, 100 us gap, 10 ms
+    windows.  [plan] replaces the default single-upgrade plan. *)
+
+val print : result -> unit

@@ -1,0 +1,167 @@
+module System = Ghost.System
+module Agent = Ghost.Agent
+
+type env = {
+  sys : System.t;
+  enclave : System.enclave;
+  group : Agent.group option;
+  replace : (unit -> Agent.group) option;
+}
+
+type t = {
+  env : env;
+  plan : Plan.t;
+  mutable cur : Agent.group option;
+  mutable fired : (int * string) list;  (* reverse chronological *)
+  mutable last_disruptive : int option;
+  mutable destroyed_at : int option;
+  mutable destroy_reason : string option;
+  mutable stopped_at : int option;
+  mutable replaced_at : int option;
+}
+
+let kernel t = System.kernel t.env.sys
+let engine t = Kernel.engine (kernel t)
+let now t = Kernel.now (kernel t)
+
+let reason_to_string = function
+  | System.Explicit -> "explicit"
+  | System.Watchdog -> "watchdog"
+  | System.Agent_crash -> "agent-crash"
+
+let note t kind ~disruptive =
+  let time = now t in
+  t.fired <- (time, Plan.kind_to_string kind) :: t.fired;
+  if disruptive then t.last_disruptive <- Some time;
+  if Obs.Hooks.enabled () then
+    Obs.Hooks.fault_injected ~now:time
+      ~eid:(System.enclave_id t.env.enclave)
+      ~kind:(Plan.kind_to_string kind)
+
+let burst t ~count =
+  let q = System.default_queue t.env.enclave in
+  let time = now t in
+  let junk =
+    {
+      Ghost.Msg.kind = Ghost.Msg.TIMER_TICK;
+      tid = -1;
+      tseq = 0;
+      cpu = -1;
+      posted_at = time;
+      visible_at = time;
+    }
+  in
+  for _ = 1 to count do
+    ignore (Ghost.Squeue.produce q junk)
+  done
+
+let fire t (kind : Plan.kind) =
+  if System.enclave_alive t.env.enclave then begin
+    match kind with
+    | Plan.Crash -> (
+      match t.cur with
+      | Some g ->
+        note t kind ~disruptive:true;
+        Agent.crash g
+      | None -> ())
+    | Plan.Upgrade { handoff_gap } -> (
+      match t.cur with
+      | Some g ->
+        note t kind ~disruptive:true;
+        t.stopped_at <- Some (now t);
+        Agent.stop g;
+        ignore
+          (Sim.Engine.post_in (engine t) ~delay:handoff_gap (fun () ->
+               match t.env.replace with
+               | Some build when System.enclave_alive t.env.enclave ->
+                 let g2 = build () in
+                 t.cur <- Some g2;
+                 t.replaced_at <- Some (now t)
+               | Some _ | None -> ()))
+      | None -> ())
+    | Plan.Stall { duration } -> (
+      match t.cur with
+      | Some g ->
+        note t kind ~disruptive:true;
+        Agent.set_paused g true;
+        ignore
+          (Sim.Engine.post_in (engine t) ~delay:duration (fun () ->
+               Agent.set_paused g false))
+      | None -> ())
+    | Plan.Slow { penalty; duration } -> (
+      match t.cur with
+      | Some g ->
+        note t kind ~disruptive:false;
+        Agent.set_pass_penalty g penalty;
+        ignore
+          (Sim.Engine.post_in (engine t) ~delay:duration (fun () ->
+               Agent.set_pass_penalty g 0))
+      | None -> ())
+    | Plan.Burst { count } ->
+      note t kind ~disruptive:false;
+      burst t ~count
+  end
+
+let arm ?rng env plan =
+  let t =
+    {
+      env;
+      plan;
+      cur = env.group;
+      fired = [];
+      last_disruptive = None;
+      destroyed_at = None;
+      destroy_reason = None;
+      stopped_at = None;
+      replaced_at = None;
+    }
+  in
+  System.on_destroy env.enclave (fun reason ->
+      if t.destroyed_at = None then begin
+        t.destroyed_at <- Some (now t);
+        t.destroy_reason <- Some (reason_to_string reason)
+      end);
+  if not (Plan.is_empty plan) then begin
+    (* Jitter draws come from a labeled sub-stream so taking them leaves the
+       workload's generator untouched; drawn at arm time in event order so
+       the schedule is fixed before anything runs. *)
+    let frng =
+      match rng with
+      | Some parent -> Sim.Rng.stream parent ~label:"faults"
+      | None -> Sim.Rng.create 0x5EED
+    in
+    let eng = engine t in
+    let tnow = now t in
+    List.iter
+      (fun (ev : Plan.event) ->
+        let jitter = if ev.jitter > 0 then Sim.Rng.int frng (ev.jitter + 1) else 0 in
+        let time = max tnow (ev.at + jitter) in
+        ignore (Sim.Engine.post eng ~time (fun () -> fire t ev.kind)))
+      plan.Plan.events
+  end;
+  t
+
+let fired t = List.rev t.fired
+let current_group t = t.cur
+
+let report t : Report.t =
+  {
+    plan = Plan.to_string t.plan;
+    fired = fired t;
+    destroyed_at = t.destroyed_at;
+    destroy_reason = t.destroy_reason;
+    fallback_ns =
+      (match (t.destroyed_at, t.last_disruptive) with
+      | Some dead, Some fault when dead >= fault -> Some (dead - fault)
+      | _ -> None);
+    stopped_at = t.stopped_at;
+    replaced_at = t.replaced_at;
+    handoff_ns =
+      (match (t.stopped_at, t.replaced_at) with
+      | Some stop, Some attach when attach >= stop -> Some (attach - stop)
+      | _ -> None);
+    enclave_drops = System.enclave_dropped t.env.enclave;
+    watchdog_fires = (System.stats t.env.sys).System.watchdog_fires;
+    degraded_requests = None;
+    recovered_p99_ratio = None;
+  }

@@ -1,0 +1,39 @@
+(** Arms a {!Plan} against a running system via the simulation event queue.
+
+    The injector owns no randomness of its own beyond a labeled sub-stream
+    ({!Sim.Rng.stream}) of the rng it is given, so arming a plan — or an
+    empty one — never perturbs workload arrival randomness; an empty plan
+    posts {e nothing} to the event queue and the run is bit-identical to an
+    unarmed one.
+
+    Fault events are mirrored to {!Obs.Hooks.fault_injected} when a trace
+    sink is installed, so the crash, the watchdog fire and the handoff land
+    on one Perfetto timeline. *)
+
+type env = {
+  sys : Ghost.System.t;
+  enclave : Ghost.System.enclave;
+  group : Ghost.Agent.group option;
+      (** The live agent group faults act on (crash/stop/stall/slow). *)
+  replace : (unit -> Ghost.Agent.group) option;
+      (** Builds and attaches the replacement group for [Upgrade] events —
+          the policy-v2 constructor.  [None] turns upgrades into
+          shutdown-without-successor. *)
+}
+
+type t
+
+val arm : ?rng:Sim.Rng.t -> env -> Plan.t -> t
+(** Post the plan's events at their (jittered) times.  Events in the past
+    fire immediately.  [rng] seeds the jitter stream (label ["faults"]);
+    omitted, jitter fields are still honoured with a fixed seed. *)
+
+val fired : t -> (int * string) list
+(** (time, kind) of every fault fired so far, chronological. *)
+
+val current_group : t -> Ghost.Agent.group option
+(** The group currently scheduling the enclave ([replace]d groups shadow
+    the original). *)
+
+val report : t -> Report.t
+(** Snapshot the recovery measurements (call after the run). *)

@@ -1,0 +1,68 @@
+(** Deterministic fault plans: a typed schedule of fault events over sim
+    time, reproducing the failure modes of §3.4 (agent crash, planned
+    shutdown / in-place upgrade, stuck agent tripping the watchdog) plus
+    message-queue overflow bursts and delayed transaction commits.
+
+    A plan is pure data — arming it against a running system is
+    {!Injector.arm}'s job — so the same plan value replayed against the same
+    seeded run reproduces the same faults bit-for-bit. *)
+
+type kind =
+  | Crash
+      (** The agent process dies without handing over; absent a replacement
+          the enclave is destroyed after the grace period and its threads
+          fall back to CFS. *)
+  | Upgrade of { handoff_gap : int }
+      (** Planned shutdown (in-place upgrade): the live group stops, and the
+          injector attaches the replacement [handoff_gap] ns later.  Without
+          a replacement constructor this degrades to shutdown-no-successor,
+          which the grace period turns into [Agent_crash] destruction. *)
+  | Stall of { duration : int }
+      (** The agent hangs for [duration] ns: it occupies its CPUs but drains
+          and commits nothing.  Longer than the watchdog timeout, this trips
+          the watchdog. *)
+  | Slow of { penalty : int; duration : int }
+      (** Every scheduling pass is charged [penalty] extra ns for
+          [duration] ns — delayed transaction commits (and the ESTALEs that
+          come with deciding on stale state). *)
+  | Burst of { count : int }
+      (** Produce [count] junk messages into the enclave's default queue in
+          one burst: overflows the queue so kernel-posted messages drop. *)
+
+type event = {
+  at : int;  (** Absolute sim time, ns. *)
+  jitter : int;  (** Max uniform random delay added from the fault stream (0 = none). *)
+  kind : kind;
+}
+
+type t = { name : string; events : event list (** sorted by [at] *) }
+
+val empty : t
+val make : name:string -> event list -> t
+(** Sorts events by time.  Raises [Invalid_argument] on negative times. *)
+
+val is_empty : t -> bool
+val kind_to_string : kind -> string
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Parse a plan spec: comma-separated events, each [KIND@TIME] with
+    optional [:key=value] options.  Times accept [ns]/[us]/[ms]/[s]
+    suffixes (default ns).
+
+    - [crash@80ms]
+    - [upgrade@80ms:gap=200us]
+    - [stall@80ms:for=20ms]
+    - [slow@80ms:penalty=50us:for=20ms]
+    - [burst@80ms:n=100000]
+    - [none] — the empty plan.
+
+    Any event may add [:jitter=TIME]. *)
+
+val preset : string -> at:int -> t option
+(** Named plans with default parameters, anchored at time [at]:
+    ["crash"], ["upgrade"], ["stuck"], ["slow"], ["burst"], ["none"]. *)
+
+val preset_names : string list

@@ -1,0 +1,51 @@
+type t = {
+  plan : string;
+  fired : (int * string) list;
+  destroyed_at : int option;
+  destroy_reason : string option;
+  fallback_ns : int option;
+  stopped_at : int option;
+  replaced_at : int option;
+  handoff_ns : int option;
+  enclave_drops : int;
+  watchdog_fires : int;
+  mutable degraded_requests : int option;
+  mutable recovered_p99_ratio : float option;
+}
+
+let ms ns = float_of_int ns /. 1e6
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "fault plan: %s\n" t.plan;
+  if t.fired = [] then add "  no faults fired\n"
+  else
+    List.iter
+      (fun (time, kind) -> add "  t=%.3fms  %s\n" (ms time) kind)
+      t.fired;
+  (match (t.destroyed_at, t.destroy_reason) with
+  | Some time, Some reason ->
+    add "  enclave destroyed at t=%.3fms (%s)\n" (ms time) reason
+  | Some time, None -> add "  enclave destroyed at t=%.3fms\n" (ms time)
+  | None, _ -> add "  enclave survived\n");
+  (match t.fallback_ns with
+  | Some ns -> add "  time to CFS fallback: %.3fms\n" (ms ns)
+  | None -> ());
+  (match (t.replaced_at, t.handoff_ns) with
+  | Some time, Some gap ->
+    add "  replacement attached at t=%.3fms (handoff gap %.3fms)\n" (ms time)
+      (ms gap)
+  | Some time, None -> add "  replacement attached at t=%.3fms\n" (ms time)
+  | None, _ -> ());
+  if t.enclave_drops > 0 then add "  messages dropped: %d\n" t.enclave_drops;
+  if t.watchdog_fires > 0 then add "  watchdog fires: %d\n" t.watchdog_fires;
+  (match t.degraded_requests with
+  | Some n -> add "  requests degraded during the window: %d\n" n
+  | None -> ());
+  (match t.recovered_p99_ratio with
+  | Some r -> add "  post-recovery p99 vs undisturbed: %.3fx\n" r
+  | None -> ());
+  Buffer.contents b
+
+let print t = print_string (to_string t)

@@ -1,0 +1,29 @@
+(** Recovery report for a faulted run: what fired, when the system fell
+    back or handed off, and how the workload degraded.
+
+    The injector fills the timing fields; the experiment harness that owns
+    the workload fills the optional latency fields before printing.
+    [to_string] is a pure function of the record, so two runs with the same
+    seed and plan render bit-identical reports. *)
+
+type t = {
+  plan : string;
+  fired : (int * string) list;  (** (time, kind), chronological. *)
+  destroyed_at : int option;
+  destroy_reason : string option;
+  fallback_ns : int option;
+      (** Last disruptive fault → enclave destruction (time-to-CFS-fallback). *)
+  stopped_at : int option;  (** Planned shutdown time (upgrade). *)
+  replaced_at : int option;  (** Replacement group attach time. *)
+  handoff_ns : int option;  (** [stopped_at] → [replaced_at]. *)
+  enclave_drops : int;  (** Queue-overflow losses across the enclave's queues. *)
+  watchdog_fires : int;
+  mutable degraded_requests : int option;
+      (** Requests completing in the disruption window above the undisturbed
+          run's tail (workload-level; filled by the experiment). *)
+  mutable recovered_p99_ratio : float option;
+      (** Post-recovery p99 / undisturbed p99 (1.0 = fully recovered). *)
+}
+
+val to_string : t -> string
+val print : t -> unit

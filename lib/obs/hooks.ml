@@ -25,8 +25,12 @@ let h_pass = Metrics.histogram "agent.pass_ns"
 
 let c_enclaves_created = Metrics.counter "enclave.created"
 let c_enclaves_destroyed = Metrics.counter "enclave.destroyed"
+let c_destroyed_explicit = Metrics.counter "enclave.destroyed.explicit"
+let c_destroyed_watchdog = Metrics.counter "enclave.destroyed.watchdog"
+let c_destroyed_agent_crash = Metrics.counter "enclave.destroyed.agent_crash"
 let c_watchdog = Metrics.counter "enclave.watchdog_fires"
 let c_agent_crashes = Metrics.counter "enclave.agent_crashes"
+let c_faults = Metrics.counter "faults.injected"
 
 let si = string_of_int
 
@@ -187,8 +191,24 @@ let enclave_destroyed ~now ~eid ~reason =
   | None -> ()
   | Some s ->
     Metrics.incr c_enclaves_destroyed;
+    (* Per-reason counts: the trace metrics should say *why* enclaves died,
+       not just how many (the §3.4 resilience story hinges on the reason). *)
+    (match reason with
+    | "explicit" -> Metrics.incr c_destroyed_explicit
+    | "watchdog" -> Metrics.incr c_destroyed_watchdog
+    | "agent-crash" -> Metrics.incr c_destroyed_agent_crash
+    | _ -> ());
     Sink.instant s ~time:now ~name:"enclave-destroyed" ~track:(Sink.Enclave eid)
       ~args:[ ("reason", reason) ]
+      ()
+
+let fault_injected ~now ~eid ~kind =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_faults;
+    Sink.instant s ~time:now ~name:("fault:" ^ kind) ~track:(Sink.Enclave eid)
+      ~args:[ ("kind", kind) ]
       ()
 
 let watchdog_fire ~now ~eid ~tid =

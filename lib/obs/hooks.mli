@@ -61,5 +61,17 @@ val agent_crash : now:int -> eid:int -> unit
 (** {1 Enclave lifecycle} *)
 
 val enclave_created : now:int -> eid:int -> ncpus:int -> unit
+
 val enclave_destroyed : now:int -> eid:int -> reason:string -> unit
+(** Also bumps the per-reason counter
+    ([enclave.destroyed.explicit|watchdog|agent_crash]) so the metrics —
+    and the Perfetto export embedding them — carry destroy-reason counts,
+    not just enclave stats. *)
+
 val watchdog_fire : now:int -> eid:int -> tid:int -> unit
+
+(** {1 Fault injection (lib/faults)} *)
+
+val fault_injected : now:int -> eid:int -> kind:string -> unit
+(** Instant ["fault:<kind>"] on the enclave's track, so a trace shows the
+    injected fault, the watchdog fire and the handoff on one timeline. *)

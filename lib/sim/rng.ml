@@ -15,6 +15,18 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let stream t ~label =
+  (* FNV-1a over the label, folded into the parent's *current* state without
+     advancing it: deriving a labeled stream is invisible to the parent, so
+     arming optional machinery (e.g. a fault plan) never perturbs the draws
+     the parent hands out afterwards. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  { state = mix (Int64.logxor t.state !h) }
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free modulo is fine here: n is tiny relative to 2^62 in all

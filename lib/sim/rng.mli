@@ -10,7 +10,14 @@ val create : int -> t
 (** [create seed] makes a generator from a seed. *)
 
 val split : t -> t
-(** A new generator whose stream is independent of the parent's. *)
+(** A new generator whose stream is independent of the parent's.  Advances
+    the parent by one draw. *)
+
+val stream : t -> label:string -> t
+(** A labeled sub-stream derived from the parent's current state {e without}
+    advancing it: the parent's subsequent draws are bit-identical whether or
+    not any streams were taken.  Distinct labels give independent streams;
+    the same label at the same parent state reproduces the same stream. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)

@@ -11,6 +11,7 @@ type t = {
   mutable pool : request Pool.t option;
   mutable offered : int;
   mutable record_after : int;
+  mutable on_complete : (now:int -> arrival:int -> unit) option;
 }
 
 let pool t = match t.pool with Some p -> p | None -> assert false
@@ -19,6 +20,7 @@ let offered t = t.offered
 let queued_now t = Pool.backlog (pool t)
 let workers t = Pool.tasks (pool t)
 let set_record_after t time = t.record_after <- time
+let set_on_complete t fn = t.on_complete <- fn
 
 let arrival t =
   let now = Kernel.now t.kernel in
@@ -50,12 +52,17 @@ let create kernel ~seed ~rate ~service ~nworkers ~spawn =
       pool = None;
       offered = 0;
       record_after = 0;
+      on_complete = None;
     }
   in
   let work (req : request) (_task : Task.t) = [ Pool.Compute req.service ] in
   let on_done (req : request) =
-    if req.arrival >= t.record_after then
-      Recorder.record t.rec_ ~now:(Kernel.now kernel) ~arrival:req.arrival
+    if req.arrival >= t.record_after then begin
+      Recorder.record t.rec_ ~now:(Kernel.now kernel) ~arrival:req.arrival;
+      match t.on_complete with
+      | Some fn -> fn ~now:(Kernel.now kernel) ~arrival:req.arrival
+      | None -> ()
+    end
   in
   t.pool <- Some (Pool.create kernel ~n:nworkers ~spawn ~work ~on_done ());
   t

@@ -28,6 +28,11 @@ val start : t -> until:int -> unit
 val set_record_after : t -> int -> unit
 (** Ignore requests arriving before this time (warm-up). *)
 
+val set_on_complete : t -> (now:int -> arrival:int -> unit) option -> unit
+(** Extra per-completion callback (after warm-up filtering) — lets a harness
+    bucket latencies by completion time, e.g. to plot the p99 spike around
+    an injected fault. *)
+
 val recorder : t -> Recorder.t
 val offered : t -> int
 (** Requests generated. *)

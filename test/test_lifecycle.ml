@@ -118,6 +118,31 @@ let test_single_cpu_enclave_starves_without_handoff_target () =
   check_bool "thread rescued to CFS and running" true
     (t.Task.policy = Task.Cfs && t.Task.sum_exec > 0)
 
+let test_pause_shorter_than_watchdog_survives () =
+  (* A stall shorter than the watchdog timeout (lib/faults' Stall injection
+     point): the enclave must survive and scheduling must resume. *)
+  let k = Kernel.create (machine 2) in
+  let sys = System.install k in
+  let e =
+    System.create_enclave sys ~watchdog_timeout:(ms 10) ~cpus:(Kernel.full_mask k) ()
+  in
+  let _, pol = Policies.Fifo_centralized.policy ~timeslice:(us 100) () in
+  let g = Agent.attach_global sys e pol in
+  let a = spawn_ghost k e ~name:"a" (Task.compute_forever ~slice:(us 100)) in
+  let b = spawn_ghost k e ~name:"b" (Task.compute_forever ~slice:(us 100)) in
+  Kernel.run_until k (ms 5);
+  Agent.set_paused g true;
+  check_bool "paused" true (Agent.paused g);
+  let exec_at_pause = a.Task.sum_exec + b.Task.sum_exec in
+  Kernel.run_for k (ms 4);
+  Agent.set_paused g false;
+  Kernel.run_for k (ms 10);
+  check_bool "enclave survived a sub-timeout pause" true (System.enclave_alive e);
+  check_int "no watchdog fire" 0 (System.stats sys).System.watchdog_fires;
+  check_bool "scheduling resumed for both" true
+    (a.Task.sum_exec + b.Task.sum_exec > exec_at_pause + ms 2
+    && a.Task.policy = Task.Ghost && b.Task.policy = Task.Ghost)
+
 let test_enclave_recreate_after_watchdog () =
   (* After a watchdog kill, the same CPUs can host a fresh enclave with a
      working policy. *)
@@ -177,6 +202,8 @@ let () =
             test_watchdog_quiet_when_healthy;
           Alcotest.test_case "degenerate 1-cpu enclave" `Quick
             test_single_cpu_enclave_starves_without_handoff_target;
+          Alcotest.test_case "sub-timeout pause survives" `Quick
+            test_pause_shorter_than_watchdog_survives;
           Alcotest.test_case "recreate after fire" `Quick
             test_enclave_recreate_after_watchdog;
         ] );

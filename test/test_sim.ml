@@ -218,6 +218,23 @@ let test_rng_split_independent () =
   let c = Sim.Rng.split a in
   check_bool "split stream differs" true (Sim.Rng.bits64 a <> Sim.Rng.bits64 c)
 
+let test_rng_stream_leaves_parent_untouched () =
+  (* Labeled sub-streams (the fault injector's jitter source) must not
+     advance the parent, and must be label- and state-deterministic. *)
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+  let s1 = Sim.Rng.stream a ~label:"faults" in
+  let s2 = Sim.Rng.stream b ~label:"faults" in
+  Alcotest.(check int64) "same label, same stream" (Sim.Rng.bits64 s1)
+    (Sim.Rng.bits64 s2);
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "parent unchanged by stream derivation"
+      (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done;
+  let c = Sim.Rng.create 7 in
+  check_bool "different labels differ" true
+    (Sim.Rng.bits64 (Sim.Rng.stream c ~label:"faults")
+    <> Sim.Rng.bits64 (Sim.Rng.stream c ~label:"other"))
+
 let test_rng_int_bounds =
   QCheck.Test.make ~name:"Rng.int in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -324,6 +341,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "labeled stream leaves parent untouched" `Quick
+            test_rng_stream_leaves_parent_untouched;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
         ] );
       ( "dist",
