@@ -4,7 +4,8 @@
 
    Usage:  main.exe [target ...]
    Targets: table2 table3 fig5 fig6a fig6bc fig7a fig7b fig8 table4
-            bpf tickless upgrade resilience micro engine quick all (default: all) *)
+            bpf tickless upgrade resilience colocation micro engine quick all
+            (default: all) *)
 
 let quick = ref false
 
@@ -81,6 +82,58 @@ let run_upgrade () =
   let upgrade_offset = if !quick then ms 50 else ms 100 in
   Experiments.Upgrade.print
     (Experiments.Upgrade.run ~measure_ns ~upgrade_offset ())
+
+(* BENCH_engine.json is shared by the engine and colocation targets:
+   read-modify-write so each target owns its top-level keys and running one
+   doesn't clobber the other's numbers. *)
+let bench_json = "BENCH_engine.json"
+
+let update_bench_json kvs =
+  let existing =
+    if Sys.file_exists bench_json then begin
+      let ic = open_in_bin bench_json in
+      let n = in_channel_length ic in
+      let str = really_input_string ic n in
+      close_in ic;
+      match Obs.Json.parse str with Ok (Obs.Json.Obj o) -> o | Ok _ | Error _ -> []
+    end
+    else []
+  in
+  let merged =
+    List.filter (fun (k, _) -> not (List.mem_assoc k kvs)) existing @ kvs
+  in
+  let oc = open_out bench_json in
+  output_string oc (Obs.Json.to_string (Obs.Json.Obj merged));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" bench_json
+
+let run_colocation () =
+  let seed = 42 in
+  let r = Experiments.Colocation.run ~seed () in
+  Experiments.Colocation.print r;
+  let side (s : Experiments.Colocation.side) =
+    Obs.Json.Obj
+      [
+        ("achieved_kqps", Obs.Json.Num s.Experiments.Colocation.achieved_kqps);
+        ("p50_us", Obs.Json.Num s.Experiments.Colocation.p50_us);
+        ("p99_us", Obs.Json.Num s.Experiments.Colocation.p99_us);
+        ("p999_us", Obs.Json.Num s.Experiments.Colocation.p999_us);
+        ("batch_share", Obs.Json.Num s.Experiments.Colocation.batch_share);
+        ( "cpu_moves",
+          Obs.Json.Num (float_of_int s.Experiments.Colocation.moves) );
+      ]
+  in
+  update_bench_json
+    [
+      ( "colocation",
+        Obs.Json.Obj
+          [
+            ("seed", Obs.Json.Num (float_of_int seed));
+            ("dynamic", side r.Experiments.Colocation.dynamic);
+            ("static", side r.Experiments.Colocation.static_);
+          ] );
+    ]
 
 let run_resilience () =
   Experiments.Resilience.print
@@ -422,28 +475,36 @@ let run_engine () =
         Printf.sprintf "%.2fx" (faults_on /. faults_off);
       ];
     ];
-  let oc = open_out "BENCH_engine.json" in
-  Printf.fprintf oc "{\n  \"events\": %d,\n  \"workloads\": [\n" events;
-  List.iteri
-    (fun i (name, rh, rt) ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"heap_events_per_sec\": %.0f, \
-         \"wheel_events_per_sec\": %.0f, \"speedup\": %.3f}%s\n"
-        name rh rt (rt /. rh)
-        (if i = List.length results - 1 then "" else ","))
-    results;
-  Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc
-    "  \"obs_overhead\": {\"disabled_events_per_sec\": %.0f, \
-     \"enabled_events_per_sec\": %.0f, \"enabled_over_disabled\": %.3f},\n"
-    obs_disabled obs_enabled (obs_enabled /. obs_disabled);
-  Printf.fprintf oc
-    "  \"faults_overhead\": {\"unarmed_events_per_sec\": %.0f, \
-     \"armed_empty_events_per_sec\": %.0f, \"armed_over_unarmed\": %.3f}\n"
-    faults_off faults_on (faults_on /. faults_off);
-  Printf.fprintf oc "}\n";
-  close_out oc;
-  print_endline "wrote BENCH_engine.json"
+  update_bench_json
+    [
+      ("events", Obs.Json.Num (float_of_int events));
+      ( "workloads",
+        Obs.Json.Arr
+          (List.map
+             (fun (name, rh, rt) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.Str name);
+                   ("heap_events_per_sec", Obs.Json.Num rh);
+                   ("wheel_events_per_sec", Obs.Json.Num rt);
+                   ("speedup", Obs.Json.Num (rt /. rh));
+                 ])
+             results) );
+      ( "obs_overhead",
+        Obs.Json.Obj
+          [
+            ("disabled_events_per_sec", Obs.Json.Num obs_disabled);
+            ("enabled_events_per_sec", Obs.Json.Num obs_enabled);
+            ("enabled_over_disabled", Obs.Json.Num (obs_enabled /. obs_disabled));
+          ] );
+      ( "faults_overhead",
+        Obs.Json.Obj
+          [
+            ("unarmed_events_per_sec", Obs.Json.Num faults_off);
+            ("armed_empty_events_per_sec", Obs.Json.Num faults_on);
+            ("armed_over_unarmed", Obs.Json.Num (faults_on /. faults_off));
+          ] );
+    ]
 
 (* --- Driver ------------------------------------------------------------------- *)
 
@@ -462,6 +523,7 @@ let all_targets =
     ("tickless", run_tickless);
     ("upgrade", run_upgrade);
     ("resilience", run_resilience);
+    ("colocation", run_colocation);
     ("micro", run_micro);
     ("engine", run_engine);
   ]

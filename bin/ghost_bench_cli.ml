@@ -12,6 +12,15 @@ let sec = Sim.Units.sec
 let duration_arg ~default ~doc =
   Arg.(value & opt int default & info [ "d"; "duration-ms" ] ~docv:"MS" ~doc)
 
+(* Every simulating subcommand takes the same --seed, threaded into
+   [Kernel.create]; 42 is the default the whole tree uses.  Workload
+   arrival/service streams keep their own fixed seeds so offered load stays
+   comparable across systems and seeds. *)
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N" ~doc:"kernel RNG seed (default 42)")
+
 (* --- table2 -------------------------------------------------------------- *)
 
 let table2_cmd =
@@ -25,12 +34,12 @@ let table3_cmd =
   let samples =
     Arg.(value & opt int 400 & info [ "samples" ] ~docv:"N" ~doc:"samples per line")
   in
-  let run samples =
-    Experiments.Table3.print (Experiments.Table3.run ~samples ())
+  let run samples seed =
+    Experiments.Table3.print (Experiments.Table3.run ~samples ~seed ())
   in
   Cmd.v
     (Cmd.info "table3" ~doc:"Microbenchmarks of ghOSt operations (Table 3)")
-    Term.(const run $ samples)
+    Term.(const run $ samples $ seed_arg)
 
 (* --- fig5 ---------------------------------------------------------------- *)
 
@@ -41,7 +50,7 @@ let fig5_cmd =
       & opt (enum [ ("skylake", `Skylake); ("haswell", `Haswell); ("both", `Both) ]) `Both
       & info [ "machine" ] ~doc:"skylake, haswell or both")
   in
-  let run duration machine =
+  let run duration machine seed =
     let machines =
       match machine with
       | `Skylake -> [ Hw.Machines.skylake_2s ]
@@ -49,11 +58,14 @@ let fig5_cmd =
       | `Both -> [ Hw.Machines.skylake_2s; Hw.Machines.haswell_2s ]
     in
     Experiments.Fig5.print
-      (Experiments.Fig5.run ~measure_ns:(ms duration) ~machines ())
+      (Experiments.Fig5.run ~measure_ns:(ms duration) ~machines ~seed ())
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Global agent scalability sweep (Fig. 5)")
-    Term.(const run $ duration_arg ~default:50 ~doc:"measurement window (ms)" $ machine)
+    Term.(
+      const run
+      $ duration_arg ~default:50 ~doc:"measurement window (ms)"
+      $ machine $ seed_arg)
 
 (* --- fig6 ---------------------------------------------------------------- *)
 
@@ -67,16 +79,17 @@ let fig6_cmd =
       & opt (list float) Experiments.Fig6.default_rates
       & info [ "rates" ] ~docv:"R,R,..." ~doc:"offered loads (req/s)")
   in
-  let run duration batch rates =
+  let run duration batch rates seed =
     Experiments.Fig6.print
       ~title:(if batch then "Fig. 6b/6c" else "Fig. 6a")
-      (Experiments.Fig6.run ~rates ~with_batch:batch ~measure_ns:(ms duration) ())
+      (Experiments.Fig6.run ~rates ~with_batch:batch ~measure_ns:(ms duration)
+         ~seed ())
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Shinjuku / ghOSt-Shinjuku / CFS-Shinjuku comparison (Fig. 6)")
     Term.(
       const run $ duration_arg ~default:800 ~doc:"measurement per point (ms)" $ batch
-      $ rates)
+      $ rates $ seed_arg)
 
 (* --- fig7 ---------------------------------------------------------------- *)
 
@@ -84,14 +97,17 @@ let fig7_cmd =
   let loaded =
     Arg.(value & flag & info [ "loaded" ] ~doc:"add 40 antagonists (Fig. 7b)")
   in
-  let run duration loaded =
+  let run duration loaded seed =
     Experiments.Fig7.print
       ~title:(if loaded then "Fig. 7b (loaded)" else "Fig. 7a (quiet)")
-      (Experiments.Fig7.run ~loaded ~duration_ns:(ms duration) ())
+      (Experiments.Fig7.run ~loaded ~duration_ns:(ms duration) ~seed ())
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Google Snap RTT percentiles, MicroQuanta vs ghOSt (Fig. 7)")
-    Term.(const run $ duration_arg ~default:3000 ~doc:"traffic duration (ms)" $ loaded)
+    Term.(
+      const run
+      $ duration_arg ~default:3000 ~doc:"traffic duration (ms)"
+      $ loaded $ seed_arg)
 
 (* --- fig8 ---------------------------------------------------------------- *)
 
@@ -105,7 +121,7 @@ let fig8_cmd =
       & info [ "mode" ] ~doc:"which system(s) to run")
   in
   let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series") in
-  let run duration mode series =
+  let run duration mode series seed =
     let picks =
       Experiments.Fig8.default_modes ()
       |> List.filter (fun (name, _) ->
@@ -114,7 +130,8 @@ let fig8_cmd =
     let results =
       List.map
         (fun (_, m) ->
-          Experiments.Fig8.run ~duration_ns:(ms duration) ~warmup_ns:(sec 2) m)
+          Experiments.Fig8.run ~duration_ns:(ms duration) ~warmup_ns:(sec 2)
+            ~seed m)
         picks
     in
     Experiments.Fig8.print_summary results;
@@ -125,37 +142,69 @@ let fig8_cmd =
     Term.(
       const run
       $ duration_arg ~default:10_000 ~doc:"measured window (ms)"
-      $ mode $ series)
+      $ mode $ series $ seed_arg)
 
 (* --- table4 -------------------------------------------------------------- *)
 
 let table4_cmd =
-  let run work =
-    Experiments.Table4.print (Experiments.Table4.run ~work_ns:(ms work) ())
+  let run work seed =
+    Experiments.Table4.print
+      (Experiments.Table4.run ~work_ns:(ms work) ~seed ())
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Secure VM core scheduling (Table 4)")
-    Term.(const run $ duration_arg ~default:400 ~doc:"per-vCPU work (ms)")
+    Term.(
+      const run $ duration_arg ~default:400 ~doc:"per-vCPU work (ms)" $ seed_arg)
 
 (* --- bpf ----------------------------------------------------------------- *)
 
 let bpf_cmd =
-  let run duration =
+  let run duration seed =
     Experiments.Bpf_ablation.print
-      (Experiments.Bpf_ablation.run ~duration_ns:(ms duration) ())
+      (Experiments.Bpf_ablation.run ~duration_ns:(ms duration) ~seed ())
   in
   Cmd.v
     (Cmd.info "bpf" ~doc:"BPF pick_next_task fastpath ablation (end of 3.2 / 5)")
-    Term.(const run $ duration_arg ~default:500 ~doc:"measured window (ms)")
+    Term.(
+      const run $ duration_arg ~default:500 ~doc:"measured window (ms)" $ seed_arg)
 
 let tickless_cmd =
-  let run duration =
+  let run duration seed =
     Experiments.Tickless.print
-      (Experiments.Tickless.run ~duration_ns:(ms duration) ())
+      (Experiments.Tickless.run ~duration_ns:(ms duration) ~seed ())
   in
   Cmd.v
     (Cmd.info "tickless" ~doc:"Tick-less scheduling for guest workloads (5)")
-    Term.(const run $ duration_arg ~default:500 ~doc:"measured window (ms)")
+    Term.(
+      const run $ duration_arg ~default:500 ~doc:"measured window (ms)" $ seed_arg)
+
+(* --- colocation ----------------------------------------------------------- *)
+
+let colocation_cmd =
+  let low =
+    Arg.(
+      value & opt float 60_000.
+      & info [ "low" ] ~docv:"QPS" ~doc:"baseline serving load (req/s)")
+  in
+  let high =
+    Arg.(
+      value & opt float 200_000.
+      & info [ "high" ] ~docv:"QPS" ~doc:"mid-run surge load (req/s)")
+  in
+  let run duration low high seed =
+    Experiments.Colocation.print
+      (Experiments.Colocation.run ~measure_ns:(ms duration) ~low ~high ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "colocation"
+       ~doc:
+         "Two-enclave colocation (Shinjuku serving + Search batch) with a \
+          load watcher moving CPUs between enclaves mid-surge, vs the same \
+          run with a static partition")
+    Term.(
+      const run
+      $ duration_arg ~default:300 ~doc:"measured window (ms)"
+      $ low $ high $ seed_arg)
 
 (* --- faults -------------------------------------------------------------- *)
 
@@ -212,18 +261,19 @@ let faults_cmd =
           Experiments.Resilience.Crash
       & info [ "scenario" ] ~doc:"resilience default plan: crash or stuck")
   in
-  let run exp plan scenario duration =
+  let run exp plan scenario duration seed =
     match exp with
     | `Upgrade ->
       let measure_ns = ms duration in
       let plan =
         Option.map (resolve_plan ~horizon_ns:(ms 50 + measure_ns)) plan
       in
-      Experiments.Upgrade.print (Experiments.Upgrade.run ~measure_ns ?plan ())
+      Experiments.Upgrade.print
+        (Experiments.Upgrade.run ~measure_ns ~seed ?plan ())
     | `Resilience ->
       let plan = Option.map (resolve_plan ~horizon_ns:(ms 100)) plan in
       Experiments.Resilience.print
-        (Experiments.Resilience.run ~scenario ?plan ())
+        (Experiments.Resilience.run ~scenario ~seed ?plan ())
     | `Fig6 ->
       let measure_ns = ms duration in
       let horizon_ns = ms 200 + measure_ns in
@@ -233,7 +283,7 @@ let faults_cmd =
         | None -> Option.get (Faults.Plan.preset "upgrade" ~at:(horizon_ns * 2 / 5))
       in
       let point, report =
-        Experiments.Fig6.run_ghost_faulted ~measure_ns ~plan ()
+        Experiments.Fig6.run_ghost_faulted ~measure_ns ~seed ~plan ()
       in
       Experiments.Fig6.print ~title:"Fig. 6 point under faults" [ point ];
       Faults.Report.print report
@@ -246,14 +296,15 @@ let faults_cmd =
           and print the recovery report (§3.4)")
     Term.(
       const run $ exp $ plan $ scenario
-      $ duration_arg ~default:300 ~doc:"measured window (ms)")
+      $ duration_arg ~default:300 ~doc:"measured window (ms)"
+      $ seed_arg)
 
 (* --- trace --------------------------------------------------------------- *)
 
 (* A small ghOSt-scheduled scenario: four short jobs under a centralized
    FIFO agent on a 3-CPU machine.  The default trace subject — small enough
    that every dispatch is visible at once in the Perfetto UI. *)
-let trace_demo duration_ns =
+let trace_demo ~seed duration_ns =
   let machine =
     {
       Hw.Machines.name = "trace-demo";
@@ -262,7 +313,7 @@ let trace_demo duration_ns =
       costs = Hw.Costs.skylake;
     }
   in
-  let kernel = Kernel.create machine in
+  let kernel = Kernel.create ~seed machine in
   let sys = Ghost.System.install kernel in
   let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
   let _, pol = Policies.Fifo_centralized.policy ~timeslice:(Sim.Units.us 100) () in
@@ -291,9 +342,9 @@ let trace_experiments =
     ("bpf", "BPF pick_next_task ablation");
     ("tickless", "tick-less guest scheduling") ]
 
-let run_traced_experiment name duration_ns =
+let run_traced_experiment name ~seed duration_ns =
   match name with
-  | "demo" -> trace_demo duration_ns
+  | "demo" -> trace_demo ~seed duration_ns
   | "fig5" ->
     (* The full 2-socket sweep emits hundreds of millions of events; an
        8-CPU machine keeps the trace loadable in the Perfetto UI while
@@ -307,22 +358,23 @@ let run_traced_experiment name duration_ns =
         costs = Hw.Costs.skylake;
       }
     in
-    ignore (Experiments.Fig5.run ~measure_ns:duration_ns ~machines:[ small ] ())
+    ignore
+      (Experiments.Fig5.run ~measure_ns:duration_ns ~machines:[ small ] ~seed ())
   | "fig6" ->
     ignore
       (Experiments.Fig6.run
          ~rates:[ List.hd Experiments.Fig6.default_rates ]
-         ~measure_ns:duration_ns ())
-  | "fig7" -> ignore (Experiments.Fig7.run ~duration_ns ())
+         ~measure_ns:duration_ns ~seed ())
+  | "fig7" -> ignore (Experiments.Fig7.run ~duration_ns ~seed ())
   | "fig8" ->
     let mode =
       List.assoc "ghost" (Experiments.Fig8.default_modes ())
     in
-    ignore (Experiments.Fig8.run ~duration_ns ~warmup_ns:0 mode)
-  | "table3" -> ignore (Experiments.Table3.run ~samples:50 ())
-  | "table4" -> ignore (Experiments.Table4.run ~work_ns:duration_ns ())
-  | "bpf" -> ignore (Experiments.Bpf_ablation.run ~duration_ns ())
-  | "tickless" -> ignore (Experiments.Tickless.run ~duration_ns ())
+    ignore (Experiments.Fig8.run ~duration_ns ~warmup_ns:0 ~seed mode)
+  | "table3" -> ignore (Experiments.Table3.run ~samples:50 ~seed ())
+  | "table4" -> ignore (Experiments.Table4.run ~work_ns:duration_ns ~seed ())
+  | "bpf" -> ignore (Experiments.Bpf_ablation.run ~duration_ns ~seed ())
+  | "tickless" -> ignore (Experiments.Tickless.run ~duration_ns ~seed ())
   | _ -> assert false
 
 let trace_cmd =
@@ -345,14 +397,15 @@ let trace_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"output file (default $(docv) = EXPERIMENT.trace.json)")
   in
-  let run exp out duration =
+  let run exp out duration seed =
     let path = match out with Some p -> p | None -> exp ^ ".trace.json" in
     Obs.Metrics.reset ();
     let sink = Obs.Sink.create () in
     Obs.Sink.install sink;
     Fun.protect ~finally:Obs.Sink.uninstall (fun () ->
-        run_traced_experiment exp (ms duration));
-    Obs.Perfetto.write_file sink ~path;
+        run_traced_experiment exp ~seed (ms duration));
+    Obs.Perfetto.write_file sink ~path
+      ~meta:[ ("seed", Obs.Json.Num (float_of_int seed)) ];
     Printf.printf "%s: %d events over %.3f ms of sim time\n" path
       (Obs.Sink.length sink)
       (float_of_int (Obs.Sink.last_time sink) /. 1e6);
@@ -375,13 +428,14 @@ let trace_cmd =
           Perfetto/Chrome trace_event JSON file")
     Term.(
       const run $ exp $ out
-      $ duration_arg ~default:5 ~doc:"traced sim duration (ms)")
+      $ duration_arg ~default:5 ~doc:"traced sim duration (ms)"
+      $ seed_arg)
 
 let main_cmd =
   let doc = "reproduce the ghOSt paper's evaluation (SOSP '21)" in
   Cmd.group
     (Cmd.info "ghost_bench_cli" ~version:"1.0" ~doc)
     [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; table4_cmd;
-      bpf_cmd; tickless_cmd; faults_cmd; trace_cmd ]
+      bpf_cmd; tickless_cmd; colocation_cmd; faults_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,25 @@
+(* CI gate: every policy in the registry must be constructible by name and
+   able to schedule a small job batch to completion in 1 ms of sim time.
+   Run via `dune build @scenario-smoke` (part of `@ci`). *)
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, rep) ->
+      let r = Scenario.enclave_report rep "smoke" in
+      let ok =
+        r.Scenario.jobs_completed = r.Scenario.jobs_total
+        && r.Scenario.destroy_reason = None
+      in
+      if not ok then incr failures;
+      Printf.printf "%-18s %d/%d jobs%s  %s\n" name r.Scenario.jobs_completed
+        r.Scenario.jobs_total
+        (match r.Scenario.destroy_reason with
+        | Some why -> Printf.sprintf "  (enclave destroyed: %s)" why
+        | None -> "")
+        (if ok then "ok" else "FAIL"))
+    (Scenario.smoke ());
+  if !failures > 0 then begin
+    Printf.eprintf "scenario smoke: %d polic(ies) failed\n" !failures;
+    exit 1
+  end

@@ -103,8 +103,8 @@ let () =
     System.create_enclave sys ~watchdog_timeout:(ms 10)
       ~cpus:(Kernel.full_mask kernel) ()
   in
-  let broken_policy : Agent.policy =
-    { name = "broken"; init = ignore; schedule = (fun _ _ -> ()); on_result = (fun _ _ -> ()) }
+  let broken_policy =
+    Agent.make_policy ~name:"broken" ~schedule:(fun _ _ -> ()) ()
   in
   let _broken = Agent.attach_global sys enclave2 broken_policy in
   let victim =

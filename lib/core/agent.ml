@@ -14,7 +14,9 @@ and group = {
   kern : Kernel.t;
   pol : policy;
   mode : mode;
-  cpu_list : int list;
+  mutable cpu_list : int list;
+  mutable orphans : Squeue.t list;
+      (* per-CPU queues of removed CPUs, drained by the watcher agent *)
   agents : (int, Task.t) Hashtbl.t;
   sws : (int, Status_word.t) Hashtbl.t;
   cpu_queues : (int, Squeue.t) Hashtbl.t;  (* local mode *)
@@ -37,7 +39,14 @@ and policy = {
   init : ctx -> unit;
   schedule : ctx -> Msg.t list -> unit;
   on_result : ctx -> Txn.t -> unit;
+  on_cpu_added : ctx -> int -> unit;
+  on_cpu_removed : ctx -> int -> unit;
 }
+
+let make_policy ~name ?(init = fun _ -> ()) ~schedule
+    ?(on_result = fun _ _ -> ()) ?(on_cpu_added = fun _ _ -> ())
+    ?(on_cpu_removed = fun _ _ -> ()) () =
+  { name; init; schedule; on_result; on_cpu_added; on_cpu_removed }
 
 let base_pass_cost = 100 (* status-word reads, loop bookkeeping *)
 
@@ -231,7 +240,7 @@ let find_handoff_target g ~from =
   List.find_opt ok g.cpu_list
 
 let rec global_behavior g cpu () =
-  if not (alive g) then Task.Exit
+  if (not (alive g)) || not (Hashtbl.mem g.agents cpu) then Task.Exit
   else if g.gcpu <> cpu then Task.Block { after = global_behavior g cpu }
   else if g.paused then
     (* A hung agent: occupies its CPU but drains nothing, commits nothing. *)
@@ -257,16 +266,19 @@ and global_pass g cpu =
 (* --- Local (per-CPU) agents ------------------------------------------------ *)
 
 let local_queues g cpu =
-  let own = Hashtbl.find g.cpu_queues cpu in
+  let own =
+    match Hashtbl.find_opt g.cpu_queues cpu with Some q -> [ q ] | None -> []
+  in
   (* The first CPU's agent also watches the enclave default queue, where
      newly managed threads announce themselves before the policy associates
-     them to a per-CPU queue. *)
+     them to a per-CPU queue — plus any queues orphaned by CPU removal. *)
   match g.cpu_list with
-  | first :: _ when first = cpu -> [ System.default_queue g.enc; own ]
-  | _ -> [ own ]
+  | first :: _ when first = cpu ->
+    (System.default_queue g.enc :: own) @ g.orphans
+  | _ -> own
 
 let rec local_behavior g cpu () =
-  if not (alive g) then Task.Exit
+  if (not (alive g)) || not (Hashtbl.mem g.agents cpu) then Task.Exit
   else if g.paused then
     Task.Run { ns = g.idle_gap; after = local_behavior g cpu }
   else begin
@@ -280,23 +292,110 @@ let rec local_behavior g cpu () =
 
 (* --- Attachment ------------------------------------------------------------ *)
 
-let spawn_agents g behavior =
+let spawn_one g behavior cpu =
   let ncpus = Kernel.ncpus g.kern in
-  List.iter
-    (fun cpu ->
-      let sw = Status_word.create () in
-      Hashtbl.replace g.sws cpu sw;
-      let task =
-        Kernel.create_task g.kern ~policy:Task.Rt ~rt_prio:99
-          ~affinity:(Cpumask.singleton ~ncpus cpu)
-          ~name:(Printf.sprintf "%s-agent-%d" g.pol.name cpu)
-          (behavior cpu)
-      in
-      task.Task.is_agent <- true;
-      Hashtbl.replace g.agents cpu task;
-      System.register_agent g.enc task sw)
-    g.cpu_list;
+  let sw = Status_word.create () in
+  Hashtbl.replace g.sws cpu sw;
+  let task =
+    Kernel.create_task g.kern ~policy:Task.Rt ~rt_prio:99
+      ~affinity:(Cpumask.singleton ~ncpus cpu)
+      ~name:(Printf.sprintf "%s-agent-%d" g.pol.name cpu)
+      (behavior cpu)
+  in
+  task.Task.is_agent <- true;
+  Hashtbl.replace g.agents cpu task;
+  System.register_agent g.enc task sw
+
+let spawn_agents g behavior =
+  List.iter (fun cpu -> spawn_one g behavior cpu) g.cpu_list;
   List.iter (fun cpu -> Kernel.start g.kern (Hashtbl.find g.agents cpu)) g.cpu_list
+
+(* An agent whose CPU left the enclave: deregister now, die off the event
+   loop (the removal may have been triggered from agent context). *)
+let retire_agent g cpu =
+  match Hashtbl.find_opt g.agents cpu with
+  | None -> ()
+  | Some task ->
+    Hashtbl.remove g.agents cpu;
+    Hashtbl.remove g.sws cpu;
+    Hashtbl.remove g.poked cpu;
+    System.unregister_agent g.enc task;
+    ignore
+      (Sim.Engine.post_in (Kernel.engine g.kern) ~delay:0 (fun () ->
+           if task.Task.state <> Task.Dead then Kernel.kill g.kern task))
+
+let wake_agent g cpu =
+  match Hashtbl.find_opt g.agents cpu with
+  | Some a -> Kernel.wake g.kern a
+  | None -> ()
+
+let on_resize_global g = function
+  | System.Cpu_added cpu ->
+    if not (List.mem cpu g.cpu_list) then begin
+      g.cpu_list <- g.cpu_list @ [ cpu ];
+      spawn_one g (fun cpu -> global_behavior g cpu) cpu;
+      Kernel.start g.kern (Hashtbl.find g.agents cpu);
+      g.pol.on_cpu_added (get_ctx g) cpu
+    end
+  | System.Cpu_removed cpu ->
+    if List.mem cpu g.cpu_list then begin
+      g.cpu_list <- List.filter (fun c -> c <> cpu) g.cpu_list;
+      (if g.gcpu = cpu then
+         match g.cpu_list with
+         | [] -> ()
+         | c' :: _ ->
+           g.gcpu <- c';
+           wake_agent g c');
+      retire_agent g cpu;
+      g.pol.on_cpu_removed (get_ctx g) cpu
+    end
+
+let on_resize_local g = function
+  | System.Cpu_added cpu ->
+    if not (List.mem cpu g.cpu_list) then begin
+      g.cpu_list <- g.cpu_list @ [ cpu ];
+      spawn_one g (fun cpu -> local_behavior g cpu) cpu;
+      Kernel.start g.kern (Hashtbl.find g.agents cpu);
+      let q = System.create_queue g.enc ~capacity:4096 in
+      Hashtbl.replace g.cpu_queues cpu q;
+      System.associate_cpu_queue g.enc ~cpu q;
+      wire_wakeup g q ~wake_cpu:cpu;
+      g.pol.on_cpu_added (get_ctx g) cpu;
+      Hashtbl.replace g.poked cpu ();
+      wake_agent g cpu
+    end
+  | System.Cpu_removed cpu ->
+    if List.mem cpu g.cpu_list then begin
+      let was_watcher =
+        match g.cpu_list with first :: _ -> first = cpu | [] -> false
+      in
+      g.cpu_list <- List.filter (fun c -> c <> cpu) g.cpu_list;
+      (match Hashtbl.find_opt g.cpu_queues cpu with
+      | Some q ->
+        Hashtbl.remove g.cpu_queues cpu;
+        g.orphans <- g.orphans @ [ q ]
+      | None -> ());
+      retire_agent g cpu;
+      (match g.cpu_list with
+      | [] -> ()
+      | head :: _ ->
+        (* Re-point wakeups of every queue the departed agent owned (and,
+           when the watcher itself left, the default queue) at the new
+           drainer. *)
+        List.iter
+          (fun q ->
+            Squeue.clear_aseq_targets q;
+            wire_wakeup g q ~wake_cpu:head)
+          g.orphans;
+        if was_watcher then begin
+          let dq = System.default_queue g.enc in
+          Squeue.clear_aseq_targets dq;
+          wire_wakeup g dq ~wake_cpu:head
+        end;
+        g.pol.on_cpu_removed (get_ctx g) cpu;
+        Hashtbl.replace g.poked head ();
+        wake_agent g head)
+    end
 
 let make_group sys enc ~mode ~min_iteration ?(idle_gap = 1_000) pol =
   let kern = System.kernel sys in
@@ -308,6 +407,7 @@ let make_group sys enc ~mode ~min_iteration ?(idle_gap = 1_000) pol =
     pol;
     mode;
     cpu_list;
+    orphans = [];
     agents = Hashtbl.create 16;
     sws = Hashtbl.create 16;
     cpu_queues = Hashtbl.create 16;
@@ -329,6 +429,8 @@ let attach_global sys enc ?(min_iteration = 200) ?idle_gap pol =
   (* The global agent polls the default queue; its aseq tracks it. *)
   Squeue.add_aseq_target (System.default_queue enc) (sw_of g g.gcpu);
   g.attached <- true;
+  System.on_resize enc (fun ev ->
+      if alive g && g.attached then on_resize_global g ev);
   pol.init (get_ctx g);
   g
 
@@ -345,6 +447,8 @@ let attach_local sys enc pol =
   (* Default-queue traffic wakes the first CPU's agent. *)
   wire_wakeup g (System.default_queue enc) ~wake_cpu:(List.hd g.cpu_list);
   g.attached <- true;
+  System.on_resize enc (fun ev ->
+      if alive g && g.attached then on_resize_local g ev);
   let ctx = get_ctx g in
   ctx.cur_cpu <- List.hd g.cpu_list;
   pol.init ctx;

@@ -33,7 +33,28 @@ type policy = {
   on_result : ctx -> Txn.t -> unit;
       (** Called for every submitted transaction after commit, with status
           resolved (Fig. 3/4's failure handling). *)
+  on_cpu_added : ctx -> int -> unit;
+      (** The enclave grew ({!System.add_cpu}).  The runtime has already
+          spawned the CPU's agent (and, in local mode, its queue); the
+          policy extends its own placement state here. *)
+  on_cpu_removed : ctx -> int -> unit;
+      (** The enclave shrank.  The runtime has retired the CPU's agent and
+          re-pointed its queues; the policy re-homes any thread state it
+          kept for the CPU (the threads themselves come back with
+          THREAD_PREEMPTED messages). *)
 }
+
+val make_policy :
+  name:string ->
+  ?init:(ctx -> unit) ->
+  schedule:(ctx -> Msg.t list -> unit) ->
+  ?on_result:(ctx -> Txn.t -> unit) ->
+  ?on_cpu_added:(ctx -> int -> unit) ->
+  ?on_cpu_removed:(ctx -> int -> unit) ->
+  unit ->
+  policy
+(** Build a policy record with no-op defaults for everything but
+    [schedule]. *)
 
 type group
 (** The agent threads attached to one enclave. *)

@@ -7,6 +7,8 @@ type kind =
   | THREAD_WAKEUP
   | THREAD_AFFINITY
   | TIMER_TICK
+  | CPU_AVAILABLE
+  | CPU_TAKEN
 
 type t = {
   kind : kind;
@@ -26,6 +28,8 @@ let kind_to_string = function
   | THREAD_WAKEUP -> "THREAD_WAKEUP"
   | THREAD_AFFINITY -> "THREAD_AFFINITY"
   | TIMER_TICK -> "TIMER_TICK"
+  | CPU_AVAILABLE -> "CPU_AVAILABLE"
+  | CPU_TAKEN -> "CPU_TAKEN"
 
 let pp ppf m =
   Format.fprintf ppf "%s(tid=%d tseq=%d cpu=%d @%d)" (kind_to_string m.kind) m.tid

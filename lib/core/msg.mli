@@ -15,10 +15,12 @@ type kind =
   | THREAD_WAKEUP
   | THREAD_AFFINITY
   | TIMER_TICK
+  | CPU_AVAILABLE  (** A CPU joined the enclave ([cpu] field). *)
+  | CPU_TAKEN  (** A CPU was removed from the enclave ([cpu] field). *)
 
 type t = {
   kind : kind;
-  tid : int;  (** Thread the message is about; [-1] for TIMER_TICK. *)
+  tid : int;  (** Thread the message is about; [-1] for TIMER_TICK / CPU_*. *)
   tseq : int;  (** Thread sequence number at posting time. *)
   cpu : int;  (** CPU the event happened on ([-1] if not applicable). *)
   posted_at : int;  (** Virtual time of the kernel-side post. *)

@@ -29,7 +29,7 @@ type tstate = {
 and enclave = {
   eid : int;
   sys : t;
-  cpus : Cpumask.t;
+  mutable cpus : Cpumask.t;
   mutable alive : bool;
   mutable reason : destroy_reason option;
   mutable queues : Squeue.t list;
@@ -39,11 +39,18 @@ and enclave = {
   watchdog_timeout : int option;
   mutable agents : (Task.t * Status_word.t) list;
   mutable on_destroy : (destroy_reason -> unit) list;
+  mutable on_resize : (resize -> unit) list;
   mutable bpf : (Bpf.t * (int -> int)) option;
   mutable msg_drops : int;
   mutable managed_cache : Task.t list option;
       (* sorted [managed_threads] view, invalidated on manage/unmanage *)
+  removed_marks : int array;
+      (* cpu -> next_txn at the moment the cpu last left the enclave; a
+         transaction created before the removal fails ESTALE, one created
+         after fails ENOENT *)
 }
+
+and resize = Cpu_added of int | Cpu_removed of int
 
 and t = {
   kernel : Kernel.t;
@@ -65,6 +72,7 @@ let enclave_cpus e = e.cpus
 let enclave_of_cpu t cpu = t.owner.(cpu)
 let destroy_reason e = e.reason
 let on_destroy e fn = e.on_destroy <- fn :: e.on_destroy
+let on_resize e fn = e.on_resize <- fn :: e.on_resize
 let default_queue e = e.default_q
 let agent_tasks e = List.map fst e.agents
 let enclave_msg_drops e = e.msg_drops
@@ -513,9 +521,11 @@ let create_enclave t ?watchdog_timeout ?(deliver_ticks = false) ~cpus () =
       watchdog_timeout;
       agents = [];
       on_destroy = [];
+      on_resize = [];
       bpf = None;
       msg_drops = 0;
       managed_cache = None;
+      removed_marks = Array.make (Kernel.ncpus t.kernel) 0;
     }
   in
   e.queues <- [ e.default_q ];
@@ -544,6 +554,72 @@ let destroy_queue e q =
 
 let set_deliver_ticks e flag = e.deliver_ticks <- flag
 
+(* --- Dynamic resizing ------------------------------------------------------- *)
+
+let post_cpu_msg t e kind ~cpu =
+  let now = Kernel.now t.kernel in
+  let produce_cost = (Kernel.costs t.kernel).Hw.Costs.msg_produce in
+  let msg =
+    {
+      Msg.kind;
+      tid = -1;
+      tseq = 0;
+      cpu;
+      posted_at = now;
+      visible_at = now + produce_cost;
+    }
+  in
+  post_to t e e.default_q msg
+
+let note_resize t e ~cpu ~added =
+  if Obs.Hooks.enabled () then
+    Obs.Hooks.enclave_resized ~now:(Kernel.now t.kernel) ~eid:e.eid ~cpu ~added;
+  let ev = if added then Cpu_added cpu else Cpu_removed cpu in
+  List.iter (fun fn -> fn ev) (List.rev e.on_resize)
+
+let add_cpu t e cpu =
+  if not e.alive then invalid_arg "add_cpu: enclave destroyed";
+  if cpu < 0 || cpu >= Kernel.ncpus t.kernel then invalid_arg "add_cpu: bad cpu";
+  if Cpumask.mem e.cpus cpu then invalid_arg "add_cpu: cpu already in enclave";
+  (match t.owner.(cpu) with
+  | Some o when o.alive ->
+    invalid_arg (Printf.sprintf "add_cpu: cpu %d already owned" cpu)
+  | Some _ | None -> ());
+  e.cpus <- Cpumask.add e.cpus cpu;
+  t.owner.(cpu) <- Some e;
+  Log.info (fun m ->
+      m "enclave %d: cpu %d added at t=%dns" e.eid cpu (Kernel.now t.kernel));
+  post_cpu_msg t e Msg.CPU_AVAILABLE ~cpu;
+  note_resize t e ~cpu ~added:true
+
+let remove_cpu t e cpu =
+  if not e.alive then invalid_arg "remove_cpu: enclave destroyed";
+  if not (Cpumask.mem e.cpus cpu) then
+    invalid_arg "remove_cpu: cpu not in enclave";
+  if List.length (Cpumask.to_list e.cpus) = 1 then
+    invalid_arg "remove_cpu: cannot remove the last cpu";
+  (* Transactions already in flight against this CPU fail ESTALE from here
+     on; ones created after the removal fail ENOENT. *)
+  e.removed_marks.(cpu) <- t.next_txn;
+  (* A latched-but-not-yet-running thread goes back to the agent. *)
+  (match unlatch t cpu with
+  | Some task -> (
+    match tstate_of t task with
+    | Some ts -> post_thread_msg t e ts Msg.THREAD_PREEMPTED ~cpu
+    | None -> ())
+  | None -> ());
+  e.cpus <- Cpumask.remove e.cpus cpu;
+  t.owner.(cpu) <- None;
+  e.cpu_queues.(cpu) <- None;
+  Log.info (fun m ->
+      m "enclave %d: cpu %d removed at t=%dns" e.eid cpu (Kernel.now t.kernel));
+  post_cpu_msg t e Msg.CPU_TAKEN ~cpu;
+  (* Preempt whatever ghost thread is running there: with the owner slot
+     cleared the ghost class pick returns nothing, so the kernel kicks the
+     thread off-CPU and a THREAD_PREEMPTED message reaches the agent. *)
+  Kernel.resched t.kernel cpu;
+  note_resize t e ~cpu ~added:false
+
 (* --- Transactions ---------------------------------------------------------- *)
 
 let make_txn t ~tid ~cpu ?agent_seq ?thread_seq () =
@@ -570,7 +646,15 @@ let make_txn t ~tid ~cpu ?agent_seq ?thread_seq () =
 
 let validate t e ~agent_sw (txn : Txn.t) =
   if not e.alive then Some Txn.Enoent
-  else if not (Cpumask.mem e.cpus txn.target_cpu) then Some Txn.Enoent
+  else if not (Cpumask.mem e.cpus txn.target_cpu) then
+    (* A CPU that left the enclave mid-flight: commits racing the removal
+       fail ESTALE (retryable); later ones are plain ENOENT. *)
+    if
+      txn.target_cpu >= 0
+      && txn.target_cpu < Array.length e.removed_marks
+      && txn.txn_id < e.removed_marks.(txn.target_cpu)
+    then Some Txn.Estale
+    else Some Txn.Enoent
   else begin
     match Hashtbl.find_opt t.tstates txn.tid with
     | None -> Some Txn.Enoent

@@ -67,6 +67,27 @@ val destroy_reason : enclave -> destroy_reason option
 val on_destroy : enclave -> (destroy_reason -> unit) -> unit
 (** Register a callback fired when the enclave dies (agent upgrade logic). *)
 
+(** {1 Dynamic resizing (§3.2: CPUs move between enclaves at runtime)} *)
+
+type resize = Cpu_added of int | Cpu_removed of int
+
+val add_cpu : t -> enclave -> int -> unit
+(** Grow the enclave by one CPU.  The CPU must not belong to a live enclave.
+    Posts a CPU_AVAILABLE message to the enclave's default queue and fires
+    {!on_resize} callbacks. *)
+
+val remove_cpu : t -> enclave -> int -> unit
+(** Shrink the enclave by one CPU (never the last one).  The CPU's latched
+    thread (if any) is returned to the agent with THREAD_PREEMPTED, a running
+    ghost thread is preempted off it, TIMER_TICK routing for the CPU is
+    dropped, and a CPU_TAKEN message is posted.  Transactions already created
+    against the CPU fail their commit with [Estale]; transactions created
+    after the removal fail [Enoent]. *)
+
+val on_resize : enclave -> (resize -> unit) -> unit
+(** Register a callback fired synchronously after each [add_cpu]/[remove_cpu]
+    (the agent layer uses this to spawn/retire per-CPU agents). *)
+
 (** {1 Queues (CREATE_QUEUE / ASSOCIATE_QUEUE / CONFIG_QUEUE_WAKEUP)} *)
 
 val default_queue : enclave -> Squeue.t

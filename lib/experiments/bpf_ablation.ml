@@ -10,9 +10,9 @@ type row = {
   throughput_kqps : float;
 }
 
-let run_one ~with_bpf ~duration_ns ~rate =
+let run_one ~seed ~with_bpf ~duration_ns ~rate =
   let machine = Hw.Machines.xeon_e5_1s in
-  let kernel, sys = Common.make_system machine in
+  let kernel, sys = Common.make_system ~seed machine in
   (* A small enclave (agent + 4 worker CPUs) driven near saturation: the
      FIFO usually holds waiting threads, so whether a freshly idle CPU can
      serve one immediately (BPF) or must wait for the agent's next pass is
@@ -53,10 +53,10 @@ let run_one ~with_bpf ~duration_ns ~rate =
     throughput_kqps = Workloads.Recorder.throughput rec_ ~duration:duration_ns /. 1e3;
   }
 
-let run ?(duration_ns = Sim.Units.ms 500) ?(rate = 330_000.0) () =
+let run ?(duration_ns = Sim.Units.ms 500) ?(rate = 330_000.0) ?(seed = 42) () =
   [
-    run_one ~with_bpf:false ~duration_ns ~rate;
-    run_one ~with_bpf:true ~duration_ns ~rate;
+    run_one ~seed ~with_bpf:false ~duration_ns ~rate;
+    run_one ~seed ~with_bpf:true ~duration_ns ~rate;
   ]
 
 let print rows =

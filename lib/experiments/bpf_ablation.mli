@@ -16,5 +16,5 @@ type row = {
   throughput_kqps : float;
 }
 
-val run : ?duration_ns:int -> ?rate:float -> unit -> row list
+val run : ?duration_ns:int -> ?rate:float -> ?seed:int -> unit -> row list
 val print : row list -> unit

@@ -1,33 +1,25 @@
-module Task = Kernel.Task
-module System = Ghost.System
-module Agent = Ghost.Agent
-
 type point = { cpus : int; txns_per_sec : float }
 
-let measure_point machine ~thread_ns ~measure_ns ~n =
-  let kernel, sys = Common.make_system machine in
+(* Two short yield-looping threads per worker CPU keep the FIFO non-empty
+   so every idle CPU immediately receives a transaction. *)
+let measure_point machine ~seed ~thread_ns ~measure_ns ~n =
   let order = Hw.Machines.fig5_sweep_order machine 0 in
   let workers = List.filteri (fun i _ -> i < n) order in
-  let e =
-    System.create_enclave sys ~cpus:(Common.mask_of kernel (0 :: workers)) ()
+  let s =
+    Scenario.make ~seed ~machine ~warmup_ns:10_000_000 ~measure_ns
+      ~enclaves:
+        [
+          Scenario.enclave ~idle_gap:400 ~policy:"fifo-centralized"
+            ~cpus:(0 :: workers)
+            ~workloads:
+              [ Scenario.Spin { threads = 2 * n; thread_ns; prefix = "spin" } ]
+            "fig5";
+        ]
+      "fig5"
   in
-  let st, pol = Policies.Fifo_centralized.policy () in
-  let _g = Agent.attach_global sys e ~idle_gap:400 pol in
-  (* Two short yield-looping threads per worker CPU keep the FIFO non-empty
-     so every idle CPU immediately receives a transaction. *)
-  let mk i =
-    let rec loop () =
-      Task.Run { ns = thread_ns; after = (fun () -> Task.Yield { after = loop }) }
-    in
-    Common.spawn_ghost kernel e ~name:(Printf.sprintf "spin%d" i) (fun () -> loop ())
-  in
-  let _threads = List.init (2 * n) mk in
-  let warmup = 10_000_000 in
-  Kernel.run_until kernel warmup;
-  let before = Policies.Fifo_centralized.scheduled st in
-  Kernel.run_until kernel (warmup + measure_ns);
-  let after = Policies.Fifo_centralized.scheduled st in
-  let txns = after - before in
+  let rep = Scenario.run s in
+  let r = Scenario.enclave_report rep "fig5" in
+  let txns = Option.value ~default:0 (Scenario.stat_delta r "scheduled") in
   { cpus = n; txns_per_sec = float_of_int txns /. (float_of_int measure_ns /. 1e9) }
 
 let sweep_points max_n =
@@ -37,13 +29,14 @@ let sweep_points max_n =
   List.sort_uniq compare (List.filter (fun n -> n <= max_n) (dense @ sparse) @ [ max_n ])
 
 let run ?(thread_ns = 20_000) ?(measure_ns = 50_000_000)
-    ?(machines = [ Hw.Machines.skylake_2s; Hw.Machines.haswell_2s ]) () =
+    ?(machines = [ Hw.Machines.skylake_2s; Hw.Machines.haswell_2s ])
+    ?(seed = 42) () =
   List.map
     (fun machine ->
       let max_n = Hw.Topology.num_cpus machine.Hw.Machines.topo - 1 in
       let points =
         List.map
-          (fun n -> measure_point machine ~thread_ns ~measure_ns ~n)
+          (fun n -> measure_point machine ~seed ~thread_ns ~measure_ns ~n)
           (sweep_points max_n)
       in
       (machine.Hw.Machines.name, points))

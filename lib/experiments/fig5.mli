@@ -15,6 +15,7 @@ val run :
   ?thread_ns:int ->
   ?measure_ns:int ->
   ?machines:Hw.Machines.t list ->
+  ?seed:int ->
   unit ->
   (string * point list) list
 (** Defaults: 20 us threads, 50 ms measurement, Skylake + Haswell. *)

@@ -54,74 +54,66 @@ let run_shinjuku ~rate ~warmup_ns ~measure_ns =
 
 (* --- ghOSt-Shinjuku ----------------------------------------------------------- *)
 
-let run_ghost_plan ~rate ~with_batch ~warmup_ns ~measure_ns ~plan =
-  let machine = Hw.Machines.xeon_e5_1s in
-  let kernel, sys = Common.make_system machine in
-  (* Agent on CPU 0, workers scheduled on CPUs 1..20. *)
-  let enclave_cpus = List.init (worker_cpus + 1) (fun i -> i) in
-  let e = System.create_enclave sys ~cpus:(Common.mask_of kernel enclave_cpus) () in
-  let is_batch (task : Task.t) =
-    String.length task.Task.name >= 5 && String.sub task.Task.name 0 5 = "batch"
+(* Agent on CPU 0, workers scheduled on CPUs 1..20; the registry's shinjuku
+   classifies batch* threads as best-effort, matching the paper's setup. *)
+let run_ghost_plan ~seed ~rate ~with_batch ~warmup_ns ~measure_ns ~plan =
+  let policy = if with_batch then "shinjuku?shenango_ext=true" else "shinjuku" in
+  let workloads =
+    Scenario.Openloop
+      { wseed = 7; rate; service = rocksdb_service; nworkers = 200;
+        prefix = "worker" }
+    :: (if with_batch then [ Scenario.Batch { n = 10; prefix = "batch" } ]
+        else [])
   in
-  let mk_policy () =
-    snd (Policies.Shinjuku.policy ~shenango_ext:with_batch ~is_batch ())
+  let s =
+    Scenario.make ~seed ~machine:Hw.Machines.xeon_e5_1s ~warmup_ns ~measure_ns
+      ~cooldown_ns:(Sim.Units.ms 50)
+      ~enclaves:
+        [
+          Scenario.enclave ~policy
+            ~cpus:(List.init (worker_cpus + 1) (fun i -> i))
+            ~faults:plan ~workloads "serving";
+        ]
+      "fig6-ghost"
   in
-  let g = Agent.attach_global sys e (mk_policy ()) in
-  let inj =
-    Faults.Injector.arm ~rng:(Kernel.rng kernel)
-      {
-        Faults.Injector.sys;
-        enclave = e;
-        group = Some g;
-        replace = Some (fun () -> Agent.attach_global sys e (mk_policy ()));
-      }
-      plan
-  in
-  let spawn ~idx behavior =
-    Common.spawn_ghost kernel e ~name:(Printf.sprintf "worker%d" idx) behavior
-  in
-  let ol =
-    Workloads.Openloop.create kernel ~seed:7 ~rate ~service:rocksdb_service
-      ~nworkers:200 ~spawn
-  in
-  Workloads.Openloop.set_record_after ol warmup_ns;
-  let batch =
-    if with_batch then begin
-      let spawn_b ~idx behavior =
-        Common.spawn_ghost kernel e ~name:(Printf.sprintf "batch%d" idx) behavior
-      in
-      Some (Workloads.Batch.create kernel ~n:10 ~spawn:spawn_b ())
-    end
-    else None
-  in
-  Workloads.Openloop.start ol ~until:(warmup_ns + measure_ns);
-  Kernel.run_until kernel warmup_ns;
-  (match batch with Some b -> Workloads.Batch.mark b | None -> ());
-  Kernel.run_until kernel (warmup_ns + measure_ns + Sim.Units.ms 50);
-  let share =
-    match batch with
-    | Some b ->
-      Workloads.Batch.share b ~since:warmup_ns
-        ~now:(warmup_ns + measure_ns)
-        ~cpus:worker_cpus
-    | None -> 0.0
-  in
-  ( point_of Ghost_shinjuku ~rate ~rec_:(Workloads.Openloop.recorder ol)
-      ~measure_ns ~share,
-    Faults.Injector.report inj )
+  let rep = Scenario.run s in
+  let r = Scenario.enclave_report rep "serving" in
+  let share = Option.value ~default:0.0 r.Scenario.batch_share in
+  ( {
+      system = Ghost_shinjuku;
+      offered_kqps = rate /. 1e3;
+      achieved_kqps = Option.value ~default:0.0 r.Scenario.achieved_qps /. 1e3;
+      p50_us =
+        (match r.Scenario.latency with
+        | Some l -> float_of_int l.Scenario.p50_ns /. 1e3
+        | None -> 0.0);
+      p99_us =
+        (match r.Scenario.latency with
+        | Some l -> float_of_int l.Scenario.p99_ns /. 1e3
+        | None -> 0.0);
+      p999_us =
+        (match r.Scenario.latency with
+        | Some l -> float_of_int l.Scenario.p999_ns /. 1e3
+        | None -> 0.0);
+      batch_share = share;
+    },
+    r.Scenario.faults )
 
-let run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns =
-  fst (run_ghost_plan ~rate ~with_batch ~warmup_ns ~measure_ns ~plan:Faults.Plan.empty)
+let run_ghost ~seed ~rate ~with_batch ~warmup_ns ~measure_ns =
+  fst
+    (run_ghost_plan ~seed ~rate ~with_batch ~warmup_ns ~measure_ns
+       ~plan:Faults.Plan.empty)
 
 let run_ghost_faulted ?(rate = 240_000.) ?(with_batch = false)
-    ?(warmup_ns = Sim.Units.ms 200) ?(measure_ns = Sim.Units.ms 800) ~plan () =
-  run_ghost_plan ~rate ~with_batch ~warmup_ns ~measure_ns ~plan
+    ?(warmup_ns = Sim.Units.ms 200) ?(measure_ns = Sim.Units.ms 800)
+    ?(seed = 42) ~plan () =
+  run_ghost_plan ~seed ~rate ~with_batch ~warmup_ns ~measure_ns ~plan
 
 (* --- CFS-Shinjuku -------------------------------------------------------------- *)
 
-let run_cfs ~rate ~with_batch ~warmup_ns ~measure_ns =
+let run_cfs ~seed ~rate ~with_batch ~warmup_ns ~measure_ns =
   let machine = Hw.Machines.xeon_e5_1s in
-  let kernel, _sys = Common.make_system machine in
+  let kernel, _sys = Common.make_system ~seed machine in
   let mask = Common.mask_of kernel (List.init worker_cpus (fun i -> i + 1)) in
   let spawn ~idx behavior =
     Common.spawn_cfs kernel ~nice:(-20) ~affinity:mask
@@ -163,13 +155,13 @@ let run_cfs ~rate ~with_batch ~warmup_ns ~measure_ns =
 
 let run ?(rates = default_rates) ?(with_batch = false)
     ?(warmup_ns = Sim.Units.ms 200) ?(measure_ns = Sim.Units.ms 800)
-    ?nworkers:_ () =
+    ?(seed = 42) ?nworkers:_ () =
   List.concat_map
     (fun rate ->
       [
         run_shinjuku ~rate ~warmup_ns ~measure_ns;
-        run_ghost ~rate ~with_batch ~warmup_ns ~measure_ns;
-        run_cfs ~rate ~with_batch ~warmup_ns ~measure_ns;
+        run_ghost ~seed ~rate ~with_batch ~warmup_ns ~measure_ns;
+        run_cfs ~seed ~rate ~with_batch ~warmup_ns ~measure_ns;
       ])
     rates
 

@@ -33,6 +33,7 @@ val run :
   ?with_batch:bool ->
   ?warmup_ns:int ->
   ?measure_ns:int ->
+  ?seed:int ->
   ?nworkers:int ->
   unit ->
   point list
@@ -42,6 +43,7 @@ val run_ghost_faulted :
   ?with_batch:bool ->
   ?warmup_ns:int ->
   ?measure_ns:int ->
+  ?seed:int ->
   plan:Faults.Plan.t ->
   unit ->
   point * Faults.Report.t

@@ -15,9 +15,9 @@ let sched_name = function Microquanta -> "microquanta" | Ghost_snap -> "ghost"
 let socket0_cpus kernel =
   Hw.Topology.cpus_of_socket (Kernel.topo kernel) 0
 
-let run_one ~sched ~loaded ~duration_ns ~warmup_ns ~nworkers =
+let run_one ~sched ~seed ~loaded ~duration_ns ~warmup_ns ~nworkers =
   let machine = Hw.Machines.skylake_2s in
-  let kernel, sys = Common.make_system machine in
+  let kernel, sys = Common.make_system ~seed machine in
   let cpus = socket0_cpus kernel in
   let enclave =
     match sched with
@@ -72,9 +72,9 @@ let run_one ~sched ~loaded ~duration_ns ~warmup_ns ~nworkers =
   ]
 
 let run ?(loaded = false) ?(duration_ns = Sim.Units.sec 3)
-    ?(warmup_ns = Sim.Units.ms 200) ?(nworkers = 8) () =
-  run_one ~sched:Microquanta ~loaded ~duration_ns ~warmup_ns ~nworkers
-  @ run_one ~sched:Ghost_snap ~loaded ~duration_ns ~warmup_ns ~nworkers
+    ?(warmup_ns = Sim.Units.ms 200) ?(nworkers = 8) ?(seed = 42) () =
+  run_one ~sched:Microquanta ~seed ~loaded ~duration_ns ~warmup_ns ~nworkers
+  @ run_one ~sched:Ghost_snap ~seed ~loaded ~duration_ns ~warmup_ns ~nworkers
 
 let print ~title rows =
   Gstats.Table.print_title title;

@@ -22,6 +22,7 @@ val run :
   ?duration_ns:int ->
   ?warmup_ns:int ->
   ?nworkers:int ->
+  ?seed:int ->
   unit ->
   row list
 

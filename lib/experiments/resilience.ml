@@ -27,64 +27,49 @@ let machine =
 
 let scenario_to_string = function Crash -> "crash" | Stuck -> "stuck"
 
-let reason_to_string = function
-  | System.Explicit -> "explicit"
-  | System.Watchdog -> "watchdog"
-  | System.Agent_crash -> "agent-crash"
-
 let default_plan = function
   | Crash -> Faults.Plan.make ~name:"crash under load"
                [ { at = ms 20; jitter = 0; kind = Crash } ]
   | Stuck -> Faults.Plan.make ~name:"stuck agent under load"
                [ { at = ms 20; jitter = 0; kind = Stall { duration = ms 100 } } ]
 
+(* 8 jobs x 20 ms on <= 4 CPUs needs >= 40 ms of perfect packing; 500 ms
+   leaves room for the fault, the grace period / watchdog, and CFS.  The
+   scenario layer snapshots the jobs' scheduling class the instant the
+   enclave dies — the paper's "threads transparently revert" check. *)
 let run ?(seed = 42) ?(scenario = Crash) ?plan () =
   let plan = match plan with Some p -> p | None -> default_plan scenario in
-  let kernel, sys = Common.make_system ~seed machine in
-  let e =
-    System.create_enclave sys ~watchdog_timeout:(ms 10)
-      ~cpus:(Kernel.full_mask kernel) ()
-  in
-  let _, pol = Policies.Fifo_centralized.policy ~timeslice:(us 100) () in
-  let g = Agent.attach_global sys e pol in
   let total_jobs = 8 in
-  let finished_at = ref None in
-  let jobs =
-    List.init total_jobs (fun i ->
-        Common.spawn_ghost kernel e ~name:(Printf.sprintf "job%d" i)
-          (Task.compute_total ~slice:(us 100) ~total:(ms 20) (fun () ->
-               finished_at := Some (Kernel.now kernel);
-               Task.Exit)))
+  let s =
+    Scenario.make ~machine ~seed ~measure_ns:(ms 500)
+      ~enclaves:
+        [
+          Scenario.enclave ~watchdog_timeout:(ms 10)
+            ~policy:"fifo-centralized?timeslice=100us" ~cpus:[ 0; 1; 2; 3 ]
+            ~faults:plan
+            ~workloads:
+              [
+                Scenario.Jobs
+                  { n = total_jobs; slice_ns = us 100; total_ns = ms 20;
+                    prefix = "job" };
+              ]
+            "resilience";
+        ]
+      "resilience"
   in
-  (* Snapshot the jobs' scheduling class the instant the enclave dies:
-     System unmanages threads (back to CFS) before running callbacks, so
-     this is the paper's "threads transparently revert" check. *)
-  let all_cfs_at_destroy = ref false in
-  System.on_destroy e (fun _reason ->
-      all_cfs_at_destroy :=
-        List.for_all
-          (fun (t : Task.t) -> t.Task.state = Task.Dead || t.Task.policy = Task.Cfs)
-          jobs);
-  let inj =
-    Faults.Injector.arm ~rng:(Kernel.rng kernel)
-      { Faults.Injector.sys; enclave = e; group = Some g; replace = None }
-      plan
-  in
-  (* 8 jobs x 20 ms on <= 4 CPUs needs >= 40 ms of perfect packing; 500 ms
-     leaves room for the fault, the grace period / watchdog, and CFS. *)
-  Kernel.run_until kernel (ms 500);
-  let completed =
-    List.length (List.filter (fun (t : Task.t) -> t.Task.state = Task.Dead) jobs)
-  in
+  let rep = Scenario.run s in
+  let r = Scenario.enclave_report rep "resilience" in
+  let completed = r.Scenario.jobs_completed in
   {
     scenario;
-    report = Faults.Injector.report inj;
-    destroy_reason = Option.map reason_to_string (System.destroy_reason e);
-    all_cfs_at_destroy = !all_cfs_at_destroy;
+    report = r.Scenario.faults;
+    destroy_reason = r.Scenario.destroy_reason;
+    all_cfs_at_destroy =
+      Option.value ~default:false r.Scenario.all_cfs_at_destroy;
     completed;
     total_jobs;
     all_completed = completed = total_jobs;
-    finished_at = !finished_at;
+    finished_at = r.Scenario.finished_at;
   }
 
 let print r =

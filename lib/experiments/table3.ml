@@ -38,26 +38,22 @@ let probe_thread kernel ~name ~on_exec =
 
 (* Drive THREAD_AFFINITY messages at a steady pace and record how long each
    takes to reach the policy's schedule callback. *)
-let measure_delivery ~local ~samples =
-  let kernel, sys = Common.make_system Hw.Machines.skylake_2s in
+let measure_delivery ~seed ~local ~samples =
+  let kernel, sys = Common.make_system ~seed Hw.Machines.skylake_2s in
   let e =
     System.create_enclave sys ~cpus:(Common.mask_of kernel [ 0; 1; 2; 3 ]) ()
   in
   let consume = (Kernel.costs kernel).Hw.Costs.msg_consume in
   let lats = ref [] in
-  let pol : Agent.policy =
-    {
-      name = "measure-delivery";
-      init = ignore;
-      schedule =
-        (fun ctx msgs ->
-          List.iter
-            (fun (m : Msg.t) ->
-              if m.kind = Msg.THREAD_AFFINITY then
-                lats := Agent.now ctx - m.posted_at + consume :: !lats)
-            msgs);
-      on_result = (fun _ _ -> ());
-    }
+  let pol =
+    Agent.make_policy ~name:"measure-delivery"
+      ~schedule:(fun ctx msgs ->
+        List.iter
+          (fun (m : Msg.t) ->
+            if m.kind = Msg.THREAD_AFFINITY then
+              lats := Agent.now ctx - m.posted_at + consume :: !lats)
+          msgs)
+      ()
   in
   let _g =
     if local then Agent.attach_local sys e pol
@@ -85,8 +81,8 @@ let measure_delivery ~local ~samples =
 (* A local agent commits a thread onto its own CPU; we time from commit
    initiation (apply time minus the charged commit work) to the thread
    executing. *)
-let measure_local_schedule ~samples =
-  let kernel, sys = Common.make_system Hw.Machines.skylake_2s in
+let measure_local_schedule ~seed ~samples =
+  let kernel, sys = Common.make_system ~seed Hw.Machines.skylake_2s in
   let e = System.create_enclave sys ~cpus:(Common.mask_of kernel [ 0; 1 ]) () in
   let commit_work = (Kernel.costs kernel).Hw.Costs.txn_commit_local in
   let execs = ref [] in
@@ -94,26 +90,22 @@ let measure_local_schedule ~samples =
   let victim =
     probe_thread kernel ~name:"victim" ~on_exec:(fun t -> execs := t :: !execs)
   in
-  let pol : Agent.policy =
-    {
-      name = "measure-local";
-      init = ignore;
-      schedule =
-        (fun ctx msgs ->
-          List.iter
-            (fun (m : Msg.t) ->
-              match Policies.Msg_class.classify m with
-              | Policies.Msg_class.Became_runnable tid when tid = victim.Task.tid ->
-                let txn =
-                  Agent.make_txn ctx ~tid ~target:(Agent.cpu ctx) ~with_aseq:true ()
-                in
-                Agent.submit ctx [ txn ]
-              | _ -> ())
-          msgs);
-      on_result =
-        (fun ctx txn ->
-          if Txn.committed txn then applies := Agent.now ctx :: !applies);
-    }
+  let pol =
+    Agent.make_policy ~name:"measure-local"
+      ~schedule:(fun ctx msgs ->
+        List.iter
+          (fun (m : Msg.t) ->
+            match Policies.Msg_class.classify m with
+            | Policies.Msg_class.Became_runnable tid when tid = victim.Task.tid ->
+              let txn =
+                Agent.make_txn ctx ~tid ~target:(Agent.cpu ctx) ~with_aseq:true ()
+              in
+              Agent.submit ctx [ txn ]
+            | _ -> ())
+          msgs)
+      ~on_result:(fun ctx txn ->
+        if Txn.committed txn then applies := Agent.now ctx :: !applies)
+      ()
   in
   let _g = Agent.attach_local sys e pol in
   System.manage e victim;
@@ -140,8 +132,8 @@ let measure_local_schedule ~samples =
 (* The global agent on CPU 0 commits [batch] threads to [batch] remote CPUs
    in one TXNS_COMMIT.  Agent overhead is the charged commit cost; target
    overhead and end-to-end latency are measured from the apply instant. *)
-let measure_remote ~batch ~samples =
-  let kernel, sys = Common.make_system Hw.Machines.skylake_2s in
+let measure_remote ~seed ~batch ~samples =
+  let kernel, sys = Common.make_system ~seed Hw.Machines.skylake_2s in
   let cpus = List.init (batch + 1) (fun i -> i) in
   let e = System.create_enclave sys ~cpus:(Common.mask_of kernel cpus) () in
   let costs = Kernel.costs kernel in
@@ -158,35 +150,31 @@ let measure_remote ~batch ~samples =
           ~on_exec:(fun t -> execs := t :: !execs))
   in
   let runnable = Hashtbl.create 16 in
-  let pol : Agent.policy =
-    {
-      name = "measure-remote";
-      init = ignore;
-      schedule =
-        (fun ctx msgs ->
-          List.iter
-            (fun (m : Msg.t) ->
-              match Policies.Msg_class.classify m with
-              | Policies.Msg_class.Became_runnable tid -> Hashtbl.replace runnable tid ()
-              | _ -> ())
-            msgs;
-          if Hashtbl.length runnable = batch then begin
-            let txns =
-              List.mapi
-                (fun i (v : Task.t) ->
-                  Agent.make_txn ctx ~tid:v.Task.tid ~target:(i + 1) ())
-                victims
-            in
-            Hashtbl.reset runnable;
-            Agent.submit ctx txns
-          end);
-      on_result =
-        (fun ctx txn ->
-          if Txn.committed txn then
-            match !applies with
-            | t :: _ when t = Agent.now ctx -> ()
-            | _ -> applies := Agent.now ctx :: !applies);
-    }
+  let pol =
+    Agent.make_policy ~name:"measure-remote"
+      ~schedule:(fun ctx msgs ->
+        List.iter
+          (fun (m : Msg.t) ->
+            match Policies.Msg_class.classify m with
+            | Policies.Msg_class.Became_runnable tid -> Hashtbl.replace runnable tid ()
+            | _ -> ())
+          msgs;
+        if Hashtbl.length runnable = batch then begin
+          let txns =
+            List.mapi
+              (fun i (v : Task.t) ->
+                Agent.make_txn ctx ~tid:v.Task.tid ~target:(i + 1) ())
+              victims
+          in
+          Hashtbl.reset runnable;
+          Agent.submit ctx txns
+        end)
+      ~on_result:(fun ctx txn ->
+        if Txn.committed txn then
+          match !applies with
+          | t :: _ when t = Agent.now ctx -> ()
+          | _ -> applies := Agent.now ctx :: !applies)
+      ()
   in
   let _g = Agent.attach_global sys e ~min_iteration:135 ~idle_gap:135 pol in
   List.iter
@@ -231,14 +219,14 @@ let measure_remote ~batch ~samples =
 
 (* --- Assembly ---------------------------------------------------------------- *)
 
-let run ?(samples = 500) () =
+let run ?(samples = 500) ?(seed = 42) () =
   let c = Hw.Costs.skylake in
-  let local_delivery, n1 = measure_delivery ~local:true ~samples in
-  let global_delivery, n2 = measure_delivery ~local:false ~samples in
-  let local_sched, n3 = measure_local_schedule ~samples in
-  let r1_agent, r1_target, r1_e2e, n4 = measure_remote ~batch:1 ~samples in
+  let local_delivery, n1 = measure_delivery ~seed ~local:true ~samples in
+  let global_delivery, n2 = measure_delivery ~seed ~local:false ~samples in
+  let local_sched, n3 = measure_local_schedule ~seed ~samples in
+  let r1_agent, r1_target, r1_e2e, n4 = measure_remote ~seed ~batch:1 ~samples in
   let r10_agent, r10_target, r10_e2e, n5 =
-    measure_remote ~batch:10 ~samples:(max 50 (samples / 2))
+    measure_remote ~seed ~batch:10 ~samples:(max 50 (samples / 2))
   in
   [
     { label = "1. Message delivery to local agent"; paper_ns = 725;

@@ -15,7 +15,7 @@ type line = {
   samples : int;
 }
 
-val run : ?samples:int -> unit -> line list
+val run : ?samples:int -> ?seed:int -> unit -> line list
 (** Default 500 samples per line. *)
 
 val print : line list -> unit

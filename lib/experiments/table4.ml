@@ -20,9 +20,11 @@ let label_of = function
 
 let vcpu_cores = 25 (* 50 logical CPUs *)
 
-let run_mode mode ~work_ns =
+let run_mode mode ~seed ~work_ns =
   let machine = Hw.Machines.skylake_2s in
-  let kernel, sys = Common.make_system ~core_sched:(mode = Kernel_cs) machine in
+  let kernel, sys =
+    Common.make_system ~core_sched:(mode = Kernel_cs) ~seed machine
+  in
   ignore sys;
   let vcpu_cpus = List.init (2 * vcpu_cores) (fun i -> i) in
   let vcpu_mask = Common.mask_of kernel vcpu_cpus in
@@ -91,12 +93,12 @@ let run_mode mode ~work_ns =
     violations = !violations;
   }
 
-let run ?(work_ns = Sim.Units.ms 400) () =
+let run ?(work_ns = Sim.Units.ms 400) ?(seed = 42) () =
   [
-    run_mode Plain_cfs ~work_ns;
-    run_mode Kernel_cs ~work_ns;
-    run_mode Ghost_cs ~work_ns;
-    run_mode Ghost_cs_solo ~work_ns;
+    run_mode Plain_cfs ~seed ~work_ns;
+    run_mode Kernel_cs ~seed ~work_ns;
+    run_mode Ghost_cs ~seed ~work_ns;
+    run_mode Ghost_cs_solo ~seed ~work_ns;
   ]
 
 let print rows =

@@ -202,6 +202,19 @@ let enclave_destroyed ~now ~eid ~reason =
       ~args:[ ("reason", reason) ]
       ()
 
+let c_resizes = Metrics.counter "enclave.resizes"
+
+let enclave_resized ~now ~eid ~cpu ~added =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_resizes;
+    Sink.instant s ~time:now
+      ~name:(if added then "cpu-added" else "cpu-taken")
+      ~track:(Sink.Enclave eid)
+      ~args:[ ("cpu", si cpu) ]
+      ()
+
 let fault_injected ~now ~eid ~kind =
   match Sink.current () with
   | None -> ()

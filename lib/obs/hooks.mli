@@ -70,6 +70,10 @@ val enclave_destroyed : now:int -> eid:int -> reason:string -> unit
 
 val watchdog_fire : now:int -> eid:int -> tid:int -> unit
 
+val enclave_resized : now:int -> eid:int -> cpu:int -> added:bool -> unit
+(** Instant ["cpu-added"]/["cpu-taken"] on the enclave's track plus the
+    [enclave.resizes] counter — one per {!System.add_cpu}/[remove_cpu]. *)
+
 (** {1 Fault injection (lib/faults)} *)
 
 val fault_injected : now:int -> eid:int -> kind:string -> unit

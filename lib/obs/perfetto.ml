@@ -17,7 +17,7 @@ let jint i = Json.Num (float_of_int i)
 let jts ns = Json.Num (float_of_int ns /. 1000.0)
 let jargs args = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
 
-let export sink =
+let export ?(meta = []) sink =
   let out = ref [] in
   let emit ev = out := ev :: !out in
   let base name ph ~ts ~pid ~tid extra =
@@ -136,9 +136,9 @@ let export sink =
       async "e" ~ts:final ~pid ~id name [ ("args", jargs [ ("truncated", "true") ]) ])
     span_info;
   (* Track naming metadata. *)
-  let meta = ref [] in
+  let meta_evs = ref [] in
   let meta_ev name ~pid ~tid value =
-    meta :=
+    meta_evs :=
       Json.Obj
         [
           ("name", Json.Str name);
@@ -147,7 +147,7 @@ let export sink =
           ("tid", jint tid);
           ("args", Json.Obj [ ("name", Json.Str value) ]);
         ]
-      :: !meta
+      :: !meta_evs
   in
   meta_ev "process_name" ~pid:pid_cpus ~tid:0 "cpus";
   meta_ev "process_name" ~pid:pid_global ~tid:0 "ghost-global";
@@ -161,18 +161,19 @@ let export sink =
         (Printf.sprintf "enclave-%d" e))
     enclaves;
   Json.Obj
-    [
-      ("traceEvents", Json.Arr (!meta @ List.rev !out));
-      ("displayTimeUnit", Json.Str "ns");
-      ("metrics", Metrics.snapshot_json ());
-    ]
+    ([
+       ("traceEvents", Json.Arr (!meta_evs @ List.rev !out));
+       ("displayTimeUnit", Json.Str "ns");
+       ("metrics", Metrics.snapshot_json ());
+     ]
+    @ meta)
 
-let export_string sink = Json.to_string (export sink)
+let export_string ?meta sink = Json.to_string (export ?meta sink)
 
-let write_file sink ~path =
+let write_file ?meta sink ~path =
   let oc = open_out path in
   let buf = Buffer.create 65536 in
-  Json.write buf (export sink);
+  Json.write buf (export ?meta sink);
   Buffer.output_buffer oc buf;
   output_char oc '\n';
   close_out oc

@@ -20,11 +20,13 @@
     nondecreasing [ts] order per track.
 
     A snapshot of the {!Metrics} registry rides along under the top-level
-    ["metrics"] key (ignored by viewers, convenient for tools). *)
+    ["metrics"] key (ignored by viewers, convenient for tools); [?meta]
+    appends further top-level keys — e.g. the seed that produced the
+    trace. *)
 
-val export : Sink.t -> Json.t
+val export : ?meta:(string * Json.t) list -> Sink.t -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ns", "metrics": {...}}] *)
 
-val export_string : Sink.t -> string
+val export_string : ?meta:(string * Json.t) list -> Sink.t -> string
 
-val write_file : Sink.t -> path:string -> unit
+val write_file : ?meta:(string * Json.t) list -> Sink.t -> path:string -> unit

@@ -17,15 +17,14 @@ type t = {
   timeslice : int option;
   schedule_be : bool;
   cls_of : (int, cls) Hashtbl.t;
-  lc_q : int Queue.t;
-  be_q : int Queue.t;
-  queued : (int, unit) Hashtbl.t;
-  running : (int, int * int * cls) Hashtbl.t;  (* tid -> cpu, start, cls *)
+  lc_q : Runq.t;
+  be_q : Runq.t;
+  running : Runq.Running.t;
   stats : stats;
 }
 
 let stats t = t.stats
-let lc_backlog t = Queue.length t.lc_q
+let lc_backlog t = Runq.length t.lc_q
 
 let class_of t ctx tid =
   match Hashtbl.find_opt t.cls_of tid with
@@ -39,21 +38,9 @@ let class_of t ctx tid =
     | None -> Be)
 
 let push t ctx tid =
-  if not (Hashtbl.mem t.queued tid) then begin
-    Hashtbl.replace t.queued tid ();
-    match class_of t ctx tid with
-    | Lc -> Queue.push tid t.lc_q
-    | Be -> Queue.push tid t.be_q
-  end
-
-let rec pop t ctx q =
-  match Queue.pop q with
-  | exception Queue.Empty -> None
-  | tid -> (
-    Hashtbl.remove t.queued tid;
-    match Agent.task_by_tid ctx tid with
-    | Some task when Task.is_runnable task -> Some task
-    | Some _ | None -> pop t ctx q)
+  match class_of t ctx tid with
+  | Lc -> Runq.push t.lc_q tid
+  | Be -> Runq.push t.be_q tid
 
 let feed t ctx msgs =
   List.iter
@@ -61,23 +48,24 @@ let feed t ctx msgs =
       Agent.charge ctx 25;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid ->
-        Hashtbl.remove t.running tid;
+        Runq.Running.forget t.running tid;
         push t ctx tid
       | Msg_class.Not_runnable tid ->
-        Hashtbl.remove t.running tid;
-        Hashtbl.remove t.queued tid
+        Runq.Running.forget t.running tid;
+        Runq.drop t.lc_q tid;
+        Runq.drop t.be_q tid
       | Msg_class.Died tid ->
-        Hashtbl.remove t.running tid;
-        Hashtbl.remove t.queued tid;
+        Runq.Running.forget t.running tid;
+        Runq.drop t.lc_q tid;
+        Runq.drop t.be_q tid;
         Hashtbl.remove t.cls_of tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _
+      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
     msgs
 
 let make_assign ctx txns assigned (task : Task.t) cpu =
-  Agent.charge ctx 40;
   Hashtbl.replace assigned cpu ();
-  let seq = Agent.thread_seq ctx task in
-  txns := Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq () :: !txns
+  Runq.assign ctx txns ~charge:40 task cpu
 
 let schedule t ctx msgs =
   feed t ctx msgs;
@@ -90,7 +78,7 @@ let schedule t ctx msgs =
   List.iter
     (fun cpu ->
       if free cpu then begin
-        match pop t ctx t.lc_q with
+        match Runq.pop t.lc_q ctx with
         | Some task -> make_assign ctx txns assigned task cpu
         | None -> ()
       end)
@@ -105,8 +93,8 @@ let schedule t ctx msgs =
   in
   List.iter
     (fun cpu ->
-      if (not (Queue.is_empty t.lc_q)) && be_running cpu then begin
-        match pop t ctx t.lc_q with
+      if (not (Runq.is_empty t.lc_q)) && be_running cpu then begin
+        match Runq.pop t.lc_q ctx with
         | Some task ->
           make_assign ctx txns assigned task cpu;
           t.stats.be_evictions <- t.stats.be_evictions + 1
@@ -120,17 +108,19 @@ let schedule t ctx msgs =
     let now = Agent.now ctx in
     List.iter
       (fun cpu ->
-        if (not (Hashtbl.mem assigned cpu)) && not (Queue.is_empty t.lc_q) then begin
+        if (not (Hashtbl.mem assigned cpu)) && not (Runq.is_empty t.lc_q) then begin
           match Agent.curr_on ctx cpu with
-          | Some task when task.Task.policy = Task.Ghost -> (
-            match Hashtbl.find_opt t.running task.Task.tid with
-            | Some (c, start, Lc) when c = cpu && now - start >= slice -> (
-              match pop t ctx t.lc_q with
+          | Some task when task.Task.policy = Task.Ghost ->
+            if
+              Runq.Running.over_slice t.running task.Task.tid ~cpu ~now ~slice
+              && class_of t ctx task.Task.tid = Lc
+            then begin
+              match Runq.pop t.lc_q ctx with
               | Some next ->
                 make_assign ctx txns assigned next cpu;
                 t.stats.lc_preemptions <- t.stats.lc_preemptions + 1
-              | None -> ())
-            | Some _ | None -> ())
+              | None -> ()
+            end
           | Some _ | None -> ()
         end)
       cpus);
@@ -139,12 +129,12 @@ let schedule t ctx msgs =
     List.iter
       (fun cpu ->
         if free cpu then begin
-          match pop t ctx t.be_q with
+          match Runq.pop t.be_q ctx with
           | Some task -> make_assign ctx txns assigned task cpu
           | None -> ()
         end)
       cpus;
-  if !txns <> [] then Agent.submit ctx (List.rev !txns)
+  Runq.submit_rev ctx txns
 
 let on_result t ctx (txn : Txn.t) =
   match txn.status with
@@ -153,7 +143,7 @@ let on_result t ctx (txn : Txn.t) =
     (match cls with
     | Lc -> t.stats.lc_scheduled <- t.stats.lc_scheduled + 1
     | Be -> t.stats.be_scheduled <- t.stats.be_scheduled + 1);
-    Hashtbl.replace t.running txn.tid (txn.target_cpu, Agent.now ctx, cls)
+    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Agent.now ctx)
   | Txn.Failed Txn.Enoent -> ()
   | Txn.Failed failure ->
     if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
@@ -167,10 +157,9 @@ let policy ~classify ?timeslice ?(schedule_be = true) () =
       timeslice;
       schedule_be;
       cls_of = Hashtbl.create 512;
-      lc_q = Queue.create ();
-      be_q = Queue.create ();
-      queued = Hashtbl.create 512;
-      running = Hashtbl.create 64;
+      lc_q = Runq.create ~size:512 ();
+      be_q = Runq.create ~size:512 ();
+      running = Runq.Running.create ();
       stats =
         {
           lc_scheduled = 0;
@@ -181,17 +170,16 @@ let policy ~classify ?timeslice ?(schedule_be = true) () =
         };
     }
   in
-  let pol : Agent.policy =
-    {
-      name = "central-two-class";
-      init =
-        (fun ctx ->
-          List.iter
-            (fun (task : Task.t) ->
-              if Task.is_runnable task then push t ctx task.Task.tid)
-            (Agent.managed_threads ctx));
-      schedule = (fun ctx msgs -> schedule t ctx msgs);
-      on_result = (fun ctx txn -> on_result t ctx txn);
-    }
+  let pol =
+    Agent.make_policy ~name:"central-two-class"
+      ~init:(fun ctx ->
+        List.iter
+          (fun (task : Task.t) ->
+            if Task.is_runnable task then push t ctx task.Task.tid)
+          (Agent.managed_threads ctx))
+      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
+      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)
+      ()
   in
   (t, pol)

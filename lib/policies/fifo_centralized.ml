@@ -3,31 +3,15 @@ module Txn = Ghost.Txn
 module Task = Kernel.Task
 
 type t = {
-  runq : int Queue.t;
-  queued : (int, unit) Hashtbl.t;
-  running_since : (int, int * int) Hashtbl.t;  (* tid -> (cpu, start) *)
+  runq : Runq.t;
+  running : Runq.Running.t;
   mutable scheduled : int;
   timeslice : int option;
   bpf : Ghost.Bpf.t option;
 }
 
 let scheduled t = t.scheduled
-let queue_depth t = Queue.length t.runq
-
-let push t tid =
-  if not (Hashtbl.mem t.queued tid) then begin
-    Hashtbl.replace t.queued tid ();
-    Queue.push tid t.runq
-  end
-
-let rec pop t ctx =
-  match Queue.pop t.runq with
-  | exception Queue.Empty -> None
-  | tid -> (
-    Hashtbl.remove t.queued tid;
-    match Agent.task_by_tid ctx tid with
-    | Some task when Task.is_runnable task -> Some task
-    | Some _ | None -> pop t ctx)
+let queue_depth t = Runq.length t.runq
 
 let feed t ctx msgs =
   List.iter
@@ -35,12 +19,13 @@ let feed t ctx msgs =
       Agent.charge ctx 10;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid ->
-        Hashtbl.remove t.running_since tid;
-        push t tid
+        Runq.Running.forget t.running tid;
+        Runq.push t.runq tid
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
-        Hashtbl.remove t.running_since tid;
-        Hashtbl.remove t.queued tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+        Runq.Running.forget t.running tid;
+        Runq.drop t.runq tid
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _
+      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
     msgs
 
 let schedule t ctx msgs =
@@ -53,14 +38,8 @@ let schedule t ctx msgs =
     (fun cpu ->
       if cpu <> agent_cpu then begin
         if Agent.cpu_is_idle ctx cpu then begin
-          match pop t ctx with
-          | Some task ->
-            Agent.charge ctx 25;
-            let seq = Agent.thread_seq ctx task in
-            let txn =
-              Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq ()
-            in
-            txns := txn :: !txns
+          match Runq.pop t.runq ctx with
+          | Some task -> Runq.assign ctx txns ~charge:25 task cpu
           | None -> ()
         end
       end)
@@ -72,22 +51,17 @@ let schedule t ctx msgs =
     let now = Agent.now ctx in
     List.iter
       (fun cpu ->
-        if not (Queue.is_empty t.runq) then begin
+        if not (Runq.is_empty t.runq) then begin
           match Agent.curr_on ctx cpu with
-          | Some task when task.Task.policy = Task.Ghost -> (
-            match Hashtbl.find_opt t.running_since task.Task.tid with
-            | Some (c, start) when c = cpu && now - start >= slice -> (
-              match pop t ctx with
+          | Some task when task.Task.policy = Task.Ghost ->
+            if Runq.Running.over_slice t.running task.Task.tid ~cpu ~now ~slice
+            then begin
+              match Runq.pop t.runq ctx with
               | Some next ->
-                Agent.charge ctx 25;
-                let seq = Agent.thread_seq ctx next in
-                let txn =
-                  Agent.make_txn ctx ~tid:next.Task.tid ~target:cpu ?thread_seq:seq ()
-                in
-                txns := txn :: !txns;
-                Hashtbl.remove t.running_since task.Task.tid
-              | None -> ())
-            | Some _ | None -> ())
+                Runq.assign ctx txns ~charge:25 next cpu;
+                Runq.Running.forget t.running task.Task.tid
+              | None -> ()
+            end
           | Some _ | None -> ()
         end)
       (Agent.enclave_cpu_list ctx));
@@ -96,7 +70,7 @@ let schedule t ctx msgs =
   (match t.bpf with
   | None -> ()
   | Some prog ->
-    Queue.iter
+    Runq.iter
       (fun tid ->
         match Agent.task_by_tid ctx tid with
         | Some task when Task.is_runnable task && not (Ghost.Bpf.mem prog task) ->
@@ -104,41 +78,39 @@ let schedule t ctx msgs =
           Ghost.Bpf.publish prog ~ring:0 task
         | Some _ | None -> ())
       t.runq);
-  if !txns <> [] then Agent.submit ctx (List.rev !txns)
+  Runq.submit_rev ctx txns
 
 let on_result t ctx (txn : Txn.t) =
   match txn.status with
   | Txn.Committed ->
     t.scheduled <- t.scheduled + 1;
-    Hashtbl.replace t.running_since txn.tid (txn.target_cpu, Agent.now ctx)
+    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Agent.now ctx)
   | Txn.Failed Txn.Enoent -> ()
-  | Txn.Failed _ -> push t txn.tid
+  | Txn.Failed _ -> Runq.push t.runq txn.tid
   | Txn.Pending -> ()
 
 let policy ?timeslice ?bpf () =
   let t =
     {
-      runq = Queue.create ();
-      queued = Hashtbl.create 256;
-      running_since = Hashtbl.create 64;
+      runq = Runq.create ();
+      running = Runq.Running.create ();
       scheduled = 0;
       timeslice;
       bpf;
     }
   in
-  let pol : Agent.policy =
-    {
-      name = "fifo-centralized";
-      init =
-        (fun ctx ->
-          (* Rebuild after an in-place upgrade: runnable threads re-enter the
-             FIFO (§3.4). *)
-          List.iter
-            (fun (task : Task.t) ->
-              if Task.is_runnable task then push t task.Task.tid)
-            (Agent.managed_threads ctx));
-      schedule = (fun ctx msgs -> schedule t ctx msgs);
-      on_result = (fun ctx txn -> on_result t ctx txn);
-    }
+  let pol =
+    Agent.make_policy ~name:"fifo-centralized"
+      ~init:(fun ctx ->
+        (* Rebuild after an in-place upgrade: runnable threads re-enter the
+           FIFO (§3.4). *)
+        List.iter
+          (fun (task : Task.t) ->
+            if Task.is_runnable task then Runq.push t.runq task.Task.tid)
+          (Agent.managed_threads ctx))
+      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
+      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)
+      ()
   in
   (t, pol)

@@ -131,7 +131,8 @@ let schedule t ctx msgs =
         if home <> Agent.cpu ctx then Agent.poke ctx home
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
         Hashtbl.remove t.queued tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _
+      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
     msgs;
   try_schedule_local t ctx
 
@@ -158,20 +159,40 @@ let policy () =
       steals = 0;
     }
   in
-  let pol : Agent.policy =
-    {
-      name = "fifo-percpu";
-      init =
-        (fun ctx ->
-          List.iter
-            (fun (task : Task.t) ->
-              if Task.is_runnable task then begin
-                let home = home_of t ctx task.Task.tid in
-                push t ~cpu:home task.Task.tid
-              end)
-            (Agent.managed_threads ctx));
-      schedule = (fun ctx msgs -> schedule t ctx msgs);
-      on_result = (fun ctx txn -> on_result t ctx txn);
-    }
+  (* A departed CPU's runqueue and home assignments migrate to the live
+     CPUs; running threads re-place via their THREAD_PREEMPTED message. *)
+  let on_cpu_removed ctx cpu =
+    let stale =
+      Hashtbl.fold (fun tid h acc -> if h = cpu then tid :: acc else acc) t.home []
+    in
+    List.iter (fun tid -> Hashtbl.remove t.home tid) stale;
+    match Hashtbl.find_opt t.runqs cpu with
+    | None -> ()
+    | Some q ->
+      Hashtbl.remove t.runqs cpu;
+      Queue.iter
+        (fun tid ->
+          Hashtbl.remove t.queued tid;
+          match Agent.task_by_tid ctx tid with
+          | Some task when Task.is_runnable task ->
+            let home = home_of t ctx tid in
+            push t ~cpu:home tid;
+            if home <> Agent.cpu ctx then Agent.poke ctx home
+          | Some _ | None -> ())
+        q
+  in
+  let pol =
+    Agent.make_policy ~name:"fifo-percpu"
+      ~init:(fun ctx ->
+        List.iter
+          (fun (task : Task.t) ->
+            if Task.is_runnable task then begin
+              let home = home_of t ctx task.Task.tid in
+              push t ~cpu:home task.Task.tid
+            end)
+          (Agent.managed_threads ctx))
+      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
+      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ~on_cpu_removed ()
   in
   (t, pol)

@@ -1,0 +1,146 @@
+(* The uniform policy contract: typed construction parameters, an agent
+   mode, and a stats snapshot.  [Registry] builds on this to instantiate
+   any policy from a "name?key=value&..." spec string. *)
+
+module Agent = Ghost.Agent
+
+type mode = [ `Global | `Local ]
+
+type value =
+  | Int of int  (* plain integers and time values, normalized to ns *)
+  | Bool of bool
+  | Float of float
+  | String of string
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+  | Float f -> string_of_float f
+  | String s -> s
+
+(* "30us" -> Int 30_000; "0.5ms" -> Int 500_000.  Longest suffix first so
+   "ns" is not mistaken for "s". *)
+let time_suffixes = [ ("ns", 1.); ("us", 1e3); ("ms", 1e6); ("s", 1e9) ]
+
+let parse_time s =
+  let try_suffix (suf, mult) =
+    let ls = String.length s and lf = String.length suf in
+    if ls > lf && String.sub s (ls - lf) lf = suf then
+      match float_of_string_opt (String.sub s 0 (ls - lf)) with
+      | Some f -> Some (Int (int_of_float (f *. mult)))
+      | None -> None
+    else None
+  in
+  List.find_map try_suffix time_suffixes
+
+let parse_value s =
+  match bool_of_string_opt s with
+  | Some b -> Bool b
+  | None -> (
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      match parse_time s with
+      | Some v -> v
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> String s)))
+
+(* "name?k=v&k2=v2" -> ("name", [(k, v); (k2, v2)]).  A key without '='
+   is a boolean flag. *)
+let parse_spec spec =
+  match String.index_opt spec '?' with
+  | None -> (spec, [])
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    let kvs =
+      String.split_on_char '&' rest
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> (kv, Bool true)
+             | Some j ->
+               ( String.sub kv 0 j,
+                 parse_value (String.sub kv (j + 1) (String.length kv - j - 1))
+               ))
+    in
+    (name, kvs)
+
+(* Parameter reader: accessors consume keys; [finish] rejects leftovers so
+   a typo in a spec fails loudly instead of silently using a default. *)
+module Params = struct
+  type t = { policy : string; mutable remaining : (string * value) list }
+
+  let of_list ~policy kvs = { policy; remaining = kvs }
+
+  let take p key =
+    match List.assoc_opt key p.remaining with
+    | None -> None
+    | Some v ->
+      p.remaining <- List.remove_assoc key p.remaining;
+      Some v
+
+  let bad p key v expected =
+    invalid_arg
+      (Printf.sprintf "policy %s: parameter %s=%s is not a %s" p.policy key
+         (value_to_string v) expected)
+
+  let int p key ~default =
+    match take p key with
+    | None -> default
+    | Some (Int i) -> i
+    | Some v -> bad p key v "time/int"
+
+  let int_opt p key =
+    match take p key with
+    | None -> None
+    | Some (Int i) -> Some i
+    | Some v -> bad p key v "time/int"
+
+  let bool p key ~default =
+    match take p key with
+    | None -> default
+    | Some (Bool b) -> b
+    | Some v -> bad p key v "bool"
+
+  let string p key ~default =
+    match take p key with
+    | None -> default
+    | Some (String s) -> s
+    | Some v -> value_to_string v
+
+  let finish p =
+    match p.remaining with
+    | [] -> ()
+    | kvs ->
+      invalid_arg
+        (Printf.sprintf "policy %s: unknown parameter(s): %s" p.policy
+           (String.concat ", " (List.map fst kvs)))
+end
+
+(* A constructed, attachable policy. *)
+type instance = {
+  spec : string;  (* the full spec string it was built from *)
+  name : string;  (* registered name *)
+  mode : mode;
+  policy : Agent.policy;
+  stats : unit -> (string * int) list;  (* live snapshot, sorted keys *)
+}
+
+(* The contract a policy module satisfies to be registrable.  The concrete
+   modules in this library predate the interface and expose richer typed
+   constructors; [Registry] adapts them.  New policies can implement [S]
+   directly and register with {!Registry.register}. *)
+module type S = sig
+  val name : string
+  val mode : mode
+  val doc : string
+
+  val make : Params.t -> Agent.policy * (unit -> (string * int) list)
+  (** Construct from parsed parameters.  Must call [Params.finish] (or let
+      the registry do it) and must tolerate being attached to an enclave
+      whose CPU set changes at runtime (the [on_cpu_added]/[on_cpu_removed]
+      hooks of {!Ghost.Agent.policy}). *)
+end

@@ -1,0 +1,53 @@
+(** The uniform policy contract behind {!Registry}.
+
+    Every scheduling policy in this library can be described by a name, an
+    agent {!mode} (one spinning global agent vs. one agent per CPU), a set
+    of typed construction parameters, and a stats snapshot.  Spec strings
+    like ["shinjuku?timeslice=30us&shenango_ext=true"] parse into a name
+    plus parameters; time values accept [ns]/[us]/[ms]/[s] suffixes and
+    normalize to nanoseconds. *)
+
+type mode = [ `Global | `Local ]
+
+type value = Int of int | Bool of bool | Float of float | String of string
+
+val value_to_string : value -> string
+
+val parse_value : string -> value
+(** Booleans, integers, suffixed times (to ns), floats, else strings. *)
+
+val parse_spec : string -> string * (string * value) list
+(** ["name?k=v&k2=v2"] -> [("name", [(k, v); ...])].  A key without [=] is
+    a boolean flag. *)
+
+(** Parameter reader handed to a policy's [make]: accessors consume keys,
+    and {!Params.finish} rejects any leftover (unknown) keys. *)
+module Params : sig
+  type t
+
+  val of_list : policy:string -> (string * value) list -> t
+  val int : t -> string -> default:int -> int
+  val int_opt : t -> string -> int option
+  val bool : t -> string -> default:bool -> bool
+  val string : t -> string -> default:string -> string
+
+  val finish : t -> unit
+  (** Raises [Invalid_argument] naming any unconsumed keys. *)
+end
+
+(** A constructed, attachable policy instance. *)
+type instance = {
+  spec : string;
+  name : string;
+  mode : mode;
+  policy : Ghost.Agent.policy;
+  stats : unit -> (string * int) list;
+}
+
+(** The contract a registrable policy module satisfies. *)
+module type S = sig
+  val name : string
+  val mode : mode
+  val doc : string
+  val make : Params.t -> Ghost.Agent.policy * (unit -> (string * int) list)
+end

@@ -6,6 +6,8 @@ type event =
   | Died of int
   | Affinity_changed of int
   | Tick of int
+  | Cpu_available of int
+  | Cpu_taken of int
 
 let classify (m : Msg.t) =
   match m.kind with
@@ -16,3 +18,5 @@ let classify (m : Msg.t) =
   | Msg.THREAD_DEAD -> Died m.tid
   | Msg.THREAD_AFFINITY -> Affinity_changed m.tid
   | Msg.TIMER_TICK -> Tick m.cpu
+  | Msg.CPU_AVAILABLE -> Cpu_available m.cpu
+  | Msg.CPU_TAKEN -> Cpu_taken m.cpu

@@ -6,6 +6,8 @@ type event =
   | Died of int
   | Affinity_changed of int
   | Tick of int  (** cpu *)
+  | Cpu_available of int  (** cpu joined the enclave. *)
+  | Cpu_taken of int  (** cpu left the enclave. *)
 
 val classify : Ghost.Msg.t -> event
 (** Map a raw ghOSt message to the scheduling-relevant event. *)

@@ -1,0 +1,186 @@
+(* Name -> policy registry.  Each policy in the library registers a
+   constructor so experiments, the CLI and the scenario layer can
+   instantiate any of them from a spec string without referencing the
+   module. *)
+
+module Agent = Ghost.Agent
+module System = Ghost.System
+module P = Ghost_policy.Params
+
+type entry = {
+  name : string;
+  mode : Ghost_policy.mode;
+  doc : string;
+  make : P.t -> Agent.policy * (unit -> (string * int) list);
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
+
+let register ~name ~mode ~doc make =
+  if Hashtbl.mem table name then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate policy %s" name);
+  Hashtbl.replace table name { name; mode; doc; make }
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) table [] |> List.sort compare
+
+let doc name =
+  match Hashtbl.find_opt table name with
+  | Some e -> e.doc
+  | None -> invalid_arg (Printf.sprintf "Registry.doc: unknown policy %s" name)
+
+let make spec =
+  let name, kvs = Ghost_policy.parse_spec spec in
+  match Hashtbl.find_opt table name with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown policy %s (known: %s)" name
+         (String.concat ", " (names ())))
+  | Some e ->
+    let p = P.of_list ~policy:name kvs in
+    let policy, stats = e.make p in
+    P.finish p;
+    { Ghost_policy.spec; name; mode = e.mode; policy; stats }
+
+let attach ?min_iteration ?idle_gap sys enclave (inst : Ghost_policy.instance) =
+  match inst.mode with
+  | `Global -> Agent.attach_global ?min_iteration ?idle_gap sys enclave inst.policy
+  | `Local -> Agent.attach_local sys enclave inst.policy
+
+(* Gauges named policy.<name>.<stat>, refreshed from the live snapshot. *)
+let publish_stats (inst : Ghost_policy.instance) =
+  List.iter
+    (fun (k, v) ->
+      Obs.Metrics.set
+        (Obs.Metrics.gauge (Printf.sprintf "policy.%s.%s" inst.name k))
+        v)
+    (inst.stats ())
+
+(* --- The built-in policies ------------------------------------------------- *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Registry policies classify threads by task-name prefix; the workloads
+   library names threads worker%d / batch%d / spin%d accordingly. *)
+let prefix_pred prefix (task : Kernel.Task.t) =
+  has_prefix ~prefix task.Kernel.Task.name
+
+let central_stats ~stats ~backlog () =
+  let s : Central.stats = stats () in
+  [
+    ("be_evictions", s.Central.be_evictions);
+    ("be_scheduled", s.Central.be_scheduled);
+    ("estales", s.Central.estales);
+    ("lc_backlog", backlog ());
+    ("lc_preemptions", s.Central.lc_preemptions);
+    ("lc_scheduled", s.Central.lc_scheduled);
+  ]
+
+let () =
+  register ~name:"fifo-centralized" ~mode:`Global
+    ~doc:"Centralized FIFO with optional timeslice preemption (Fig. 5)"
+    (fun p ->
+      let timeslice = P.int_opt p "timeslice" in
+      let t, pol = Fifo_centralized.policy ?timeslice () in
+      ( pol,
+        fun () ->
+          [
+            ("queue_depth", Fifo_centralized.queue_depth t);
+            ("scheduled", Fifo_centralized.scheduled t);
+          ] ));
+  register ~name:"fifo-percpu" ~mode:`Local
+    ~doc:"Per-CPU FIFO with round-robin placement and work stealing (Fig. 3)"
+    (fun p ->
+      ignore p;
+      let t, pol = Fifo_percpu.policy () in
+      ( pol,
+        fun () ->
+          [
+            ("estale_retries", Fifo_percpu.estale_retries t);
+            ("scheduled", Fifo_percpu.scheduled t);
+            ("steals", Fifo_percpu.steals t);
+          ] ));
+  register ~name:"central" ~mode:`Global
+    ~doc:
+      "Two-class centralized engine; lc_prefix names latency-critical \
+       threads (default worker)"
+    (fun p ->
+      let lc_prefix = P.string p "lc_prefix" ~default:"worker" in
+      let timeslice = P.int_opt p "timeslice" in
+      let schedule_be = P.bool p "schedule_be" ~default:true in
+      let classify task =
+        if prefix_pred lc_prefix task then Central.Lc else Central.Be
+      in
+      let t, pol = Central.policy ~classify ?timeslice ~schedule_be () in
+      ( pol,
+        central_stats
+          ~stats:(fun () -> Central.stats t)
+          ~backlog:(fun () -> Central.lc_backlog t) ));
+  register ~name:"shinjuku" ~mode:`Global
+    ~doc:"ghOSt-Shinjuku: 30us preemptive centralized scheduling (Fig. 6)"
+    (fun p ->
+      let timeslice = P.int p "timeslice" ~default:30_000 in
+      let shenango_ext = P.bool p "shenango_ext" ~default:false in
+      let batch_prefix = P.string p "batch_prefix" ~default:"batch" in
+      let t, pol =
+        Shinjuku.policy ~timeslice ~shenango_ext
+          ~is_batch:(prefix_pred batch_prefix) ()
+      in
+      ( pol,
+        central_stats
+          ~stats:(fun () -> Shinjuku.stats t)
+          ~backlog:(fun () -> Shinjuku.lc_backlog t) ));
+  register ~name:"snap" ~mode:`Global
+    ~doc:"Google Snap: workers strictly over antagonists, no timeslice (§4.3)"
+    (fun p ->
+      let worker_prefix = P.string p "worker_prefix" ~default:"worker" in
+      let t, pol = Snap_policy.policy ~is_worker:(prefix_pred worker_prefix) () in
+      ( pol,
+        central_stats
+          ~stats:(fun () -> Snap_policy.stats t)
+          ~backlog:(fun () -> Snap_policy.lc_backlog t) ));
+  register ~name:"search" ~mode:`Global
+    ~doc:
+      "Google Search: least-runtime-first with cache-distance placement \
+       (§4.4); pending_wait=0 disables the 100us hold"
+    (fun p ->
+      let numa_aware = P.bool p "numa_aware" ~default:true in
+      let ccx_aware = P.bool p "ccx_aware" ~default:true in
+      let pending_wait =
+        match P.int p "pending_wait" ~default:100_000 with
+        | 0 -> None
+        | ns -> Some ns
+      in
+      let config =
+        { Search_policy.numa_aware; ccx_aware; pending_wait; bpf = None }
+      in
+      let t, pol = Search_policy.policy ~config () in
+      ( pol,
+        fun () ->
+          let s = Search_policy.stats t in
+          [
+            ("estales", s.Search_policy.estales);
+            ("held_pending", s.Search_policy.held_pending);
+            ("placed_ccx", s.Search_policy.placed_ccx);
+            ("placed_core", s.Search_policy.placed_core);
+            ("placed_remote", s.Search_policy.placed_remote);
+            ("placed_socket", s.Search_policy.placed_socket);
+            ("skipped", s.Search_policy.skipped);
+          ] ));
+  register ~name:"secure-vm" ~mode:`Global
+    ~doc:"Per-core VM isolation with quantum rotation (§4.5)"
+    (fun p ->
+      let quantum = P.int p "quantum" ~default:500_000 in
+      let eager_pairing = P.bool p "eager_pairing" ~default:false in
+      let t, pol = Secure_vm.policy ~quantum ~eager_pairing () in
+      ( pol,
+        fun () ->
+          let s = Secure_vm.stats t in
+          [
+            ("estales", s.Secure_vm.estales);
+            ("pair_commits", s.Secure_vm.pair_commits);
+            ("rotations", s.Secure_vm.rotations);
+            ("single_commits", s.Secure_vm.single_commits);
+          ] ))

@@ -1,0 +1,62 @@
+module Agent = Ghost.Agent
+module Task = Kernel.Task
+
+type t = {
+  q : int Queue.t;
+  queued : (int, unit) Hashtbl.t;  (* push dedup; pop does not consult it *)
+}
+
+let create ?(size = 256) () =
+  { q = Queue.create (); queued = Hashtbl.create size }
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let iter f t = Queue.iter f t.q
+
+let push t tid =
+  if not (Hashtbl.mem t.queued tid) then begin
+    Hashtbl.replace t.queued tid ();
+    Queue.push tid t.q
+  end
+
+let drop t tid = Hashtbl.remove t.queued tid
+
+let rec pop t ctx =
+  match Queue.pop t.q with
+  | exception Queue.Empty -> None
+  | tid -> (
+    Hashtbl.remove t.queued tid;
+    match Agent.task_by_tid ctx tid with
+    | Some task when Task.is_runnable task -> Some task
+    | Some _ | None -> pop t ctx)
+
+(* --- Running-interval bookkeeping (timeslice rotation) --------------------- *)
+
+module Running = struct
+  type nonrec t = (int, int * int) Hashtbl.t  (* tid -> (cpu, started_at) *)
+
+  let create () = Hashtbl.create 64
+  let note t tid ~cpu ~at = Hashtbl.replace t tid (cpu, at)
+  let forget t tid = Hashtbl.remove t tid
+
+  let over_slice t tid ~cpu ~now ~slice =
+    match Hashtbl.find_opt t tid with
+    | Some (c, start) -> c = cpu && now - start >= slice
+    | None -> false
+
+  let forget_cpu t cpu =
+    let stale =
+      Hashtbl.fold (fun tid (c, _) acc -> if c = cpu then tid :: acc else acc) t []
+    in
+    List.iter (Hashtbl.remove t) stale
+end
+
+(* --- Group-commit assembly -------------------------------------------------- *)
+
+let assign ctx txns ~charge (task : Task.t) cpu =
+  Agent.charge ctx charge;
+  let seq = Agent.thread_seq ctx task in
+  txns :=
+    Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq () :: !txns
+
+let submit_rev ctx txns = if !txns <> [] then Agent.submit ctx (List.rev !txns)

@@ -1,0 +1,52 @@
+(** The runqueue / group-commit skeleton shared by the centralized policies
+    ({!Central}, {!Fifo_centralized}).
+
+    A dedup FIFO of tids: {!push} ignores tids already queued; {!pop}
+    validates the popped tid against the live task table and skips dead or
+    non-runnable entries.  [drop] only clears the dedup bit — a dropped tid
+    already in the FIFO is filtered at pop time by the runnable check, and a
+    tid re-pushed after a drop may briefly appear twice (the duplicate
+    commit then fails EBUSY and is requeued), exactly matching the pre-dedup
+    behavior of both policies. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val iter : (int -> unit) -> t -> unit
+
+val push : t -> int -> unit
+(** Enqueue unless already queued. *)
+
+val drop : t -> int -> unit
+(** Forget the dedup bit (thread blocked/died); lazy removal at {!pop}. *)
+
+val pop : t -> Ghost.Agent.ctx -> Kernel.Task.t option
+(** Next runnable task in FIFO order, skipping stale entries. *)
+
+(** Which thread runs where since when — the bookkeeping behind timeslice
+    rotation. *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val note : t -> int -> cpu:int -> at:int -> unit
+  val forget : t -> int -> unit
+  val over_slice : t -> int -> cpu:int -> now:int -> slice:int -> bool
+  val forget_cpu : t -> int -> unit
+  (** Drop entries for threads last placed on [cpu] (enclave resize). *)
+end
+
+val assign :
+  Ghost.Agent.ctx ->
+  Ghost.Txn.t list ref ->
+  charge:int ->
+  Kernel.Task.t ->
+  int ->
+  unit
+(** Create a thread-seq-stamped transaction targeting [cpu], charge the
+    pass, and prepend it to the batch under assembly. *)
+
+val submit_rev : Ghost.Agent.ctx -> Ghost.Txn.t list ref -> unit
+(** Submit the accumulated batch in creation order (one group commit). *)

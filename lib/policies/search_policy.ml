@@ -60,7 +60,8 @@ let feed t ctx msgs =
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
         Hashtbl.remove t.queued tid;
         Hashtbl.remove t.pending_since tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _
+      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
     msgs
 
 (* Candidate CPUs in increasing cache distance from [last]: the physical
@@ -84,8 +85,10 @@ let find_idle t ctx assigned (task : Task.t) =
   let topo = Kernel.topo (Agent.kernel ctx) in
   let last = if task.Task.cpu >= 0 then task.Task.cpu else 0 in
   let agent_cpu = Agent.cpu ctx in
+  let enclave_cpus = Agent.enclave_cpu_list ctx in
   let ok cpu =
     cpu <> agent_cpu
+    && List.mem cpu enclave_cpus
     && (not (Hashtbl.mem assigned cpu))
     && Cpumask.mem task.Task.affinity cpu
     && Agent.cpu_is_idle ctx cpu
@@ -197,17 +200,15 @@ let policy ?(config = default_config) () =
         };
     }
   in
-  let pol : Agent.policy =
-    {
-      name = "search";
-      init =
-        (fun ctx ->
-          List.iter
-            (fun (task : Task.t) ->
-              if Task.is_runnable task then push t ctx task.Task.tid)
-            (Agent.managed_threads ctx));
-      schedule = (fun ctx msgs -> schedule t ctx msgs);
-      on_result = (fun ctx txn -> on_result t ctx txn);
-    }
+  let pol =
+    Agent.make_policy ~name:"search"
+      ~init:(fun ctx ->
+        List.iter
+          (fun (task : Task.t) ->
+            if Task.is_runnable task then push t ctx task.Task.tid)
+          (Agent.managed_threads ctx))
+      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
+      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ()
   in
   (t, pol)

@@ -64,7 +64,8 @@ let feed t ctx msgs =
       | Msg_class.Became_runnable tid -> push t ctx tid
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
         Hashtbl.remove t.queued tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _ -> ())
+      | Msg_class.Affinity_changed _ | Msg_class.Tick _
+      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
     msgs
 
 (* VMs with waiting threads, least accumulated runtime first — the fair
@@ -248,17 +249,21 @@ let policy ?(quantum = 500_000) ?(eager_pairing = false) () =
       stats = { pair_commits = 0; single_commits = 0; rotations = 0; estales = 0 };
     }
   in
-  let pol : Agent.policy =
-    {
-      name = "secure-vm";
-      init =
-        (fun ctx ->
-          List.iter
-            (fun (task : Task.t) ->
-              if Task.is_runnable task then push t ctx task.Task.tid)
-            (Agent.managed_threads ctx));
-      schedule = (fun ctx msgs -> schedule t ctx msgs);
-      on_result = (fun ctx txn -> on_result t ctx txn);
-    }
+  (* Core-state entries for a removed CPU's core go away so a later pass
+     does not treat the shrunk core as owned by a VM. *)
+  let on_cpu_removed ctx cpu =
+    let topo = Kernel.topo (Agent.kernel ctx) in
+    Hashtbl.remove t.cores (Topology.core_of topo cpu)
+  in
+  let pol =
+    Agent.make_policy ~name:"secure-vm"
+      ~init:(fun ctx ->
+        List.iter
+          (fun (task : Task.t) ->
+            if Task.is_runnable task then push t ctx task.Task.tid)
+          (Agent.managed_threads ctx))
+      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
+      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ~on_cpu_removed ()
   in
   (t, pol)

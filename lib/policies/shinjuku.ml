@@ -8,3 +8,4 @@ let policy ?(timeslice = 30_000) ?(shenango_ext = false) ~is_batch () =
   (t, { pol with Ghost.Agent.name = "shinjuku" })
 
 let stats t = Central.stats t
+let lc_backlog t = Central.lc_backlog t

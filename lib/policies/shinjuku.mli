@@ -22,3 +22,4 @@ val policy :
 (** Defaults: 30 us timeslice, [shenango_ext = false]. *)
 
 val stats : t -> Central.stats
+val lc_backlog : t -> int

@@ -6,3 +6,4 @@ let policy ~is_worker () =
   (t, { pol with Ghost.Agent.name = "snap" })
 
 let stats t = Central.stats t
+let lc_backlog t = Central.lc_backlog t

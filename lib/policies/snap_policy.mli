@@ -13,3 +13,4 @@ type t
 val policy : is_worker:(Kernel.Task.t -> bool) -> unit -> t * Ghost.Agent.policy
 
 val stats : t -> Central.stats
+val lc_backlog : t -> int

@@ -1,0 +1,172 @@
+(** Declarative experiment harness.
+
+    A scenario is a value: a machine, N enclaves — each with a policy named
+    via {!Policies.Registry} spec syntax, a cpumask, workloads and an
+    optional fault plan — plus a seed, warmup/measure/cooldown windows, an
+    optional controller ticking over the live system (e.g. a load watcher
+    moving CPUs between enclaves with {!move_cpu}) and an optional Perfetto
+    trace path.  {!run} executes it deterministically and returns
+    per-enclave reports.
+
+    Setup order is part of the contract (it fixes task ids and event
+    sequence numbers): enclaves in declaration order (policy built,
+    enclave created, agents attached, injector armed), then workloads in
+    declaration order, then the clock runs. *)
+
+(** Workloads, bound per enclave.  Thread names are ["<prefix><idx>"] —
+    registry policies classify by these prefixes (e.g. shinjuku treats
+    [batch*] as best-effort). *)
+type workload =
+  | Openloop of {
+      wseed : int;  (** arrival/service RNG seed, separate from the system seed *)
+      rate : float;  (** requests per second *)
+      service : Sim.Dist.t;
+      nworkers : int;
+      prefix : string;
+    }
+  | Batch of { n : int; prefix : string }
+      (** CPU-bound best-effort threads (compute forever). *)
+  | Spin of { threads : int; thread_ns : int; prefix : string }
+      (** Run [thread_ns] then yield, forever — keeps runqueues non-empty. *)
+  | Jobs of { n : int; slice_ns : int; total_ns : int; prefix : string }
+      (** Finite jobs; the report counts completions and the last finish. *)
+
+type enclave_spec = {
+  ename : string;
+  policy : string;
+  cpus : int list;
+  watchdog_timeout : int option;
+  min_iteration : int option;
+  idle_gap : int option;
+  workloads : workload list;
+  faults : Faults.Plan.t;
+}
+
+val enclave :
+  ?watchdog_timeout:int ->
+  ?min_iteration:int ->
+  ?idle_gap:int ->
+  ?faults:Faults.Plan.t ->
+  policy:string ->
+  cpus:int list ->
+  workloads:workload list ->
+  string ->
+  enclave_spec
+
+(** {1 Live state}
+
+    Controllers observe and steer the running system. *)
+
+type live_workload =
+  | L_openloop of Workloads.Openloop.t
+  | L_batch of Workloads.Batch.t
+  | L_spin of Kernel.Task.t list
+  | L_jobs of jobs_live
+
+and jobs_live = {
+  mutable tasks : Kernel.Task.t list;
+  mutable last_finished : int option;
+}
+
+type live_enclave = {
+  spec : enclave_spec;
+  enclave : Ghost.System.enclave;
+  instance : Policies.Ghost_policy.instance;
+  group : Ghost.Agent.group;
+  injector : Faults.Injector.t;
+  live_workloads : live_workload list;
+  mutable all_cfs_at_destroy : bool option;
+  mutable stats_at_measure_start : (string * int) list;
+  mutable stats_at_measure_end : (string * int) list;
+}
+
+type live = {
+  kernel : Kernel.t;
+  sys : Ghost.System.t;
+  live_enclaves : live_enclave list;
+}
+
+val find : live -> string -> live_enclave
+(** By enclave name; raises [Invalid_argument] if absent. *)
+
+val stat : live_enclave -> string -> int option
+(** Live policy stat (e.g. ["lc_backlog"]). *)
+
+val openloop : live_enclave -> Workloads.Openloop.t option
+(** First open-loop workload of the enclave, for e.g.
+    {!Workloads.Openloop.set_rate}. *)
+
+val move_cpu : live -> src:string -> dst:string -> int -> unit
+(** Dynamic resizing: remove the CPU from [src], add it to [dst]. *)
+
+type controller = { period_ns : int; tick : live -> unit }
+(** Runs every [period_ns] from the first period until the end of the
+    measurement window. *)
+
+(** {1 Scenarios} *)
+
+type t = {
+  name : string;
+  machine : Hw.Machines.t;
+  seed : int;
+  warmup_ns : int;
+  measure_ns : int;
+  cooldown_ns : int;  (** extra run time so in-flight requests complete *)
+  enclaves : enclave_spec list;
+  controller : controller option;
+  trace : string option;
+}
+
+val make :
+  ?seed:int ->
+  ?warmup_ns:int ->
+  ?cooldown_ns:int ->
+  ?controller:controller ->
+  ?trace:string ->
+  machine:Hw.Machines.t ->
+  measure_ns:int ->
+  enclaves:enclave_spec list ->
+  string ->
+  t
+
+(** {1 Reports} *)
+
+type latency = { p50_ns : int; p90_ns : int; p99_ns : int; p999_ns : int }
+
+type enclave_report = {
+  ename : string;
+  policy : string;
+  offered_qps : float option;  (** open-loop offered rate (final value) *)
+  achieved_qps : float option;
+  latency : latency option;
+  batch_share : float option;
+      (** batch CPU share of the enclave's worker CPUs over the window *)
+  jobs_completed : int;
+  jobs_total : int;
+  finished_at : int option;
+  stats_at_measure_start : (string * int) list;
+  stats_at_measure_end : (string * int) list;
+  destroy_reason : string option;
+  all_cfs_at_destroy : bool option;
+      (** [Some] only if the enclave died: were all managed threads back on
+          CFS (or dead) at that instant? *)
+  faults : Faults.Report.t;
+}
+
+type report = {
+  scenario : string;
+  seed : int;
+  measure_ns : int;
+  enclaves : enclave_report list;
+}
+
+val run : t -> report
+
+val enclave_report : report -> string -> enclave_report
+
+val stat_delta : enclave_report -> string -> int option
+(** [stats_at_measure_end - stats_at_measure_start] for one stat. *)
+
+val smoke : unit -> (string * report) list
+(** Every registered policy, instantiated by name, 1 ms of simulated time
+    on a 4-CPU machine. *)

@@ -5,7 +5,7 @@ type request = { arrival : int; service : int }
 type t = {
   kernel : Kernel.t;
   rng : Sim.Rng.t;
-  rate : float;
+  mutable rate : float;
   service : Sim.Dist.t;
   rec_ : Recorder.t;
   mutable pool : request Pool.t option;
@@ -20,6 +20,12 @@ let offered t = t.offered
 let queued_now t = Pool.backlog (pool t)
 let workers t = Pool.tasks (pool t)
 let set_record_after t time = t.record_after <- time
+
+let rate t = t.rate
+
+let set_rate t rate =
+  if rate <= 0.0 then invalid_arg "Openloop.set_rate: rate must be positive";
+  t.rate <- rate
 let set_on_complete t fn = t.on_complete <- fn
 
 let arrival t =

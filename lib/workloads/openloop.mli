@@ -28,6 +28,12 @@ val start : t -> until:int -> unit
 val set_record_after : t -> int -> unit
 (** Ignore requests arriving before this time (warm-up). *)
 
+val rate : t -> float
+
+val set_rate : t -> float -> unit
+(** Change the offered load mid-run (phased load experiments).  Takes
+    effect from the next inter-arrival draw. *)
+
 val set_on_complete : t -> (now:int -> arrival:int -> unit) option -> unit
 (** Extra per-completion callback (after warm-up filtering) — lets a harness
     bucket latencies by completion time, e.g. to plot the p99 spike around

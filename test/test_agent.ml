@@ -30,13 +30,10 @@ let test_aseq_tracks_messages () =
      to the queue it is associated with. *)
   let k, sys, e = setup 2 in
   let seqs = ref [] in
-  let pol : Agent.policy =
-    {
-      name = "aseq-probe";
-      init = ignore;
-      schedule = (fun ctx msgs -> if msgs <> [] then seqs := Agent.aseq ctx :: !seqs);
-      on_result = (fun _ _ -> ());
-    }
+  let pol =
+    Agent.make_policy ~name:"aseq-probe"
+      ~schedule:(fun ctx msgs -> if msgs <> [] then seqs := Agent.aseq ctx :: !seqs)
+      ()
   in
   let _g = Agent.attach_global sys e pol in
   let task = Kernel.create_task k ~name:"w" (Task.compute_forever ~slice:(us 100)) in
@@ -55,13 +52,10 @@ let test_charge_lengthens_passes () =
      iterations fit in the same simulated window. *)
   let iters charge_ns =
     let k, sys, e = setup 2 in
-    let pol : Agent.policy =
-      {
-        name = "burner";
-        init = ignore;
-        schedule = (fun ctx _ -> Agent.charge ctx charge_ns);
-        on_result = (fun _ _ -> ());
-      }
+    let pol =
+      Agent.make_policy ~name:"burner"
+        ~schedule:(fun ctx _ -> Agent.charge ctx charge_ns)
+        ()
     in
     let g = Agent.attach_global sys e ~idle_gap:500 pol in
     Kernel.run_until k (ms 5);
@@ -125,13 +119,11 @@ let test_stop_is_idempotent () =
 let test_queue_of_cpu_modes () =
   let _k, sys, e = setup 2 in
   let seen = ref None in
-  let pol : Agent.policy =
-    {
-      name = "probe";
-      init = (fun ctx -> seen := Some (Agent.queue_of_cpu ctx 0 <> None));
-      schedule = (fun _ _ -> ());
-      on_result = (fun _ _ -> ());
-    }
+  let pol =
+    Agent.make_policy ~name:"probe"
+      ~init:(fun ctx -> seen := Some (Agent.queue_of_cpu ctx 0 <> None))
+      ~schedule:(fun _ _ -> ())
+      ()
   in
   let _g = Agent.attach_local sys e pol in
   check_bool "local mode has per-cpu queues" true (!seen = Some true);
@@ -147,24 +139,21 @@ let test_submit_estale_on_interleaved_message () =
   let k, sys, e = setup 2 in
   let results = ref [] in
   let victim = ref None in
-  let pol : Agent.policy =
-    {
-      name = "estale-maker";
-      init = ignore;
-      schedule =
-        (fun ctx msgs ->
-          match (msgs, !victim) with
-          | _ :: _, Some (task : Task.t) when Task.is_runnable task ->
-            (* Deliberately long decision time so the driver's affinity
-               change lands mid-pass. *)
-            Agent.charge ctx (us 50);
-            let txn =
-              Agent.make_txn ctx ~tid:task.Task.tid ~target:1 ~with_aseq:true ()
-            in
-            Agent.submit ctx [ txn ]
-          | _ -> ());
-      on_result = (fun _ txn -> results := txn.Txn.status :: !results);
-    }
+  let pol =
+    Agent.make_policy ~name:"estale-maker"
+      ~schedule:(fun ctx msgs ->
+        match (msgs, !victim) with
+        | _ :: _, Some (task : Task.t) when Task.is_runnable task ->
+          (* Deliberately long decision time so the driver's affinity
+             change lands mid-pass. *)
+          Agent.charge ctx (us 50);
+          let txn =
+            Agent.make_txn ctx ~tid:task.Task.tid ~target:1 ~with_aseq:true ()
+          in
+          Agent.submit ctx [ txn ]
+        | _ -> ())
+      ~on_result:(fun _ txn -> results := txn.Txn.status :: !results)
+      ()
   in
   let _g = Agent.attach_global sys e pol in
   let task = Kernel.create_task k ~name:"w" (Task.compute_forever ~slice:(us 100)) in

@@ -30,23 +30,19 @@ let test_agent_created_queue_with_wakeup () =
   let extra_queue = ref None in
   let drained_on = ref [] in
   let victim = ref None in
-  let pol : Agent.policy =
-    {
-      name = "extra-queue";
-      init =
-        (fun ctx ->
-          extra_queue := Some (Agent.create_queue ctx ~capacity:64 ~wake_cpu:(Some 1)));
-      schedule =
-        (fun ctx msgs ->
-          ignore msgs;
-          match !extra_queue with
-          | Some q ->
-            let extra_msgs = Agent.drain ctx q in
-            if extra_msgs <> [] then
-              drained_on := (Agent.cpu ctx, List.length extra_msgs) :: !drained_on
-          | None -> ());
-      on_result = (fun _ _ -> ());
-    }
+  let pol =
+    Agent.make_policy ~name:"extra-queue"
+      ~init:(fun ctx ->
+        extra_queue := Some (Agent.create_queue ctx ~capacity:64 ~wake_cpu:(Some 1)))
+      ~schedule:(fun ctx msgs ->
+        ignore msgs;
+        match !extra_queue with
+        | Some q ->
+          let extra_msgs = Agent.drain ctx q in
+          if extra_msgs <> [] then
+            drained_on := (Agent.cpu ctx, List.length extra_msgs) :: !drained_on
+        | None -> ())
+      ()
   in
   let _g = Agent.attach_local sys e pol in
   let t = Kernel.create_task k ~name:"routed" (Task.compute_forever ~slice:(us 50)) in

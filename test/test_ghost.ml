@@ -380,6 +380,106 @@ let test_associate_queue_pending_protocol () =
   Kernel.run_until k (us 20);
   check_bool "message routed to new queue" true (Squeue.length q2 = 1)
 
+let test_destroy_queue_then_posts () =
+  (* DESTROY_QUEUE drops the queue from the enclave, but threads still
+     associated with it keep posting into it harmlessly until they are
+     re-associated (3.1). *)
+  let k, sys = setup () in
+  let e = enclave_all sys k () in
+  let task, _ = finite_task k ~name:"w" ~total:(ms 1) in
+  System.manage e task;
+  Kernel.start k task;
+  Kernel.run_until k (us 10);
+  let rec drain q =
+    match Squeue.consume q ~now:(Kernel.now k) with
+    | Some _ -> drain q
+    | None -> ()
+  in
+  drain (System.default_queue e);
+  let q2 = System.create_queue e ~capacity:16 in
+  (match System.associate_queue e task q2 with
+  | Ok () -> ()
+  | Error `Pending_messages -> Alcotest.fail "association must succeed");
+  System.destroy_queue e q2;
+  (* A post-destroy message lands in the orphaned queue, not the default. *)
+  Kernel.set_affinity k task (Cpumask.of_list ~ncpus:4 [ 0; 1 ]);
+  Kernel.run_until k (us 20);
+  check_int "orphan queue receives the post" 1 (Squeue.length q2);
+  check_int "default queue untouched" 0 (Squeue.length (System.default_queue e));
+  (* Re-association still honors the pending-messages protocol against the
+     dead queue, then reroutes. *)
+  (match System.associate_queue e task (System.default_queue e) with
+  | Error `Pending_messages -> ()
+  | Ok () -> Alcotest.fail "pending messages in the dead queue must block");
+  drain q2;
+  (match System.associate_queue e task (System.default_queue e) with
+  | Ok () -> ()
+  | Error `Pending_messages -> Alcotest.fail "must succeed after drain");
+  Kernel.set_affinity k task (Cpumask.of_list ~ncpus:4 [ 0; 1; 2 ]);
+  Kernel.run_until k (us 30);
+  check_int "rerouted to the default queue" 1
+    (Squeue.length (System.default_queue e))
+
+(* --- Dynamic resizing --------------------------------------------------------- *)
+
+let test_resize_messages_and_callbacks () =
+  let k, sys = setup () in
+  let e =
+    System.create_enclave sys ~cpus:(Cpumask.of_list ~ncpus:4 [ 0; 1; 2 ]) ()
+  in
+  let resizes = ref [] in
+  System.on_resize e (fun r -> resizes := r :: !resizes);
+  System.add_cpu sys e 3;
+  check_bool "cpu 3 joined" true
+    (match System.enclave_of_cpu sys 3 with
+    | Some e' -> System.enclave_id e' = System.enclave_id e
+    | None -> false);
+  System.remove_cpu sys e 1;
+  check_bool "cpu 1 left" true (System.enclave_of_cpu sys 1 = None);
+  check_bool "cpu 1 off the mask" false
+    (Cpumask.mem (System.enclave_cpus e) 1);
+  (* Let the posted messages become visible (produce cost). *)
+  Kernel.run_until k (us 1);
+  let kinds = ref [] in
+  let rec scan () =
+    match Squeue.consume (System.default_queue e) ~now:(Kernel.now k) with
+    | Some m ->
+      kinds := m.Msg.kind :: !kinds;
+      scan ()
+    | None -> ()
+  in
+  scan ();
+  check_bool "CPU_AVAILABLE posted" true (List.mem Msg.CPU_AVAILABLE !kinds);
+  check_bool "CPU_TAKEN posted" true (List.mem Msg.CPU_TAKEN !kinds);
+  check_bool "both callbacks fired" true
+    (List.mem (System.Cpu_added 3) !resizes
+    && List.mem (System.Cpu_removed 1) !resizes)
+
+let test_remove_cpu_estale () =
+  (* A transaction created before the CPU departs fails its commit with
+     ESTALE; one created after the removal fails ENOENT. *)
+  let k, sys = setup () in
+  let e = enclave_all sys k () in
+  let task =
+    Kernel.create_task k ~name:"w" (Task.compute_forever ~slice:(us 100))
+  in
+  System.manage e task;
+  Kernel.start k task;
+  Kernel.run_until k (us 10);
+  let in_flight = System.make_txn sys ~tid:task.Task.tid ~cpu:2 () in
+  System.remove_cpu sys e 2;
+  direct_commit sys e ~agent_cpu:0 in_flight;
+  check_bool "in-flight commit fails ESTALE" true
+    (in_flight.Txn.status = Txn.Failed Txn.Estale);
+  let after = System.make_txn sys ~tid:task.Task.tid ~cpu:2 () in
+  direct_commit sys e ~agent_cpu:0 after;
+  check_bool "post-removal commit fails ENOENT" true
+    (after.Txn.status = Txn.Failed Txn.Enoent);
+  (* The surviving CPUs still commit fine. *)
+  let ok = System.make_txn sys ~tid:task.Task.tid ~cpu:3 () in
+  direct_commit sys e ~agent_cpu:0 ok;
+  check_bool "other cpus unaffected" true (Txn.committed ok)
+
 let test_percpu_work_stealing () =
   (* 2-CPU enclave: threads homed to cpu 1 finish early; its agent steals
      waiting threads from cpu 0's runqueue via ASSOCIATE_QUEUE. *)
@@ -533,8 +633,17 @@ let () =
           Alcotest.test_case "hot handoff" `Quick test_global_agent_handoff;
           Alcotest.test_case "associate-queue protocol" `Quick
             test_associate_queue_pending_protocol;
+          Alcotest.test_case "destroy-queue then posts" `Quick
+            test_destroy_queue_then_posts;
           Alcotest.test_case "per-cpu work stealing" `Quick
             test_percpu_work_stealing;
+        ] );
+      ( "resizing",
+        [
+          Alcotest.test_case "messages + callbacks" `Quick
+            test_resize_messages_and_callbacks;
+          Alcotest.test_case "remove_cpu fails in-flight txns ESTALE" `Quick
+            test_remove_cpu_estale;
         ] );
       ( "fault-isolation",
         [

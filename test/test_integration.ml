@@ -187,18 +187,14 @@ let test_tick_messages () =
     System.create_enclave sys ~deliver_ticks:true ~cpus:(Kernel.full_mask k) ()
   in
   let ticks = ref 0 in
-  let pol : Agent.policy =
-    {
-      name = "tick-counter";
-      init = ignore;
-      schedule =
-        (fun _ msgs ->
-          List.iter
-            (fun (m : Ghost.Msg.t) ->
-              if m.Ghost.Msg.kind = Ghost.Msg.TIMER_TICK then incr ticks)
-            msgs);
-      on_result = (fun _ _ -> ());
-    }
+  let pol =
+    Agent.make_policy ~name:"tick-counter"
+      ~schedule:(fun _ msgs ->
+        List.iter
+          (fun (m : Ghost.Msg.t) ->
+            if m.Ghost.Msg.kind = Ghost.Msg.TIMER_TICK then incr ticks)
+          msgs)
+      ()
   in
   let _g = Agent.attach_global sys e pol in
   Kernel.run_until k (ms 50);
