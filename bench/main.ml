@@ -81,7 +81,8 @@ let run_upgrade () =
   let measure_ns = if !quick then ms 150 else ms 300 in
   let upgrade_offset = if !quick then ms 50 else ms 100 in
   Experiments.Upgrade.print
-    (Experiments.Upgrade.run ~measure_ns ~upgrade_offset ())
+    (Experiments.Upgrade.run ~measure_ns ~upgrade_offset ());
+  Experiments.Upgrade.print_rejected (Experiments.Upgrade.run_rejected ())
 
 (* BENCH_engine.json is shared by the engine and colocation targets:
    read-modify-write so each target owns its top-level keys and running one
@@ -418,6 +419,42 @@ let run_faults_overhead ~sim_ns =
   assert (fired_off = fired_on);
   (float_of_int fired_off /. wall_off, float_of_int fired_on /. wall_on)
 
+(* --- ABI overhead -------------------------------------------------------------- *)
+
+(* The same serving scenario, used as the agent-API routing benchmark: the
+   policy exercises message drains, status-word reads, and txn commits every
+   pass.  The `abi-baseline` target records the scenario's event count and
+   events/sec into BENCH_engine.json; the guard in the engine target replays
+   the scenario and asserts the exact event count is reproduced (the
+   simulation is deterministic, so any divergence means the agent API
+   changed modeled behavior) and that wall-clock throughput stays within a
+   loose tolerance of the recorded baseline. *)
+let abi_sim_ns = ms 100
+
+let read_bench_json () =
+  if Sys.file_exists bench_json then begin
+    let ic = open_in_bin bench_json in
+    let n = in_channel_length ic in
+    let str = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.parse str with Ok (Obs.Json.Obj o) -> o | Ok _ | Error _ -> []
+  end
+  else []
+
+let run_abi_baseline () =
+  let fired, wall = faults_scenario ~arm:false ~sim_ns:abi_sim_ns in
+  let rate = float_of_int fired /. wall in
+  Printf.printf "abi baseline (direct): %d events, %.0f events/sec\n" fired rate;
+  update_bench_json
+    [
+      ( "abi_overhead",
+        Obs.Json.Obj
+          [
+            ("direct_events_fired", Obs.Json.Num (float_of_int fired));
+            ("direct_events_per_sec", Obs.Json.Num rate);
+          ] );
+    ]
+
 let run_engine () =
   let events = if !quick then 300_000 else 2_000_000 in
   Gstats.Table.print_title
@@ -475,6 +512,73 @@ let run_engine () =
         Printf.sprintf "%.2fx" (faults_on /. faults_off);
       ];
     ];
+  (* ABI routing guard: replay the recorded scenario and compare. *)
+  let abi_fired, abi_wall = faults_scenario ~arm:false ~sim_ns:abi_sim_ns in
+  let abi_rate = float_of_int abi_fired /. abi_wall in
+  let direct_fired, direct_rate =
+    match List.assoc_opt "abi_overhead" (read_bench_json ()) with
+    | Some (Obs.Json.Obj o) ->
+      let num k =
+        match List.assoc_opt k o with Some (Obs.Json.Num f) -> Some f | _ -> None
+      in
+      (num "direct_events_fired", num "direct_events_per_sec")
+    | _ -> (None, None)
+  in
+  (match direct_fired with
+  | Some f ->
+    if int_of_float f <> abi_fired then begin
+      Printf.eprintf
+        "abi_overhead guard: event count diverged (direct %d, abi-routed %d)\n"
+        (int_of_float f) abi_fired;
+      exit 1
+    end
+  | None -> ());
+  let abi_over_direct =
+    match direct_rate with Some r -> abi_rate /. r | None -> 1.0
+  in
+  Gstats.Table.print
+    ~header:[ "agent API (ghost scenario)"; "events/sec"; "vs direct" ]
+    [
+      [
+        "direct baseline";
+        (match direct_rate with
+        | Some r -> fmt_rate r
+        | None -> "(no baseline recorded)");
+        "1.00x";
+      ];
+      [ "abi-routed"; fmt_rate abi_rate; Printf.sprintf "%.2fx" abi_over_direct ];
+    ];
+  if abi_over_direct < 0.4 then begin
+    Printf.eprintf
+      "abi_overhead guard: abi-routed throughput %.2fx of direct baseline \
+       (tolerance 0.40x)\n"
+      abi_over_direct;
+    exit 1
+  end;
+  (* Table 3 rows must keep reproducing the paper within the seed deltas. *)
+  let t3_samples = if !quick then 60 else 150 in
+  let t3 = Experiments.Table3.run ~samples:t3_samples () in
+  List.iter
+    (fun (l : Experiments.Table3.line) ->
+      let delta =
+        abs_float
+          (100.0
+          *. (float_of_int l.measured_ns -. float_of_int l.paper_ns)
+          /. float_of_int l.paper_ns)
+      in
+      if delta > 35.0 then begin
+        Printf.eprintf
+          "abi_overhead guard: Table 3 row %S drifted to %+.0f%% of paper \
+           (tolerance 35%%)\n"
+          l.label
+          (100.0
+          *. (float_of_int l.measured_ns -. float_of_int l.paper_ns)
+          /. float_of_int l.paper_ns);
+        exit 1
+      end)
+    t3;
+  Printf.printf "abi_overhead guard: %d events replayed, table3 rows within tolerance\n"
+    abi_fired;
   update_bench_json
     [
       ("events", Obs.Json.Num (float_of_int events));
@@ -504,6 +608,21 @@ let run_engine () =
             ("armed_empty_events_per_sec", Obs.Json.Num faults_on);
             ("armed_over_unarmed", Obs.Json.Num (faults_on /. faults_off));
           ] );
+      ( "abi_overhead",
+        Obs.Json.Obj
+          ((match (direct_fired, direct_rate) with
+           | Some f, Some r ->
+             [
+               ("direct_events_fired", Obs.Json.Num f);
+               ("direct_events_per_sec", Obs.Json.Num r);
+             ]
+           | _ ->
+             [ ("direct_events_fired", Obs.Json.Num (float_of_int abi_fired)) ])
+          @ [
+              ("abi_events_fired", Obs.Json.Num (float_of_int abi_fired));
+              ("abi_events_per_sec", Obs.Json.Num abi_rate);
+              ("abi_over_direct", Obs.Json.Num abi_over_direct);
+            ]) );
     ]
 
 (* --- Driver ------------------------------------------------------------------- *)
@@ -528,6 +647,10 @@ let all_targets =
     ("engine", run_engine);
   ]
 
+(* Not part of `all`: re-recording the direct baseline is an explicit act
+   (it resets what the abi_overhead guard compares against). *)
+let extra_targets = [ ("abi-baseline", run_abi_baseline) ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args =
@@ -548,7 +671,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
-      match List.assoc_opt name all_targets with
+      match List.assoc_opt name (all_targets @ extra_targets) with
       | Some fn ->
         let s = Unix.gettimeofday () in
         fn ();

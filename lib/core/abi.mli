@@ -1,0 +1,141 @@
+(** The kernel↔agent ABI (§3.2): everything a policy may see or do.
+
+    Real ghOSt agents observe the kernel through exactly three channels —
+    message queues, shared-memory status words, and syscalls — behind a
+    single version number that both sides negotiate at attach time.  This
+    module is that surface for the simulator: policies receive a {!t} in
+    their callbacks and can reach the kernel only through it.
+
+    - Syscall-shaped operations ({!make_txn}, {!submit}, {!recall},
+      {!create_queue}, {!associate_queue}, {!poke}) charge their Table-3
+      [Hw.Costs] to the agent's busy interval, exactly as the direct agent
+      API did.
+    - Status words are visible only as {!Status_word.snapshot} values
+      produced by the seqcount read protocol: a read racing a kernel write
+      returns the pre-write snapshot, so a commit stamped with that seq
+      fails ESTALE at validation (§3.2).
+    - Topology is a query ({!topology}), not a [Kernel.t] to roam.
+
+    The runtime (lib/core) builds instances with {!make}; nothing outside
+    lib/core can construct or unwrap one. *)
+
+val version : int
+(** The ABI version this runtime speaks.  [Agent.attach_global] /
+    [Agent.attach_local] reject policies built against any other version
+    (the paper's upgrade-compatibility check). *)
+
+exception Version_mismatch of { agent : int; runtime : int }
+(** Raised at attach time when the policy's [abi_version] differs from the
+    runtime's {!version}. *)
+
+type t
+(** The handle policy callbacks receive. *)
+
+(** {1 Agent identity and time} *)
+
+val abi_version : t -> int
+val cpu : t -> int
+(** CPU this agent pass runs on. *)
+
+val now : t -> int
+val rng : t -> Sim.Rng.t
+
+val charge : t -> int -> unit
+(** Account [ns] of policy computation to the agent's busy interval. *)
+
+val aseq : t -> int
+(** The agent's sequence number as read from its status word (§3.2). *)
+
+(** {1 Transactions} *)
+
+val make_txn :
+  t -> tid:int -> target:int -> ?with_aseq:bool -> ?thread_seq:int -> unit -> Txn.t
+(** TXN_CREATE.  [with_aseq] stamps the current agent seq for the per-CPU
+    staleness check; [thread_seq] stamps a thread seq for the centralized
+    check (§3.3). *)
+
+val submit : t -> ?atomic:bool -> Txn.t list -> unit
+(** Queue a TXNS_COMMIT group for the end of this pass.  [atomic] groups are
+    all-or-nothing (core scheduling, §4.5). *)
+
+val recall : t -> target:int -> Kernel.Task.t option
+(** TXNS_RECALL: retract the latched-but-not-run thread on a CPU. *)
+
+(** {1 Message queues} *)
+
+val create_queue : t -> capacity:int -> wake_cpu:int option -> Squeue.t
+(** CREATE_QUEUE; [wake_cpu] configures CONFIG_QUEUE_WAKEUP to wake that
+    CPU's agent and associates its aseq. *)
+
+val associate_queue :
+  t -> Kernel.Task.t -> Squeue.t -> (unit, [ `Pending_messages ]) result
+
+val queue_of_cpu : t -> int -> Squeue.t option
+(** The runtime's per-CPU queue (local agent groups only). *)
+
+val poke : t -> int -> unit
+(** Wake a sibling agent thread so it runs a scheduling pass even though its
+    queue is empty (the agents' userspace futex wakeup). *)
+
+val drain : t -> Squeue.t -> Msg.t list
+(** Consume all visible messages from an extra queue (the runtime already
+    drains the agent's own queue before [schedule]). *)
+
+(** {1 Enclave and thread queries} *)
+
+val enclave_cpu_list : t -> int list
+
+val idle_cpus : t -> int list
+(** Idle CPUs of the enclave, charged one scan step each. *)
+
+val cpu_is_idle : t -> int -> bool
+val curr_on : t -> int -> Kernel.Task.t option
+val latched_on : t -> int -> Kernel.Task.t option
+val lower_class_waiting : t -> int -> bool
+val managed_threads : t -> Kernel.Task.t list
+
+val status_word : t -> Kernel.Task.t -> Status_word.snapshot option
+(** Seqcount snapshot of a managed thread's status word: the pre-write
+    state if a kernel write raced this agent pass (the subsequent commit
+    then fails ESTALE), never a torn mix. *)
+
+val thread_seq : t -> Kernel.Task.t -> int option
+val task_by_tid : t -> int -> Kernel.Task.t option
+
+val topology : t -> Hw.Topology.t
+(** The machine topology (enclaves are carved along its boundaries).  A
+    plain shared-memory read, charged nothing. *)
+
+(** {1 Runtime-side constructor (lib/core only)} *)
+
+type ops = {
+  op_cpu : unit -> int;
+  op_now : unit -> int;
+  op_rng : unit -> Sim.Rng.t;
+  op_charge : int -> unit;
+  op_aseq : unit -> int;
+  op_make_txn :
+    tid:int -> target:int -> with_aseq:bool -> thread_seq:int option -> Txn.t;
+  op_submit : atomic:bool -> Txn.t list -> unit;
+  op_recall : target:int -> Kernel.Task.t option;
+  op_create_queue : capacity:int -> wake_cpu:int option -> Squeue.t;
+  op_associate_queue :
+    Kernel.Task.t -> Squeue.t -> (unit, [ `Pending_messages ]) result;
+  op_queue_of_cpu : int -> Squeue.t option;
+  op_poke : int -> unit;
+  op_drain : Squeue.t -> Msg.t list;
+  op_enclave_cpu_list : unit -> int list;
+  op_cpu_is_idle : int -> bool;
+  op_curr_on : int -> Kernel.Task.t option;
+  op_latched_on : int -> Kernel.Task.t option;
+  op_lower_class_waiting : int -> bool;
+  op_managed_threads : unit -> Kernel.Task.t list;
+  op_status_word : Kernel.Task.t -> Status_word.snapshot option;
+  op_thread_seq : Kernel.Task.t -> int option;
+  op_task_by_tid : int -> Kernel.Task.t option;
+  op_topology : unit -> Hw.Topology.t;
+}
+(** The operation table the agent runtime implements.  Policies never see
+    this: they go through the accessors above. *)
+
+val make : version:int -> ops -> t

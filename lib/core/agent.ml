@@ -1,6 +1,7 @@
 module Task = Kernel.Task
 module Cpumask = Kernel.Cpumask
 
+(* Internal per-group mutable state behind the Abi the policy sees. *)
 type ctx = {
   group : group;
   mutable cur_cpu : int;
@@ -28,6 +29,7 @@ and group = {
   mutable stopped : bool;
   mutable attached : bool;
   mutable the_ctx : ctx option;
+  mutable the_abi : Abi.t option;
   mutable paused : bool;  (* fault injection: hung agent process *)
   mutable pass_penalty : int;  (* fault injection: extra ns per pass *)
 }
@@ -36,50 +38,46 @@ and mode = Global | Local
 
 and policy = {
   name : string;
-  init : ctx -> unit;
-  schedule : ctx -> Msg.t list -> unit;
-  on_result : ctx -> Txn.t -> unit;
-  on_cpu_added : ctx -> int -> unit;
-  on_cpu_removed : ctx -> int -> unit;
+  abi_version : int;
+  init : Abi.t -> unit;
+  schedule : Abi.t -> Msg.t list -> unit;
+  on_result : Abi.t -> Txn.t -> unit;
+  on_cpu_added : Abi.t -> int -> unit;
+  on_cpu_removed : Abi.t -> int -> unit;
 }
 
-let make_policy ~name ?(init = fun _ -> ()) ~schedule
-    ?(on_result = fun _ _ -> ()) ?(on_cpu_added = fun _ _ -> ())
+let make_policy ~name ?(abi_version = Abi.version) ?(init = fun _ -> ())
+    ~schedule ?(on_result = fun _ _ -> ()) ?(on_cpu_added = fun _ _ -> ())
     ?(on_cpu_removed = fun _ _ -> ()) () =
-  { name; init; schedule; on_result; on_cpu_added; on_cpu_removed }
+  { name; abi_version; init; schedule; on_result; on_cpu_added; on_cpu_removed }
 
 let base_pass_cost = 100 (* status-word reads, loop bookkeeping *)
 
-(* --- ctx accessors --------------------------------------------------------- *)
+(* --- The operations behind the Abi ----------------------------------------- *)
 
-let sys ctx = ctx.group.sys
-let kernel ctx = ctx.group.kern
-let enclave ctx = ctx.group.enc
-let cpu ctx = ctx.cur_cpu
 let now ctx = Kernel.now ctx.group.kern
 let rng ctx = Kernel.rng ctx.group.kern
 let charge ctx ns = ctx.charged <- ctx.charged + max 0 ns
 
 let sw_of g cpu = Hashtbl.find g.sws cpu
-let aseq ctx = (sw_of ctx.group ctx.cur_cpu).Status_word.seq
+let aseq ctx = Status_word.seq (sw_of ctx.group ctx.cur_cpu)
 
-let make_txn ctx ~tid ~target ?(with_aseq = false) ?thread_seq () =
+let make_txn ctx ~tid ~target ~with_aseq ?thread_seq () =
   let agent_seq = if with_aseq then Some (aseq ctx) else None in
   System.make_txn ctx.group.sys ~tid ~cpu:target ?agent_seq ?thread_seq ()
 
-let submit ctx ?(atomic = false) txns =
+let submit ctx ~atomic txns =
   if txns <> [] then ctx.batches <- (atomic, txns) :: ctx.batches
 
-let recall ctx ~target = System.recall ctx.group.sys ctx.group.enc ~cpu:target
+let recall ctx ~target =
+  charge ctx (Kernel.costs ctx.group.kern).Hw.Costs.syscall;
+  System.recall ctx.group.sys ctx.group.enc ~cpu:target
 
 let enclave_cpu_list ctx = ctx.group.cpu_list
 
 let cpu_is_idle ctx c =
   charge ctx 5;
   Kernel.cpu_idle ctx.group.kern c
-
-let idle_cpus ctx =
-  List.filter (fun c -> cpu_is_idle ctx c) ctx.group.cpu_list
 
 let curr_on ctx c =
   charge ctx 5;
@@ -88,9 +86,6 @@ let curr_on ctx c =
 let latched_on ctx c = System.latched ctx.group.sys ~cpu:c
 let lower_class_waiting ctx c = Kernel.lower_class_waiting ctx.group.kern c
 let managed_threads ctx = System.managed_threads ctx.group.enc
-let status_word ctx task = System.status_word ctx.group.sys task
-let thread_seq ctx task = System.thread_seq ctx.group.sys task
-let task_by_tid ctx tid = Kernel.task_by_tid ctx.group.kern tid
 
 let wire_wakeup g q ~wake_cpu =
   let costs = Kernel.costs g.kern in
@@ -153,6 +148,49 @@ let get_ctx g =
     g.the_ctx <- Some ctx;
     ctx
 
+(* The one Abi handle a group's policy ever sees: a closure table over the
+   group's mutable pass state.  Built lazily, like the ctx it wraps. *)
+let get_abi g =
+  match g.the_abi with
+  | Some abi -> abi
+  | None ->
+    let ctx = get_ctx g in
+    let abi =
+      Abi.make ~version:Abi.version
+        {
+          Abi.op_cpu = (fun () -> ctx.cur_cpu);
+          op_now = (fun () -> now ctx);
+          op_rng = (fun () -> rng ctx);
+          op_charge = (fun ns -> charge ctx ns);
+          op_aseq = (fun () -> aseq ctx);
+          op_make_txn =
+            (fun ~tid ~target ~with_aseq ~thread_seq ->
+              make_txn ctx ~tid ~target ~with_aseq ?thread_seq ());
+          op_submit = (fun ~atomic txns -> submit ctx ~atomic txns);
+          op_recall = (fun ~target -> recall ctx ~target);
+          op_create_queue =
+            (fun ~capacity ~wake_cpu -> create_queue ctx ~capacity ~wake_cpu);
+          op_associate_queue = (fun task q -> associate_queue ctx task q);
+          op_queue_of_cpu = (fun c -> queue_of_cpu ctx c);
+          op_poke = (fun c -> poke ctx c);
+          op_drain = (fun q -> drain ctx q);
+          op_enclave_cpu_list = (fun () -> enclave_cpu_list ctx);
+          op_cpu_is_idle = (fun c -> cpu_is_idle ctx c);
+          op_curr_on = (fun c -> curr_on ctx c);
+          op_latched_on = (fun c -> latched_on ctx c);
+          op_lower_class_waiting = (fun c -> lower_class_waiting ctx c);
+          op_managed_threads = (fun () -> managed_threads ctx);
+          op_status_word =
+            (fun task ->
+              Option.map Status_word.read (System.status_word g.sys task));
+          op_thread_seq = (fun task -> System.thread_seq g.sys task);
+          op_task_by_tid = (fun tid -> Kernel.task_by_tid g.kern tid);
+          op_topology = (fun () -> Kernel.topo g.kern);
+        }
+    in
+    g.the_abi <- Some abi;
+    abi
+
 let scale_f f x = int_of_float (Float.round (f *. float_of_int x))
 
 let commit_cost g ~agent_cpu batches =
@@ -195,7 +233,7 @@ let run_pass g ~cpu ~queues ~after_apply =
     else 0
   in
   let msgs = List.concat_map (fun q -> drain_list ctx q) queues in
-  g.pol.schedule ctx msgs;
+  g.pol.schedule (get_abi g) msgs;
   let batches = List.rev ctx.batches in
   ctx.charged <- ctx.charged + commit_cost g ~agent_cpu:cpu batches;
   if g.pass_penalty > 0 then ctx.charged <- ctx.charged + g.pass_penalty;
@@ -218,7 +256,8 @@ let run_pass g ~cpu ~queues ~after_apply =
               System.commit g.sys g.enc ~agent_cpu:cpu ~agent_sw ~atomic txns)
             batches;
           List.iter
-            (fun (_, txns) -> List.iter (fun txn -> g.pol.on_result ctx txn) txns)
+            (fun (_, txns) ->
+              List.iter (fun txn -> g.pol.on_result (get_abi g) txn) txns)
             batches;
           if pass_span <> 0 then
             Obs.Hooks.agent_pass_end ~now:(Kernel.now g.kern) ~began:pass_start
@@ -335,7 +374,7 @@ let on_resize_global g = function
       g.cpu_list <- g.cpu_list @ [ cpu ];
       spawn_one g (fun cpu -> global_behavior g cpu) cpu;
       Kernel.start g.kern (Hashtbl.find g.agents cpu);
-      g.pol.on_cpu_added (get_ctx g) cpu
+      g.pol.on_cpu_added (get_abi g) cpu
     end
   | System.Cpu_removed cpu ->
     if List.mem cpu g.cpu_list then begin
@@ -347,7 +386,7 @@ let on_resize_global g = function
            g.gcpu <- c';
            wake_agent g c');
       retire_agent g cpu;
-      g.pol.on_cpu_removed (get_ctx g) cpu
+      g.pol.on_cpu_removed (get_abi g) cpu
     end
 
 let on_resize_local g = function
@@ -360,7 +399,7 @@ let on_resize_local g = function
       Hashtbl.replace g.cpu_queues cpu q;
       System.associate_cpu_queue g.enc ~cpu q;
       wire_wakeup g q ~wake_cpu:cpu;
-      g.pol.on_cpu_added (get_ctx g) cpu;
+      g.pol.on_cpu_added (get_abi g) cpu;
       Hashtbl.replace g.poked cpu ();
       wake_agent g cpu
     end
@@ -392,7 +431,7 @@ let on_resize_local g = function
           Squeue.clear_aseq_targets dq;
           wire_wakeup g dq ~wake_cpu:head
         end;
-        g.pol.on_cpu_removed (get_ctx g) cpu;
+        g.pol.on_cpu_removed (get_abi g) cpu;
         Hashtbl.replace g.poked head ();
         wake_agent g head)
     end
@@ -419,11 +458,17 @@ let make_group sys enc ~mode ~min_iteration ?(idle_gap = 1_000) pol =
     stopped = false;
     attached = false;
     the_ctx = None;
+    the_abi = None;
     paused = false;
     pass_penalty = 0;
   }
 
+let check_abi_version (pol : policy) =
+  if pol.abi_version <> Abi.version then
+    raise (Abi.Version_mismatch { agent = pol.abi_version; runtime = Abi.version })
+
 let attach_global sys enc ?(min_iteration = 200) ?idle_gap pol =
+  check_abi_version pol;
   let g = make_group sys enc ~mode:Global ~min_iteration ?idle_gap pol in
   spawn_agents g (fun cpu -> global_behavior g cpu);
   (* The global agent polls the default queue; its aseq tracks it. *)
@@ -431,10 +476,11 @@ let attach_global sys enc ?(min_iteration = 200) ?idle_gap pol =
   g.attached <- true;
   System.on_resize enc (fun ev ->
       if alive g && g.attached then on_resize_global g ev);
-  pol.init (get_ctx g);
+  pol.init (get_abi g);
   g
 
 let attach_local sys enc pol =
+  check_abi_version pol;
   let g = make_group sys enc ~mode:Local ~min_iteration:200 pol in
   spawn_agents g (fun cpu -> local_behavior g cpu);
   List.iter
@@ -451,7 +497,7 @@ let attach_local sys enc pol =
       if alive g && g.attached then on_resize_local g ev);
   let ctx = get_ctx g in
   ctx.cur_cpu <- List.hd g.cpu_list;
-  pol.init ctx;
+  pol.init (get_abi g);
   (* Every agent owes an initial pass: after an in-place upgrade the policy
      may have rebuilt runqueues with no message traffic to trigger them. *)
   List.iter

@@ -1,8 +1,10 @@
 (** The userspace agent runtime — the paper's "ghOSt userspace support
     library" (§3, Table 2).
 
-    A {!policy} is what the user writes: a few callbacks over the agent API.
-    The runtime provides both scheduling models (Fig. 2):
+    A {!policy} is what the user writes: a few callbacks over the {!Abi} —
+    the narrow, versioned kernel↔agent interface.  Policies cannot reach
+    [System.t] or [Kernel.t]; the runtime holds them internally.  The
+    runtime provides both scheduling models (Fig. 2):
 
     - {!attach_local}: one active agent per CPU.  Agents sleep; a message on
       a CPU's queue wakes its agent, which drains, decides and commits a
@@ -13,31 +15,33 @@
       inactive agent on an idle CPU (§3.3, Fig. 4).
 
     Time accounting: a policy's [schedule] callback executes logically
-    during the agent's busy interval.  Every API call charges simulated
+    during the agent's busy interval.  Every ABI call charges simulated
     time; submitted transactions are validated and applied when the
     interval ends, so messages arriving meanwhile fail the commit with
     ESTALE exactly as in §3.2. *)
 
-type ctx
-(** Handle the policy callbacks receive. *)
-
 type policy = {
   name : string;
-  init : ctx -> unit;
+  abi_version : int;
+      (** ABI version the policy was built against.  {!attach_global} /
+          {!attach_local} raise [Abi.Version_mismatch] unless it equals
+          [Abi.version] — the §3.4 upgrade-compatibility gate. *)
+  init : Abi.t -> unit;
       (** Runs when the agent group attaches (AGENT_INIT).  Create extra
           queues, enable ticks, and — after an in-place upgrade — rebuild
-          state from {!managed_threads}. *)
-  schedule : ctx -> Msg.t list -> unit;
+          state from [Abi.managed_threads]. *)
+  schedule : Abi.t -> Msg.t list -> unit;
       (** One scheduling pass over freshly drained messages.  Submit
-          transactions with {!submit}; charge policy work with {!charge}. *)
-  on_result : ctx -> Txn.t -> unit;
+          transactions with [Abi.submit]; charge policy work with
+          [Abi.charge]. *)
+  on_result : Abi.t -> Txn.t -> unit;
       (** Called for every submitted transaction after commit, with status
           resolved (Fig. 3/4's failure handling). *)
-  on_cpu_added : ctx -> int -> unit;
-      (** The enclave grew ({!System.add_cpu}).  The runtime has already
+  on_cpu_added : Abi.t -> int -> unit;
+      (** The enclave grew ([System.add_cpu]).  The runtime has already
           spawned the CPU's agent (and, in local mode, its queue); the
           policy extends its own placement state here. *)
-  on_cpu_removed : ctx -> int -> unit;
+  on_cpu_removed : Abi.t -> int -> unit;
       (** The enclave shrank.  The runtime has retired the CPU's agent and
           re-pointed its queues; the policy re-homes any thread state it
           kept for the CPU (the threads themselves come back with
@@ -46,15 +50,16 @@ type policy = {
 
 val make_policy :
   name:string ->
-  ?init:(ctx -> unit) ->
-  schedule:(ctx -> Msg.t list -> unit) ->
-  ?on_result:(ctx -> Txn.t -> unit) ->
-  ?on_cpu_added:(ctx -> int -> unit) ->
-  ?on_cpu_removed:(ctx -> int -> unit) ->
+  ?abi_version:int ->
+  ?init:(Abi.t -> unit) ->
+  schedule:(Abi.t -> Msg.t list -> unit) ->
+  ?on_result:(Abi.t -> Txn.t -> unit) ->
+  ?on_cpu_added:(Abi.t -> int -> unit) ->
+  ?on_cpu_removed:(Abi.t -> int -> unit) ->
   unit ->
   policy
 (** Build a policy record with no-op defaults for everything but
-    [schedule]. *)
+    [schedule].  [abi_version] defaults to the runtime's [Abi.version]. *)
 
 type group
 (** The agent threads attached to one enclave. *)
@@ -66,10 +71,12 @@ val attach_global :
 (** Start a centralized (spinning) agent group.  [min_iteration] is the
     floor on a polling pass (default 200 ns); [idle_gap] the poll pause
     after a pass that saw no messages and committed nothing (default
-    1 us — the effective polling granularity of the spinning agent). *)
+    1 us — the effective polling granularity of the spinning agent).
+    Raises [Abi.Version_mismatch] if the policy speaks a different ABI. *)
 
 val attach_local : System.t -> System.enclave -> policy -> group
-(** Start a per-CPU agent group with per-CPU queues and wakeups. *)
+(** Start a per-CPU agent group with per-CPU queues and wakeups.
+    Raises [Abi.Version_mismatch] if the policy speaks a different ABI. *)
 
 val stop : group -> unit
 (** Planned shutdown: agents detach and exit (for in-place upgrades). *)
@@ -107,66 +114,3 @@ val set_pass_penalty : group -> int -> unit
     message races, ESTALEs — the commits).  0 disables. *)
 
 val pass_penalty : group -> int
-
-(** {1 The agent API (available inside policy callbacks)} *)
-
-val sys : ctx -> System.t
-val kernel : ctx -> Kernel.t
-val enclave : ctx -> System.enclave
-val cpu : ctx -> int
-(** CPU this agent pass runs on. *)
-
-val now : ctx -> int
-val rng : ctx -> Sim.Rng.t
-
-val charge : ctx -> int -> unit
-(** Account [ns] of policy computation to the agent's busy interval. *)
-
-val aseq : ctx -> int
-(** The agent's sequence number as read from its status word (§3.2). *)
-
-val make_txn :
-  ctx -> tid:int -> target:int -> ?with_aseq:bool -> ?thread_seq:int -> unit -> Txn.t
-(** TXN_CREATE.  [with_aseq] stamps the current agent seq for the per-CPU
-    staleness check; [thread_seq] stamps a thread seq for the centralized
-    check (§3.3). *)
-
-val submit : ctx -> ?atomic:bool -> Txn.t list -> unit
-(** Queue a TXNS_COMMIT group for the end of this pass.  [atomic] groups are
-    all-or-nothing (core scheduling, §4.5). *)
-
-val recall : ctx -> target:int -> Kernel.Task.t option
-(** TXNS_RECALL: retract the latched-but-not-run thread on a CPU. *)
-
-val create_queue : ctx -> capacity:int -> wake_cpu:int option -> Squeue.t
-(** CREATE_QUEUE; [wake_cpu] configures CONFIG_QUEUE_WAKEUP to wake that
-    CPU's agent and associates its aseq. *)
-
-val associate_queue :
-  ctx -> Kernel.Task.t -> Squeue.t -> (unit, [ `Pending_messages ]) result
-
-val queue_of_cpu : ctx -> int -> Squeue.t option
-(** The runtime's per-CPU queue (local agent groups only). *)
-
-val poke : ctx -> int -> unit
-(** Wake a sibling agent thread so it runs a scheduling pass even though its
-    queue is empty.  Agents are pthreads of one process; this is the
-    userspace futex-wakeup they coordinate with (e.g. after the first CPU's
-    agent re-homes a new thread to another CPU's runqueue). *)
-
-val drain : ctx -> Squeue.t -> Msg.t list
-(** Consume all visible messages from an extra queue (the runtime already
-    drains the agent's own queue before [schedule]). *)
-
-val enclave_cpu_list : ctx -> int list
-val idle_cpus : ctx -> int list
-(** Idle CPUs of the enclave, charged one scan step each. *)
-
-val cpu_is_idle : ctx -> int -> bool
-val curr_on : ctx -> int -> Kernel.Task.t option
-val latched_on : ctx -> int -> Kernel.Task.t option
-val lower_class_waiting : ctx -> int -> bool
-val managed_threads : ctx -> Kernel.Task.t list
-val status_word : ctx -> Kernel.Task.t -> Status_word.t option
-val thread_seq : ctx -> Kernel.Task.t -> int option
-val task_by_tid : ctx -> int -> Kernel.Task.t option

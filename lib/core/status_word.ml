@@ -1,3 +1,12 @@
+type snapshot = {
+  seq : int;
+  on_cpu : bool;
+  runnable : bool;
+  cpu : int;
+  sum_exec : int;
+  hint : int;
+}
+
 type t = {
   mutable seq : int;
   mutable on_cpu : bool;
@@ -5,11 +14,61 @@ type t = {
   mutable cpu : int;
   mutable sum_exec : int;
   mutable hint : int;
+  mutable pre : snapshot option;
+      (* Snapshot taken at [begin_write]; what a racing reader sees while
+         [seq] is odd. *)
 }
 
 let create () =
-  { seq = 0; on_cpu = false; runnable = false; cpu = -1; sum_exec = 0; hint = 0 }
+  {
+    seq = 0;
+    on_cpu = false;
+    runnable = false;
+    cpu = -1;
+    sum_exec = 0;
+    hint = 0;
+    pre = None;
+  }
+
+let snap sw =
+  {
+    seq = sw.seq;
+    on_cpu = sw.on_cpu;
+    runnable = sw.runnable;
+    cpu = sw.cpu;
+    sum_exec = sw.sum_exec;
+    hint = sw.hint;
+  }
+
+let read sw =
+  if sw.seq land 1 = 0 then snap sw
+  else
+    match sw.pre with
+    | Some s -> s
+    | None -> invalid_arg "Status_word.read: odd seq with no saved snapshot"
+
+let seq sw = sw.seq
+let hint sw = sw.hint
+
+let begin_write sw =
+  if sw.seq land 1 <> 0 then
+    invalid_arg "Status_word.begin_write: write section already open";
+  sw.pre <- Some (snap sw);
+  sw.seq <- sw.seq + 1
+
+let end_write sw =
+  if sw.seq land 1 = 0 then
+    invalid_arg "Status_word.end_write: no write section open";
+  sw.seq <- sw.seq + 1;
+  sw.pre <- None;
+  sw.seq
 
 let bump sw =
-  sw.seq <- sw.seq + 1;
-  sw.seq
+  begin_write sw;
+  end_write sw
+
+let set_on_cpu sw v = sw.on_cpu <- v
+let set_runnable sw v = sw.runnable <- v
+let set_cpu sw v = sw.cpu <- v
+let set_sum_exec sw v = sw.sum_exec <- v
+let set_hint sw v = sw.hint <- v

@@ -1,25 +1,68 @@
-(** Status words: per-thread and per-agent state shared read-only with the
-    agents (§3.1).
+(** Shared-memory status word (§3.2) with the seqcount writer protocol.
 
-    In the real system these live in a kernel page mapped into the agent's
-    address space; reads are plain loads and cost nothing.  The simulator
-    models them as records the agents may read for free. *)
+    One status word per managed thread and per agent.  The kernel is the
+    only writer; agents read through {!read}, which never observes a torn
+    state: a writer first bumps [seq] to odd ({!begin_write}), mutates
+    fields, then bumps back to even ({!end_write}).  A read that lands
+    inside the odd window returns the pre-write snapshot — the agent acts
+    on state from before the racing kernel write, and the commit it stamps
+    with that stale [seq] fails ESTALE at validation, exactly the §3.2
+    race outcome.
 
-type t = {
-  mutable seq : int;
-      (** For a thread: its [tseq].  For an agent: its [aseq], bumped on
-          every message posted to a queue associated with the agent. *)
-  mutable on_cpu : bool;  (** Thread currently running. *)
-  mutable runnable : bool;
-  mutable cpu : int;  (** CPU last dispatched on. *)
-  mutable sum_exec : int;  (** Accumulated CPU time, ns (for policies that
-          order threads by elapsed runtime, e.g. Google Search §4.4). *)
-  mutable hint : int;
+    Outside [lib/core] only {!snapshot} values circulate (via [Abi]); the
+    mutable handle and the writer half of the protocol are runtime
+    internals. *)
+
+type t
+(** The live, kernel-owned word. *)
+
+type snapshot = {
+  seq : int;  (** Even: the word was quiescent when captured. *)
+  on_cpu : bool;  (** Thread currently running. *)
+  runnable : bool;
+  cpu : int;  (** CPU last dispatched on. *)
+  sum_exec : int;  (** Accumulated CPU time, ns (for policies that order
+          threads by elapsed runtime, e.g. Google Search §4.4). *)
+  hint : int;
       (** Optional scheduling hint written by the application and read by
           the agent (Fig. 1's "optional scheduling hints"); semantics are
           policy-defined (deadline, priority, expected runtime...). *)
 }
+(** Immutable view of the word — what agents get. *)
 
 val create : unit -> t
+
+val read : t -> snapshot
+(** Seqcount read: the current fields if [seq] is even, the saved
+    pre-write snapshot if a write is in flight (odd).  Never torn. *)
+
+val seq : t -> int
+(** Raw sequence number (validation-side staleness checks). *)
+
+val hint : t -> int
+
+(** {1 Writer side (kernel / runtime only)} *)
+
+val begin_write : t -> unit
+(** Bump [seq] to odd and save the pre-write snapshot.  The word must be
+    quiescent (even). *)
+
+val end_write : t -> int
+(** Bump [seq] back to even, discard the saved snapshot, return the new
+    (even) [seq] — the value stamped on the message describing the write. *)
+
 val bump : t -> int
-(** Increment [seq] and return the new value. *)
+(** An empty write section: [begin_write] immediately followed by
+    [end_write].  Used where only the sequence number must advance (queue
+    activity on an agent's word). *)
+
+(** Field writes.  Single aligned stores — atomic on their own, so they may
+    also run outside a write section where no message announces the change
+    (and hence no new [seq] may be published: a bump without a message
+    would turn in-flight Ebusy races into spurious ESTALEs). *)
+
+val set_on_cpu : t -> bool -> unit
+val set_runnable : t -> bool -> unit
+val set_cpu : t -> int -> unit
+val set_sum_exec : t -> int -> unit
+val set_hint : t -> int -> unit

@@ -87,15 +87,19 @@ let status_word t task =
   match tstate_of t task with Some ts -> Some ts.sw | None -> None
 
 let thread_seq t task =
-  match tstate_of t task with Some ts -> Some ts.sw.Status_word.seq | None -> None
+  match tstate_of t task with
+  | Some ts -> Some (Status_word.seq ts.sw)
+  | None -> None
 
+(* A hint store is not a kernel write: no message announces it, so it must
+   not publish a new seq (see Status_word). *)
 let set_hint t task v =
   match tstate_of t task with
-  | Some ts -> ts.sw.Status_word.hint <- v
+  | Some ts -> Status_word.set_hint ts.sw v
   | None -> ()
 
 let hint t task =
-  match tstate_of t task with Some ts -> ts.sw.Status_word.hint | None -> 0
+  match tstate_of t task with Some ts -> Status_word.hint ts.sw | None -> 0
 
 let latched t ~cpu = t.latched_slots.(cpu)
 
@@ -117,8 +121,13 @@ let post_to t e q (msg : Msg.t) =
     t.stats.msg_drops <- t.stats.msg_drops + 1
   end
 
-let post_thread_msg t e ts kind ~cpu =
-  let tseq = Status_word.bump ts.sw in
+(* Post a message describing a kernel write to [ts]'s status word.  The
+   field stores in [write] execute inside the seqcount write section
+   (odd/even parity); the message carries the post-write (even) seq. *)
+let post_thread_msg ?(write = fun (_ : Status_word.t) -> ()) t e ts kind ~cpu =
+  Status_word.begin_write ts.sw;
+  write ts.sw;
+  let tseq = Status_word.end_write ts.sw in
   let now = Kernel.now t.kernel in
   let produce_cost = (Kernel.costs t.kernel).Hw.Costs.msg_produce in
   let msg =
@@ -174,15 +183,15 @@ let class_enqueue t ~cpu ~is_new (task : Task.t) =
        it will be recovered by the fallback paths. *)
     ()
   | Some ts -> (
-    ts.sw.Status_word.runnable <- true;
     match enclave_of_ts t ts with
-    | None -> ()
+    | None -> Status_word.set_runnable ts.sw true
     | Some e ->
+      let write sw = Status_word.set_runnable sw true in
       if is_new && not ts.created_sent then begin
         ts.created_sent <- true;
-        post_thread_msg t e ts Msg.THREAD_CREATED ~cpu:task.Task.cpu
+        post_thread_msg ~write t e ts Msg.THREAD_CREATED ~cpu:task.Task.cpu
       end
-      else post_thread_msg t e ts Msg.THREAD_WAKEUP ~cpu:task.Task.cpu)
+      else post_thread_msg ~write t e ts Msg.THREAD_WAKEUP ~cpu:task.Task.cpu)
 
 let class_dequeue t (task : Task.t) =
   match tstate_of t task with
@@ -206,10 +215,12 @@ let class_pick t ~cpu ~filter =
   | None -> None
   | Some e -> (
     let take task =
+      (* Dispatch publishes no message (the agent latched the thread
+         itself), so the stores stay outside a write section. *)
       (match tstate_of t task with
       | Some ts ->
-        ts.sw.Status_word.on_cpu <- true;
-        ts.sw.Status_word.cpu <- cpu
+        Status_word.set_on_cpu ts.sw true;
+        Status_word.set_cpu ts.sw cpu
       | None -> ());
       Some task
     in
@@ -239,45 +250,53 @@ let class_pick t ~cpu ~filter =
 let class_put_prev t ~cpu (task : Task.t) =
   match tstate_of t task with
   | None -> ()
-  | Some ts ->
-    ts.sw.Status_word.on_cpu <- false;
-    (match enclave_of_ts t ts with
-    | None -> ()
-    | Some e -> post_thread_msg t e ts Msg.THREAD_PREEMPTED ~cpu)
+  | Some ts -> (
+    match enclave_of_ts t ts with
+    | None -> Status_word.set_on_cpu ts.sw false
+    | Some e ->
+      post_thread_msg t e ts Msg.THREAD_PREEMPTED ~cpu
+        ~write:(fun sw -> Status_word.set_on_cpu sw false))
 
 let class_on_block t ~cpu (task : Task.t) =
   match tstate_of t task with
   | None -> ()
-  | Some ts ->
-    ts.sw.Status_word.on_cpu <- false;
-    ts.sw.Status_word.runnable <- false;
-    (match enclave_of_ts t ts with
-    | None -> ()
-    | Some e -> post_thread_msg t e ts Msg.THREAD_BLOCKED ~cpu)
+  | Some ts -> (
+    match enclave_of_ts t ts with
+    | None ->
+      Status_word.set_on_cpu ts.sw false;
+      Status_word.set_runnable ts.sw false
+    | Some e ->
+      post_thread_msg t e ts Msg.THREAD_BLOCKED ~cpu ~write:(fun sw ->
+          Status_word.set_on_cpu sw false;
+          Status_word.set_runnable sw false))
 
 let class_on_yield t ~cpu (task : Task.t) =
   match tstate_of t task with
   | None -> ()
-  | Some ts ->
-    ts.sw.Status_word.on_cpu <- false;
-    (match enclave_of_ts t ts with
-    | None -> ()
-    | Some e -> post_thread_msg t e ts Msg.THREAD_YIELD ~cpu)
+  | Some ts -> (
+    match enclave_of_ts t ts with
+    | None -> Status_word.set_on_cpu ts.sw false
+    | Some e ->
+      post_thread_msg t e ts Msg.THREAD_YIELD ~cpu ~write:(fun sw ->
+          Status_word.set_on_cpu sw false))
 
 let class_on_dead t ~cpu (task : Task.t) =
   match tstate_of t task with
   | None -> ()
   | Some ts ->
-    ts.sw.Status_word.on_cpu <- false;
-    ts.sw.Status_word.runnable <- false;
     (match ts.latched_on with
     | Some c ->
       t.latched_slots.(c) <- None;
       ts.latched_on <- None
     | None -> ());
     (match enclave_of_ts t ts with
-    | None -> ()
-    | Some e -> post_thread_msg t e ts Msg.THREAD_DEAD ~cpu);
+    | None ->
+      Status_word.set_on_cpu ts.sw false;
+      Status_word.set_runnable ts.sw false
+    | Some e ->
+      post_thread_msg t e ts Msg.THREAD_DEAD ~cpu ~write:(fun sw ->
+          Status_word.set_on_cpu sw false;
+          Status_word.set_runnable sw false));
     Hashtbl.remove t.tstates task.Task.tid;
     ts.enclave.managed_cache <- None
 
@@ -293,7 +312,7 @@ let class_update t ~cpu (task : Task.t) ~ran =
   ignore cpu;
   ignore ran;
   match tstate_of t task with
-  | Some ts -> ts.sw.Status_word.sum_exec <- task.Task.sum_exec
+  | Some ts -> Status_word.set_sum_exec ts.sw task.Task.sum_exec
   | None -> ()
 
 let class_select_cpu (task : Task.t) =
@@ -664,12 +683,12 @@ let validate t e ~agent_sw (txn : Txn.t) =
       else begin
         let stale_agent =
           match (txn.agent_seq, agent_sw) with
-          | Some seq, Some (sw : Status_word.t) -> seq < sw.seq
+          | Some seq, Some sw -> seq < Status_word.seq sw
           | Some _, None | None, _ -> false
         in
         let stale_thread =
           match txn.thread_seq with
-          | Some seq -> seq < ts.sw.Status_word.seq
+          | Some seq -> seq < Status_word.seq ts.sw
           | None -> false
         in
         if stale_agent || stale_thread then Some Txn.Estale

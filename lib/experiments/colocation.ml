@@ -41,7 +41,7 @@ let scenario ~seed ~warmup_ns ~measure_ns ~low ~high ~dynamic ~moves =
   let calm = ref 0 in
   let tick (live : Scenario.live) =
     let serving = Scenario.find live "serving" in
-    let now = Kernel.now live.Scenario.kernel in
+    let now = Scenario.now live in
     (match Scenario.openloop serving with
     | Some ol ->
       let r = phase_rate ~warmup:warmup_ns ~now ~low ~high in
@@ -54,9 +54,9 @@ let scenario ~seed ~warmup_ns ~measure_ns ~low ~high ~dynamic ~moves =
       in
       if backlog > 4 && List.length !lent < 6 then begin
         (* Lend the highest-numbered batch CPU that is not its agent's. *)
-        let agent_cpu = Agent.global_cpu batch.Scenario.group in
+        let agent_cpu = Agent.global_cpu (Scenario.group batch) in
         let candidates =
-          Cpumask.to_list (System.enclave_cpus batch.Scenario.enclave)
+          Scenario.enclave_cpus batch
           |> List.filter (fun c -> c <> agent_cpu)
           |> List.sort (fun a b -> compare b a)
         in

@@ -1,6 +1,7 @@
 module Task = Kernel.Task
 module System = Ghost.System
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Msg = Ghost.Msg
 module Txn = Ghost.Txn
 
@@ -51,7 +52,7 @@ let measure_delivery ~seed ~local ~samples =
         List.iter
           (fun (m : Msg.t) ->
             if m.kind = Msg.THREAD_AFFINITY then
-              lats := Agent.now ctx - m.posted_at + consume :: !lats)
+              lats := Abi.now ctx - m.posted_at + consume :: !lats)
           msgs)
       ()
   in
@@ -98,13 +99,13 @@ let measure_local_schedule ~seed ~samples =
             match Policies.Msg_class.classify m with
             | Policies.Msg_class.Became_runnable tid when tid = victim.Task.tid ->
               let txn =
-                Agent.make_txn ctx ~tid ~target:(Agent.cpu ctx) ~with_aseq:true ()
+                Abi.make_txn ctx ~tid ~target:(Abi.cpu ctx) ~with_aseq:true ()
               in
-              Agent.submit ctx [ txn ]
+              Abi.submit ctx [ txn ]
             | _ -> ())
           msgs)
       ~on_result:(fun ctx txn ->
-        if Txn.committed txn then applies := Agent.now ctx :: !applies)
+        if Txn.committed txn then applies := Abi.now ctx :: !applies)
       ()
   in
   let _g = Agent.attach_local sys e pol in
@@ -163,17 +164,17 @@ let measure_remote ~seed ~batch ~samples =
           let txns =
             List.mapi
               (fun i (v : Task.t) ->
-                Agent.make_txn ctx ~tid:v.Task.tid ~target:(i + 1) ())
+                Abi.make_txn ctx ~tid:v.Task.tid ~target:(i + 1) ())
               victims
           in
           Hashtbl.reset runnable;
-          Agent.submit ctx txns
+          Abi.submit ctx txns
         end)
       ~on_result:(fun ctx txn ->
         if Txn.committed txn then
           match !applies with
-          | t :: _ when t = Agent.now ctx -> ()
-          | _ -> applies := Agent.now ctx :: !applies)
+          | t :: _ when t = Abi.now ctx -> ()
+          | _ -> applies := Abi.now ctx :: !applies)
       ()
   in
   let _g = Agent.attach_global sys e ~min_iteration:135 ~idle_gap:135 pol in

@@ -58,7 +58,16 @@ let run_one ~seed ~rate ~warmup_ns ~measure_ns ~plan =
         Faults.Injector.sys;
         enclave = e;
         group = Some g;
-        replace = Some (fun () -> Agent.attach_global sys e (mk_policy ()));
+        replace =
+          Some
+            (fun ?abi () ->
+              let pol = mk_policy () in
+              let pol =
+                match abi with
+                | None -> pol
+                | Some v -> { pol with Agent.abi_version = v }
+              in
+              Agent.attach_global sys e pol);
       }
       plan
   in
@@ -110,7 +119,7 @@ let run ?(seed = 42) ?(rate = 400_000.0) ?(warmup_ns = ms 50)
     | Some p -> p
     | None ->
       Faults.Plan.make ~name:"in-place upgrade"
-        [ { at = upgrade_at; jitter = 0; kind = Upgrade { handoff_gap } } ]
+        [ { at = upgrade_at; jitter = 0; kind = Upgrade { handoff_gap; abi = None } } ]
   in
   let base_samples, _ =
     run_one ~seed ~rate ~warmup_ns ~measure_ns ~plan:Faults.Plan.empty
@@ -176,6 +185,49 @@ let run ?(seed = 42) ?(rate = 400_000.0) ?(warmup_ns = ms 50)
     recovered_ratio;
     recovered = recovered_ratio <= 1.10;
   }
+
+(* --- Rejected upgrade --------------------------------------------------------- *)
+
+type rejected = {
+  rej_report : Faults.Report.t;
+  rej_abi : int;  (** The (unsupported) ABI version the replacement claimed. *)
+  rejected_ok : bool;
+      (** Attachment was refused AND the enclave fell back to CFS via the
+          agent-crash grace period — the §3.4 failure containment story. *)
+}
+
+let run_rejected ?(seed = 42) ?(rate = 400_000.0) ?(warmup_ns = ms 50)
+    ?(measure_ns = ms 100) ?(upgrade_offset = ms 50) ?(handoff_gap = 100_000) () =
+  let rej_abi = Ghost.Abi.version + 1 in
+  let upgrade_at = warmup_ns + upgrade_offset in
+  let plan =
+    Faults.Plan.make ~name:"rejected upgrade"
+      [
+        {
+          at = upgrade_at;
+          jitter = 0;
+          kind = Upgrade { handoff_gap; abi = Some rej_abi };
+        };
+      ]
+  in
+  let _, rej_report = run_one ~seed ~rate ~warmup_ns ~measure_ns ~plan in
+  let rejected_ok =
+    rej_report.Faults.Report.rejected_at <> None
+    && rej_report.Faults.Report.replaced_at = None
+    && rej_report.Faults.Report.destroy_reason = Some "agent-crash"
+  in
+  { rej_report; rej_abi; rejected_ok }
+
+let print_rejected r =
+  Gstats.Table.print_title
+    (Printf.sprintf
+       "Rejected upgrade: replacement speaks ABI v%d, runtime speaks v%d"
+       r.rej_abi Ghost.Abi.version);
+  Faults.Report.print r.rej_report;
+  Printf.printf "rejected upgrade verdict: %s\n"
+    (if r.rejected_ok then
+       "PASS (attach refused, enclave fell back to CFS)"
+     else "FAIL (mismatched replacement was not contained)")
 
 let print r =
   Gstats.Table.print_title

@@ -52,3 +52,34 @@ val run :
     windows.  [plan] replaces the default single-upgrade plan. *)
 
 val print : result -> unit
+
+(** {1 Rejected upgrade}
+
+    The same handoff, but the replacement policy claims an ABI version the
+    runtime doesn't speak ({!Ghost.Abi.version} + 1).  Attachment must raise
+    {!Ghost.Abi.Version_mismatch}, leaving the enclave agent-less so the
+    grace period demotes its threads to CFS — a failed upgrade degrades to
+    the agent-crash story instead of running a protocol-incompatible
+    agent. *)
+
+type rejected = {
+  rej_report : Faults.Report.t;
+  rej_abi : int;  (** The (unsupported) ABI version the replacement claimed. *)
+  rejected_ok : bool;
+      (** Attach refused, no replacement recorded, enclave destroyed with
+          reason [agent-crash]. *)
+}
+
+val run_rejected :
+  ?seed:int ->
+  ?rate:float ->
+  ?warmup_ns:int ->
+  ?measure_ns:int ->
+  ?upgrade_offset:int ->
+  ?handoff_gap:int ->
+  unit ->
+  rejected
+(** Defaults: seed 42, 400 kq/s, 50 ms warm-up, 100 ms measured, upgrade
+    50 ms in, 100 us gap. *)
+
+val print_rejected : rejected -> unit

@@ -5,7 +5,7 @@ type env = {
   sys : System.t;
   enclave : System.enclave;
   group : Agent.group option;
-  replace : (unit -> Agent.group) option;
+  replace : (?abi:int -> unit -> Agent.group) option;
 }
 
 type t = {
@@ -18,6 +18,7 @@ type t = {
   mutable destroy_reason : string option;
   mutable stopped_at : int option;
   mutable replaced_at : int option;
+  mutable rejected_at : int option;
 }
 
 let kernel t = System.kernel t.env.sys
@@ -64,7 +65,7 @@ let fire t (kind : Plan.kind) =
         note t kind ~disruptive:true;
         Agent.crash g
       | None -> ())
-    | Plan.Upgrade { handoff_gap } -> (
+    | Plan.Upgrade { handoff_gap; abi } -> (
       match t.cur with
       | Some g ->
         note t kind ~disruptive:true;
@@ -73,10 +74,16 @@ let fire t (kind : Plan.kind) =
         ignore
           (Sim.Engine.post_in (engine t) ~delay:handoff_gap (fun () ->
                match t.env.replace with
-               | Some build when System.enclave_alive t.env.enclave ->
-                 let g2 = build () in
-                 t.cur <- Some g2;
-                 t.replaced_at <- Some (now t)
+               | Some build when System.enclave_alive t.env.enclave -> (
+                 match build ?abi () with
+                 | g2 ->
+                   t.cur <- Some g2;
+                   t.replaced_at <- Some (now t)
+                 | exception Ghost.Abi.Version_mismatch _ ->
+                   (* The runtime refused the replacement: no successor
+                      attaches, so the agent-crash grace period destroys the
+                      enclave and its threads fall back to CFS. *)
+                   t.rejected_at <- Some (now t))
                | Some _ | None -> ()))
       | None -> ())
     | Plan.Stall { duration } -> (
@@ -114,6 +121,7 @@ let arm ?rng env plan =
       destroy_reason = None;
       stopped_at = None;
       replaced_at = None;
+      rejected_at = None;
     }
   in
   System.on_destroy env.enclave (fun reason ->
@@ -156,6 +164,7 @@ let report t : Report.t =
       | _ -> None);
     stopped_at = t.stopped_at;
     replaced_at = t.replaced_at;
+    rejected_at = t.rejected_at;
     handoff_ns =
       (match (t.stopped_at, t.replaced_at) with
       | Some stop, Some attach when attach >= stop -> Some (attach - stop)

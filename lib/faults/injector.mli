@@ -15,10 +15,14 @@ type env = {
   enclave : Ghost.System.enclave;
   group : Ghost.Agent.group option;
       (** The live agent group faults act on (crash/stop/stall/slow). *)
-  replace : (unit -> Ghost.Agent.group) option;
+  replace : (?abi:int -> unit -> Ghost.Agent.group) option;
       (** Builds and attaches the replacement group for [Upgrade] events —
           the policy-v2 constructor.  [None] turns upgrades into
-          shutdown-without-successor. *)
+          shutdown-without-successor.  [abi] (from the plan's [abi=N]
+          option) stamps the replacement policy's [abi_version]; if the
+          runtime rejects it with {!Ghost.Abi.Version_mismatch} the injector
+          records the rejection and lets the grace period demote the enclave
+          to CFS. *)
 }
 
 type t

@@ -1,6 +1,6 @@
 type kind =
   | Crash
-  | Upgrade of { handoff_gap : int }
+  | Upgrade of { handoff_gap : int; abi : int option }
   | Stall of { duration : int }
   | Slow of { penalty : int; duration : int }
   | Burst of { count : int }
@@ -41,9 +41,12 @@ let event_to_string ev =
   let base =
     match ev.kind with
     | Crash -> Printf.sprintf "crash@%s" (time_to_string ev.at)
-    | Upgrade { handoff_gap } ->
-      Printf.sprintf "upgrade@%s:gap=%s" (time_to_string ev.at)
+    | Upgrade { handoff_gap; abi } ->
+      Printf.sprintf "upgrade@%s:gap=%s%s" (time_to_string ev.at)
         (time_to_string handoff_gap)
+        (match abi with
+        | Some v -> Printf.sprintf ":abi=%d" v
+        | None -> "")
     | Stall { duration } ->
       Printf.sprintf "stall@%s:for=%s" (time_to_string ev.at)
         (time_to_string duration)
@@ -133,7 +136,16 @@ let parse_event spec =
             (* Default gap is half the 200us agent-crash grace period, so a
                plain "upgrade@T" hands off before destruction can race it. *)
             let* handoff_gap = opt_time opts "gap" ~default:100_000 in
-            Ok (Upgrade { handoff_gap })
+            let* abi =
+              match List.assoc_opt "abi" opts with
+              | None -> Ok None
+              | Some v -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Ok (Some n)
+                | Some _ | None ->
+                  Error (Printf.sprintf "bad abi version %S" v))
+            in
+            Ok (Upgrade { handoff_gap; abi })
           | "stall" | "stuck" ->
             let* duration = opt_time opts "for" ~default:20_000_000 in
             Ok (Stall { duration })
@@ -174,7 +186,7 @@ let preset name ~at =
   match name with
   | "none" -> Some empty
   | "crash" -> ev Crash
-  | "upgrade" -> ev (Upgrade { handoff_gap = 100_000 })
+  | "upgrade" -> ev (Upgrade { handoff_gap = 100_000; abi = None })
   | "stuck" -> ev (Stall { duration = 50_000_000 })
   | "slow" -> ev (Slow { penalty = 50_000; duration = 20_000_000 })
   | "burst" -> ev (Burst { count = 100_000 })

@@ -12,11 +12,15 @@ type kind =
       (** The agent process dies without handing over; absent a replacement
           the enclave is destroyed after the grace period and its threads
           fall back to CFS. *)
-  | Upgrade of { handoff_gap : int }
+  | Upgrade of { handoff_gap : int; abi : int option }
       (** Planned shutdown (in-place upgrade): the live group stops, and the
           injector attaches the replacement [handoff_gap] ns later.  Without
           a replacement constructor this degrades to shutdown-no-successor,
-          which the grace period turns into [Agent_crash] destruction. *)
+          which the grace period turns into [Agent_crash] destruction.
+          [abi] stamps the replacement policy with that ABI version; a value
+          the runtime doesn't speak makes attachment raise
+          {!Ghost.Abi.Version_mismatch}, so the upgrade is rejected and the
+          enclave falls back to CFS the same way. *)
   | Stall of { duration : int }
       (** The agent hangs for [duration] ns: it occupies its CPUs but drains
           and commits nothing.  Longer than the watchdog timeout, this trips
@@ -54,6 +58,8 @@ val parse : string -> (t, string) result
 
     - [crash@80ms]
     - [upgrade@80ms:gap=200us]
+    - [upgrade@80ms:gap=200us:abi=2] — replacement stamped ABI v2 (rejected
+      unless the runtime speaks it)
     - [stall@80ms:for=20ms]
     - [slow@80ms:penalty=50us:for=20ms]
     - [burst@80ms:n=100000]

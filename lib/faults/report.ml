@@ -6,6 +6,7 @@ type t = {
   fallback_ns : int option;
   stopped_at : int option;
   replaced_at : int option;
+  rejected_at : int option;
   handoff_ns : int option;
   enclave_drops : int;
   watchdog_fires : int;
@@ -38,6 +39,9 @@ let to_string t =
       (ms gap)
   | Some time, None -> add "  replacement attached at t=%.3fms\n" (ms time)
   | None, _ -> ());
+  (match t.rejected_at with
+  | Some time -> add "  replacement rejected at t=%.3fms (ABI mismatch)\n" (ms time)
+  | None -> ());
   if t.enclave_drops > 0 then add "  messages dropped: %d\n" t.enclave_drops;
   if t.watchdog_fires > 0 then add "  watchdog fires: %d\n" t.watchdog_fires;
   (match t.degraded_requests with

@@ -15,6 +15,10 @@ type t = {
       (** Last disruptive fault → enclave destruction (time-to-CFS-fallback). *)
   stopped_at : int option;  (** Planned shutdown time (upgrade). *)
   replaced_at : int option;  (** Replacement group attach time. *)
+  rejected_at : int option;
+      (** Replacement refused with {!Ghost.Abi.Version_mismatch}: the
+          upgrade's [abi=N] stamp wasn't one the runtime speaks, so no
+          successor attached and the grace period demoted the enclave. *)
   handoff_ns : int option;  (** [stopped_at] → [replaced_at]. *)
   enclave_drops : int;  (** Queue-overflow losses across the enclave's queues. *)
   watchdog_fires : int;

@@ -1,4 +1,5 @@
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Txn = Ghost.Txn
 module Task = Kernel.Task
 
@@ -30,7 +31,7 @@ let class_of t ctx tid =
   match Hashtbl.find_opt t.cls_of tid with
   | Some c -> c
   | None -> (
-    match Agent.task_by_tid ctx tid with
+    match Abi.task_by_tid ctx tid with
     | Some task ->
       let c = t.classify task in
       Hashtbl.replace t.cls_of tid c;
@@ -45,7 +46,7 @@ let push t ctx tid =
 let feed t ctx msgs =
   List.iter
     (fun msg ->
-      Agent.charge ctx 25;
+      Abi.charge ctx 25;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid ->
         Runq.Running.forget t.running tid;
@@ -69,11 +70,11 @@ let make_assign ctx txns assigned (task : Task.t) cpu =
 
 let schedule t ctx msgs =
   feed t ctx msgs;
-  let agent_cpu = Agent.cpu ctx in
+  let agent_cpu = Abi.cpu ctx in
   let txns = ref [] in
   let assigned = Hashtbl.create 8 in
-  let cpus = List.filter (fun c -> c <> agent_cpu) (Agent.enclave_cpu_list ctx) in
-  let free c = (not (Hashtbl.mem assigned c)) && Agent.cpu_is_idle ctx c in
+  let cpus = List.filter (fun c -> c <> agent_cpu) (Abi.enclave_cpu_list ctx) in
+  let free c = (not (Hashtbl.mem assigned c)) && Abi.cpu_is_idle ctx c in
   (* 1. Idle CPUs go to LC work first. *)
   List.iter
     (fun cpu ->
@@ -87,7 +88,7 @@ let schedule t ctx msgs =
   let be_running cpu =
     (not (Hashtbl.mem assigned cpu))
     &&
-    match Agent.curr_on ctx cpu with
+    match Abi.curr_on ctx cpu with
     | Some task when task.Task.policy = Task.Ghost -> class_of t ctx task.Task.tid = Be
     | Some _ | None -> false
   in
@@ -105,11 +106,11 @@ let schedule t ctx msgs =
   (match t.timeslice with
   | None -> ()
   | Some slice ->
-    let now = Agent.now ctx in
+    let now = Abi.now ctx in
     List.iter
       (fun cpu ->
         if (not (Hashtbl.mem assigned cpu)) && not (Runq.is_empty t.lc_q) then begin
-          match Agent.curr_on ctx cpu with
+          match Abi.curr_on ctx cpu with
           | Some task when task.Task.policy = Task.Ghost ->
             if
               Runq.Running.over_slice t.running task.Task.tid ~cpu ~now ~slice
@@ -143,7 +144,7 @@ let on_result t ctx (txn : Txn.t) =
     (match cls with
     | Lc -> t.stats.lc_scheduled <- t.stats.lc_scheduled + 1
     | Be -> t.stats.be_scheduled <- t.stats.be_scheduled + 1);
-    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Agent.now ctx)
+    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Abi.now ctx)
   | Txn.Failed Txn.Enoent -> ()
   | Txn.Failed failure ->
     if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
@@ -176,7 +177,7 @@ let policy ~classify ?timeslice ?(schedule_be = true) () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then push t ctx task.Task.tid)
-          (Agent.managed_threads ctx))
+          (Abi.managed_threads ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)

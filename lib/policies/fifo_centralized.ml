@@ -1,4 +1,5 @@
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Txn = Ghost.Txn
 module Task = Kernel.Task
 
@@ -16,7 +17,7 @@ let queue_depth t = Runq.length t.runq
 let feed t ctx msgs =
   List.iter
     (fun msg ->
-      Agent.charge ctx 10;
+      Abi.charge ctx 10;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid ->
         Runq.Running.forget t.running tid;
@@ -30,29 +31,29 @@ let feed t ctx msgs =
 
 let schedule t ctx msgs =
   feed t ctx msgs;
-  let agent_cpu = Agent.cpu ctx in
+  let agent_cpu = Abi.cpu ctx in
   let txns = ref [] in
   (* Fill idle CPUs FIFO-first (Fig. 4).  The spinning agent's own CPU is
      never a target: the agent does not yield it while active. *)
   List.iter
     (fun cpu ->
       if cpu <> agent_cpu then begin
-        if Agent.cpu_is_idle ctx cpu then begin
+        if Abi.cpu_is_idle ctx cpu then begin
           match Runq.pop t.runq ctx with
           | Some task -> Runq.assign ctx txns ~charge:25 task cpu
           | None -> ()
         end
       end)
-    (Agent.enclave_cpu_list ctx);
+    (Abi.enclave_cpu_list ctx);
   (* Timeslice expiry: preempt over-quantum threads when work is waiting. *)
   (match t.timeslice with
   | None -> ()
   | Some slice ->
-    let now = Agent.now ctx in
+    let now = Abi.now ctx in
     List.iter
       (fun cpu ->
         if not (Runq.is_empty t.runq) then begin
-          match Agent.curr_on ctx cpu with
+          match Abi.curr_on ctx cpu with
           | Some task when task.Task.policy = Task.Ghost ->
             if Runq.Running.over_slice t.running task.Task.tid ~cpu ~now ~slice
             then begin
@@ -64,7 +65,7 @@ let schedule t ctx msgs =
             end
           | Some _ | None -> ()
         end)
-      (Agent.enclave_cpu_list ctx));
+      (Abi.enclave_cpu_list ctx));
   (* §3.2/§5: leftover runnable threads go to the BPF pick_next_task rings
      so a CPU idling before our next pass picks one up without waiting. *)
   (match t.bpf with
@@ -72,9 +73,9 @@ let schedule t ctx msgs =
   | Some prog ->
     Runq.iter
       (fun tid ->
-        match Agent.task_by_tid ctx tid with
+        match Abi.task_by_tid ctx tid with
         | Some task when Task.is_runnable task && not (Ghost.Bpf.mem prog task) ->
-          Agent.charge ctx 60;
+          Abi.charge ctx 60;
           Ghost.Bpf.publish prog ~ring:0 task
         | Some _ | None -> ())
       t.runq);
@@ -84,7 +85,7 @@ let on_result t ctx (txn : Txn.t) =
   match txn.status with
   | Txn.Committed ->
     t.scheduled <- t.scheduled + 1;
-    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Agent.now ctx)
+    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Abi.now ctx)
   | Txn.Failed Txn.Enoent -> ()
   | Txn.Failed _ -> Runq.push t.runq txn.tid
   | Txn.Pending -> ()
@@ -107,7 +108,7 @@ let policy ?timeslice ?bpf () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then Runq.push t.runq task.Task.tid)
-          (Agent.managed_threads ctx))
+          (Abi.managed_threads ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)

@@ -1,4 +1,5 @@
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Txn = Ghost.Txn
 module Task = Kernel.Task
 
@@ -35,21 +36,21 @@ let rec pop t ctx cpu =
   | exception Queue.Empty -> None
   | tid -> (
     Hashtbl.remove t.queued tid;
-    match Agent.task_by_tid ctx tid with
+    match Abi.task_by_tid ctx tid with
     | Some task when Task.is_runnable task -> Some task
     | Some _ | None -> pop t ctx cpu)
 
 (* Spread new threads round-robin and move their message flow onto the
    per-CPU queue (ASSOCIATE_QUEUE, §3.1). *)
 let place_new t ctx tid =
-  let cpus = Agent.enclave_cpu_list ctx in
+  let cpus = Abi.enclave_cpu_list ctx in
   let n = List.length cpus in
   let home = List.nth cpus (t.next_home mod n) in
   t.next_home <- t.next_home + 1;
   Hashtbl.replace t.home tid home;
-  (match (Agent.task_by_tid ctx tid, Agent.queue_of_cpu ctx home) with
+  (match (Abi.task_by_tid ctx tid, Abi.queue_of_cpu ctx home) with
   | Some task, Some q -> (
-    match Agent.associate_queue ctx task q with
+    match Abi.associate_queue ctx task q with
     | Ok () -> ()
     | Error `Pending_messages ->
       (* Messages already queued for it on the default queue: leave the
@@ -87,10 +88,10 @@ let try_steal t ctx ~cpu =
     match pop t ctx home with
     | None -> None
     | Some task -> (
-      match Agent.queue_of_cpu ctx cpu with
+      match Abi.queue_of_cpu ctx cpu with
       | None -> Some task
       | Some q -> (
-        match Agent.associate_queue ctx task q with
+        match Abi.associate_queue ctx task q with
         | Ok () ->
           t.steals <- t.steals + 1;
           Hashtbl.replace t.home task.Task.tid cpu;
@@ -101,8 +102,8 @@ let try_steal t ctx ~cpu =
           None)))
 
 let try_schedule_local t ctx =
-  let cpu = Agent.cpu ctx in
-  if Agent.latched_on ctx cpu = None then begin
+  let cpu = Abi.cpu ctx in
+  if Abi.latched_on ctx cpu = None then begin
     let candidate =
       match pop t ctx cpu with
       | Some task -> Some task
@@ -110,25 +111,25 @@ let try_schedule_local t ctx =
     in
     match candidate with
     | Some task ->
-      Agent.charge ctx 40;
+      Abi.charge ctx 40;
       let txn =
-        Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ~with_aseq:true ()
+        Abi.make_txn ctx ~tid:task.Task.tid ~target:cpu ~with_aseq:true ()
       in
-      Agent.submit ctx [ txn ]
+      Abi.submit ctx [ txn ]
     | None -> ()
   end
 
 let schedule t ctx msgs =
   List.iter
     (fun msg ->
-      Agent.charge ctx 25;
+      Abi.charge ctx 25;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid ->
         let home = home_of t ctx tid in
         push t ~cpu:home tid;
         (* The home CPU's agent sleeps on its own (empty) queue: poke it so
            it runs a pass and schedules the newcomer. *)
-        if home <> Agent.cpu ctx then Agent.poke ctx home
+        if home <> Abi.cpu ctx then Abi.poke ctx home
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
         Hashtbl.remove t.queued tid
       | Msg_class.Affinity_changed _ | Msg_class.Tick _
@@ -144,7 +145,7 @@ let on_result t ctx (txn : Txn.t) =
     if failure = Txn.Estale then t.estales <- t.estales + 1;
     let home = home_of t ctx txn.tid in
     push t ~cpu:home txn.tid;
-    if home <> Agent.cpu ctx then Agent.poke ctx home
+    if home <> Abi.cpu ctx then Abi.poke ctx home
   | Txn.Pending -> ()
 
 let policy () =
@@ -173,11 +174,11 @@ let policy () =
       Queue.iter
         (fun tid ->
           Hashtbl.remove t.queued tid;
-          match Agent.task_by_tid ctx tid with
+          match Abi.task_by_tid ctx tid with
           | Some task when Task.is_runnable task ->
             let home = home_of t ctx tid in
             push t ~cpu:home tid;
-            if home <> Agent.cpu ctx then Agent.poke ctx home
+            if home <> Abi.cpu ctx then Abi.poke ctx home
           | Some _ | None -> ())
         q
   in
@@ -190,7 +191,7 @@ let policy () =
               let home = home_of t ctx task.Task.tid in
               push t ~cpu:home task.Task.tid
             end)
-          (Agent.managed_threads ctx))
+          (Abi.managed_threads ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ~on_cpu_removed ()

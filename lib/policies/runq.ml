@@ -1,4 +1,5 @@
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Task = Kernel.Task
 
 type t = {
@@ -26,7 +27,7 @@ let rec pop t ctx =
   | exception Queue.Empty -> None
   | tid -> (
     Hashtbl.remove t.queued tid;
-    match Agent.task_by_tid ctx tid with
+    match Abi.task_by_tid ctx tid with
     | Some task when Task.is_runnable task -> Some task
     | Some _ | None -> pop t ctx)
 
@@ -54,9 +55,9 @@ end
 (* --- Group-commit assembly -------------------------------------------------- *)
 
 let assign ctx txns ~charge (task : Task.t) cpu =
-  Agent.charge ctx charge;
-  let seq = Agent.thread_seq ctx task in
+  Abi.charge ctx charge;
+  let seq = Abi.thread_seq ctx task in
   txns :=
-    Agent.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq () :: !txns
+    Abi.make_txn ctx ~tid:task.Task.tid ~target:cpu ?thread_seq:seq () :: !txns
 
-let submit_rev ctx txns = if !txns <> [] then Agent.submit ctx (List.rev !txns)
+let submit_rev ctx txns = if !txns <> [] then Abi.submit ctx (List.rev !txns)

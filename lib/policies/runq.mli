@@ -22,7 +22,7 @@ val push : t -> int -> unit
 val drop : t -> int -> unit
 (** Forget the dedup bit (thread blocked/died); lazy removal at {!pop}. *)
 
-val pop : t -> Ghost.Agent.ctx -> Kernel.Task.t option
+val pop : t -> Ghost.Abi.t -> Kernel.Task.t option
 (** Next runnable task in FIFO order, skipping stale entries. *)
 
 (** Which thread runs where since when — the bookkeeping behind timeslice
@@ -39,7 +39,7 @@ module Running : sig
 end
 
 val assign :
-  Ghost.Agent.ctx ->
+  Ghost.Abi.t ->
   Ghost.Txn.t list ref ->
   charge:int ->
   Kernel.Task.t ->
@@ -48,5 +48,5 @@ val assign :
 (** Create a thread-seq-stamped transaction targeting [cpu], charge the
     pass, and prepend it to the batch under assembly. *)
 
-val submit_rev : Ghost.Agent.ctx -> Ghost.Txn.t list ref -> unit
+val submit_rev : Ghost.Abi.t -> Ghost.Txn.t list ref -> unit
 (** Submit the accumulated batch in creation order (one group commit). *)

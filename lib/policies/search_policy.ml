@@ -1,4 +1,5 @@
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Txn = Ghost.Txn
 module Task = Kernel.Task
 module Topology = Hw.Topology
@@ -38,13 +39,13 @@ let stats t = t.stats
    (4.4's nice-value discussion: background threads advertise a large hint
    and sink below fresh workers). *)
 let key_of ctx (task : Task.t) =
-  match Agent.status_word ctx task with
+  match Abi.status_word ctx task with
   | Some sw -> sw.Ghost.Status_word.sum_exec + sw.Ghost.Status_word.hint
   | None -> task.Task.sum_exec
 
 let push t ctx tid =
   if not (Hashtbl.mem t.queued tid) then begin
-    match Agent.task_by_tid ctx tid with
+    match Abi.task_by_tid ctx tid with
     | Some task ->
       Hashtbl.replace t.queued tid ();
       Minheap.push t.heap ~key:(key_of ctx task) tid
@@ -54,7 +55,7 @@ let push t ctx tid =
 let feed t ctx msgs =
   List.iter
     (fun msg ->
-      Agent.charge ctx 25;
+      Abi.charge ctx 25;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid -> push t ctx tid
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
@@ -82,16 +83,16 @@ let candidate_order t topo last =
   end
 
 let find_idle t ctx assigned (task : Task.t) =
-  let topo = Kernel.topo (Agent.kernel ctx) in
+  let topo = Abi.topology ctx in
   let last = if task.Task.cpu >= 0 then task.Task.cpu else 0 in
-  let agent_cpu = Agent.cpu ctx in
-  let enclave_cpus = Agent.enclave_cpu_list ctx in
+  let agent_cpu = Abi.cpu ctx in
+  let enclave_cpus = Abi.enclave_cpu_list ctx in
   let ok cpu =
     cpu <> agent_cpu
     && List.mem cpu enclave_cpus
     && (not (Hashtbl.mem assigned cpu))
     && Cpumask.mem task.Task.affinity cpu
-    && Agent.cpu_is_idle ctx cpu
+    && Abi.cpu_is_idle ctx cpu
   in
   let rec scan = function
     | [] -> None
@@ -110,15 +111,15 @@ let bpf_publish t ctx (task : Task.t) =
   match t.config.bpf with
   | None -> ()
   | Some prog ->
-    let topo = Kernel.topo (Agent.kernel ctx) in
+    let topo = Abi.topology ctx in
     let ring = Topology.socket_of topo (max task.Task.cpu 0) in
-    Agent.charge ctx 60;
+    Abi.charge ctx 60;
     Ghost.Bpf.publish prog ~ring task
 
 let schedule t ctx msgs =
   feed t ctx msgs;
-  let topo = Kernel.topo (Agent.kernel ctx) in
-  let now = Agent.now ctx in
+  let topo = Abi.topology ctx in
+  let now = Abi.now ctx in
   let txns = ref [] in
   let assigned = Hashtbl.create 16 in
   let revisit = ref [] in
@@ -126,8 +127,8 @@ let schedule t ctx msgs =
     match Minheap.pop t.heap with
     | None -> ()
     | Some (key, tid) ->
-      Agent.charge ctx 30;
-      (match Agent.task_by_tid ctx tid with
+      Abi.charge ctx 30;
+      (match Abi.task_by_tid ctx tid with
       | Some task when Task.is_runnable task -> (
         let last = if task.Task.cpu >= 0 then task.Task.cpu else 0 in
         match find_idle t ctx assigned task with
@@ -151,9 +152,9 @@ let schedule t ctx msgs =
             Hashtbl.remove t.queued tid;
             Hashtbl.replace assigned cpu ();
             note_placement t topo last cpu;
-            let seq = Agent.thread_seq ctx task in
+            let seq = Abi.thread_seq ctx task in
             txns :=
-              Agent.make_txn ctx ~tid ~target:cpu ?thread_seq:seq () :: !txns
+              Abi.make_txn ctx ~tid ~target:cpu ?thread_seq:seq () :: !txns
           end
           else begin
             t.stats.held_pending <- t.stats.held_pending + 1;
@@ -170,7 +171,7 @@ let schedule t ctx msgs =
   in
   drain ();
   List.iter (fun (key, tid) -> Minheap.push t.heap ~key tid) !revisit;
-  if !txns <> [] then Agent.submit ctx (List.rev !txns)
+  if !txns <> [] then Abi.submit ctx (List.rev !txns)
 
 let on_result t ctx (txn : Txn.t) =
   match txn.status with
@@ -206,7 +207,7 @@ let policy ?(config = default_config) () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then push t ctx task.Task.tid)
-          (Agent.managed_threads ctx))
+          (Abi.managed_threads ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ()

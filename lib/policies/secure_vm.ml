@@ -1,4 +1,5 @@
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Txn = Ghost.Txn
 module Task = Kernel.Task
 module Topology = Hw.Topology
@@ -40,7 +41,7 @@ let vmq t cookie =
 
 let push t ctx tid =
   if not (Hashtbl.mem t.queued tid) then begin
-    match Agent.task_by_tid ctx tid with
+    match Abi.task_by_tid ctx tid with
     | Some task ->
       Hashtbl.replace t.queued tid ();
       Queue.push tid (vmq t task.Task.cookie)
@@ -52,14 +53,14 @@ let rec pop t ctx cookie =
   | exception Queue.Empty -> None
   | tid -> (
     Hashtbl.remove t.queued tid;
-    match Agent.task_by_tid ctx tid with
+    match Abi.task_by_tid ctx tid with
     | Some task when Task.is_runnable task && task.Task.cookie = cookie -> Some task
     | Some _ | None -> pop t ctx cookie)
 
 let feed t ctx msgs =
   List.iter
     (fun msg ->
-      Agent.charge ctx 25;
+      Abi.charge ctx 25;
       match Msg_class.classify msg with
       | Msg_class.Became_runnable tid -> push t ctx tid
       | Msg_class.Not_runnable tid | Msg_class.Died tid ->
@@ -86,8 +87,8 @@ let charge_vm t cookie ns =
 (* Physical cores of the enclave, as (core, cpu0, cpu1 option), excluding
    the core the agent itself spins on. *)
 let enclave_cores ctx =
-  let topo = Kernel.topo (Agent.kernel ctx) in
-  let agent_core = Topology.core_of topo (Agent.cpu ctx) in
+  let topo = Abi.topology ctx in
+  let agent_core = Topology.core_of topo (Abi.cpu ctx) in
   let seen = Hashtbl.create 64 in
   List.filter_map
     (fun cpu ->
@@ -100,15 +101,15 @@ let enclave_cores ctx =
         | [ a; b ] -> Some (core, a, Some b)
         | _ -> None
       end)
-    (Agent.enclave_cpu_list ctx)
+    (Abi.enclave_cpu_list ctx)
 
 (* A CPU is occupied if a ghOSt thread runs there or is latched onto it
    (committed but not yet dispatched) — ignoring latches would let the next
    pass displace half of a freshly committed pair. *)
 let cpu_occupied ctx c =
-  Agent.latched_on ctx c <> None
+  Abi.latched_on ctx c <> None
   ||
-  match Agent.curr_on ctx c with
+  match Abi.curr_on ctx c with
   | Some task -> task.Task.policy = Task.Ghost
   | None -> false
 
@@ -122,7 +123,7 @@ let commit_core t ctx ~core ~cpu0 ~cpu1 ~pair ?(need = 1) cookie =
   let take target =
     match pop t ctx cookie with
     | Some task when Cpumask.mem task.Task.affinity target ->
-      Some (Agent.make_txn ctx ~tid:task.Task.tid ~target ())
+      Some (Abi.make_txn ctx ~tid:task.Task.tid ~target ())
     | Some task ->
       (* Wrong affinity for this core: requeue and skip. *)
       push t ctx task.Task.tid;
@@ -160,8 +161,8 @@ let commit_core t ctx ~core ~cpu0 ~cpu1 ~pair ?(need = 1) cookie =
   match txns with
   | [] -> false
   | txns ->
-    Agent.charge ctx 60;
-    Agent.submit ctx ~atomic:true txns;
+    Abi.charge ctx 60;
+    Abi.submit ctx ~atomic:true txns;
     (match txns with
     | [ _ ] -> t.stats.single_commits <- t.stats.single_commits + 1
     | _ -> t.stats.pair_commits <- t.stats.pair_commits + 1);
@@ -174,7 +175,7 @@ let commit_core t ctx ~core ~cpu0 ~cpu1 ~pair ?(need = 1) cookie =
         cs
     in
     cs.cookie <- cookie;
-    cs.since <- Agent.now ctx;
+    cs.since <- Abi.now ctx;
     true
   end
 
@@ -183,7 +184,7 @@ let total_waiting t =
 
 let schedule t ctx msgs =
   feed t ctx msgs;
-  let now = Agent.now ctx in
+  let now = Abi.now ctx in
   let cores = enclave_cores ctx in
   let free_cores =
     List.length (List.filter (fun (_, c0, c1) -> not (core_busy ctx c0 c1)) cores)
@@ -194,7 +195,7 @@ let schedule t ctx msgs =
   let free_left = ref free_cores in
   List.iter
     (fun (core, cpu0, cpu1) ->
-      Agent.charge ctx 35;
+      Abi.charge ctx 35;
       let busy = core_busy ctx cpu0 cpu1 in
       if not busy then begin
         match waiting_vms t with
@@ -252,7 +253,7 @@ let policy ?(quantum = 500_000) ?(eager_pairing = false) () =
   (* Core-state entries for a removed CPU's core go away so a later pass
      does not treat the shrunk core as owned by a VM. *)
   let on_cpu_removed ctx cpu =
-    let topo = Kernel.topo (Agent.kernel ctx) in
+    let topo = Abi.topology ctx in
     Hashtbl.remove t.cores (Topology.core_of topo cpu)
   in
   let pol =
@@ -261,7 +262,7 @@ let policy ?(quantum = 500_000) ?(eager_pairing = false) () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then push t ctx task.Task.tid)
-          (Agent.managed_threads ctx))
+          (Abi.managed_threads ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ~on_cpu_removed ()

@@ -78,12 +78,19 @@ let find live name =
   | Some le -> le
   | None -> invalid_arg (Printf.sprintf "Scenario.find: no enclave %s" name)
 
+let now live = Kernel.now live.kernel
+
 let stat le key = List.assoc_opt key (le.instance.Ghost_policy.stats ())
 
 let openloop le =
   List.find_map
     (function L_openloop ol -> Some ol | _ -> None)
     le.live_workloads
+
+let group le = le.group
+
+let enclave_cpus le =
+  Kernel.Cpumask.to_list (System.enclave_cpus le.enclave)
 
 (* Move [cpu] between enclaves; transparent to both policies via their
    CPU_TAKEN / CPU_AVAILABLE messages and resize callbacks. *)
@@ -181,11 +188,22 @@ let setup_enclave kernel sys (spec : enclave_spec) =
         enclave = e;
         group = Some group;
         (* An Upgrade fault replaces the group with a fresh instance of the
-           same policy spec. *)
-        replace = Some (fun () -> Registry.attach
-                           ?min_iteration:spec.min_iteration
-                           ?idle_gap:spec.idle_gap sys e
-                           (Registry.make spec.policy));
+           same policy spec; an [abi=N] option stamps the replacement with
+           that ABI version, so a mismatch is rejected at attach. *)
+        replace =
+          Some
+            (fun ?abi () ->
+              let inst = Registry.make spec.policy in
+              let inst =
+                match abi with
+                | None -> inst
+                | Some v ->
+                  { inst with
+                    Ghost_policy.policy =
+                      { inst.Ghost_policy.policy with Agent.abi_version = v } }
+              in
+              Registry.attach ?min_iteration:spec.min_iteration
+                ?idle_gap:spec.idle_gap sys e inst);
       }
       spec.faults
   in

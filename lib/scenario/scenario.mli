@@ -55,36 +55,19 @@ val enclave :
 
 (** {1 Live state}
 
-    Controllers observe and steer the running system. *)
+    Controllers observe and steer the running system — through these
+    accessors only.  Like policies behind the [Abi], a controller never
+    holds the [Kernel.t] or [System.t]: both types stay inside the harness,
+    so every steering action is an auditable call below. *)
 
-type live_workload =
-  | L_openloop of Workloads.Openloop.t
-  | L_batch of Workloads.Batch.t
-  | L_spin of Kernel.Task.t list
-  | L_jobs of jobs_live
+type live
+(** The running system, as handed to a controller's [tick]. *)
 
-and jobs_live = {
-  mutable tasks : Kernel.Task.t list;
-  mutable last_finished : int option;
-}
+type live_enclave
+(** One enclave of the running scenario. *)
 
-type live_enclave = {
-  spec : enclave_spec;
-  enclave : Ghost.System.enclave;
-  instance : Policies.Ghost_policy.instance;
-  group : Ghost.Agent.group;
-  injector : Faults.Injector.t;
-  live_workloads : live_workload list;
-  mutable all_cfs_at_destroy : bool option;
-  mutable stats_at_measure_start : (string * int) list;
-  mutable stats_at_measure_end : (string * int) list;
-}
-
-type live = {
-  kernel : Kernel.t;
-  sys : Ghost.System.t;
-  live_enclaves : live_enclave list;
-}
+val now : live -> int
+(** Current simulated time. *)
 
 val find : live -> string -> live_enclave
 (** By enclave name; raises [Invalid_argument] if absent. *)
@@ -95,6 +78,13 @@ val stat : live_enclave -> string -> int option
 val openloop : live_enclave -> Workloads.Openloop.t option
 (** First open-loop workload of the enclave, for e.g.
     {!Workloads.Openloop.set_rate}. *)
+
+val group : live_enclave -> Ghost.Agent.group
+(** The enclave's agent group (e.g. [Agent.global_cpu] for controllers that
+    avoid yanking the CPU the global agent spins on). *)
+
+val enclave_cpus : live_enclave -> int list
+(** CPUs currently owned by the enclave. *)
 
 val move_cpu : live -> src:string -> dst:string -> int -> unit
 (** Dynamic resizing: remove the CPU from [src], add it to [dst]. *)

@@ -5,6 +5,7 @@ module Task = Kernel.Task
 module Cpumask = Kernel.Cpumask
 module System = Ghost.System
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Txn = Ghost.Txn
 
 let check_int = Alcotest.(check int)
@@ -26,13 +27,14 @@ let setup ncores =
   (k, sys, e)
 
 let test_aseq_tracks_messages () =
-  (* The global agent's aseq must advance by exactly one per message posted
-     to the queue it is associated with. *)
+  (* The global agent's aseq must advance by exactly one writer section —
+     bump-to-odd, bump-to-even — per message posted to the queue it is
+     associated with, and always read even (quiescent). *)
   let k, sys, e = setup 2 in
   let seqs = ref [] in
   let pol =
     Agent.make_policy ~name:"aseq-probe"
-      ~schedule:(fun ctx msgs -> if msgs <> [] then seqs := Agent.aseq ctx :: !seqs)
+      ~schedule:(fun ctx msgs -> if msgs <> [] then seqs := Abi.aseq ctx :: !seqs)
       ()
   in
   let _g = Agent.attach_global sys e pol in
@@ -41,11 +43,13 @@ let test_aseq_tracks_messages () =
   Kernel.start k task;
   Kernel.run_until k (ms 1);
   let after_create = match !seqs with s :: _ -> s | [] -> -1 in
-  check_bool "aseq advanced on CREATED" true (after_create >= 1);
+  check_bool "aseq advanced on CREATED" true (after_create >= 2);
+  check_int "aseq reads even" 0 (after_create land 1);
   Kernel.set_affinity k task (Cpumask.of_list ~ncpus:2 [ 0; 1 ]);
   Kernel.run_until k (ms 2);
   let after_affinity = match !seqs with s :: _ -> s | [] -> -1 in
-  check_int "one more message, one more seq" (after_create + 1) after_affinity
+  check_int "one more message, one more write section" (after_create + 2)
+    after_affinity
 
 let test_charge_lengthens_passes () =
   (* A policy that charges heavily makes the agent pass longer, so fewer
@@ -54,7 +58,7 @@ let test_charge_lengthens_passes () =
     let k, sys, e = setup 2 in
     let pol =
       Agent.make_policy ~name:"burner"
-        ~schedule:(fun ctx _ -> Agent.charge ctx charge_ns)
+        ~schedule:(fun ctx _ -> Abi.charge ctx charge_ns)
         ()
     in
     let g = Agent.attach_global sys e ~idle_gap:500 pol in
@@ -121,7 +125,7 @@ let test_queue_of_cpu_modes () =
   let seen = ref None in
   let pol =
     Agent.make_policy ~name:"probe"
-      ~init:(fun ctx -> seen := Some (Agent.queue_of_cpu ctx 0 <> None))
+      ~init:(fun ctx -> seen := Some (Abi.queue_of_cpu ctx 0 <> None))
       ~schedule:(fun _ _ -> ())
       ()
   in
@@ -129,7 +133,7 @@ let test_queue_of_cpu_modes () =
   check_bool "local mode has per-cpu queues" true (!seen = Some true);
   let _k2, sys2, e2 = setup 2 in
   let seen2 = ref None in
-  let pol2 = { pol with Agent.init = (fun ctx -> seen2 := Some (Agent.queue_of_cpu ctx 0 <> None)) } in
+  let pol2 = { pol with Agent.init = (fun ctx -> seen2 := Some (Abi.queue_of_cpu ctx 0 <> None)) } in
   let _g2 = Agent.attach_global sys2 e2 pol2 in
   check_bool "global mode has none" true (!seen2 = Some false)
 
@@ -146,11 +150,11 @@ let test_submit_estale_on_interleaved_message () =
         | _ :: _, Some (task : Task.t) when Task.is_runnable task ->
           (* Deliberately long decision time so the driver's affinity
              change lands mid-pass. *)
-          Agent.charge ctx (us 50);
+          Abi.charge ctx (us 50);
           let txn =
-            Agent.make_txn ctx ~tid:task.Task.tid ~target:1 ~with_aseq:true ()
+            Abi.make_txn ctx ~tid:task.Task.tid ~target:1 ~with_aseq:true ()
           in
-          Agent.submit ctx [ txn ]
+          Abi.submit ctx [ txn ]
         | _ -> ())
       ~on_result:(fun _ txn -> results := txn.Txn.status :: !results)
       ()

@@ -5,6 +5,7 @@
 module Task = Kernel.Task
 module System = Ghost.System
 module Agent = Ghost.Agent
+module Abi = Ghost.Abi
 module Squeue = Ghost.Squeue
 module Msg = Ghost.Msg
 
@@ -33,14 +34,14 @@ let test_agent_created_queue_with_wakeup () =
   let pol =
     Agent.make_policy ~name:"extra-queue"
       ~init:(fun ctx ->
-        extra_queue := Some (Agent.create_queue ctx ~capacity:64 ~wake_cpu:(Some 1)))
+        extra_queue := Some (Abi.create_queue ctx ~capacity:64 ~wake_cpu:(Some 1)))
       ~schedule:(fun ctx msgs ->
         ignore msgs;
         match !extra_queue with
         | Some q ->
-          let extra_msgs = Agent.drain ctx q in
+          let extra_msgs = Abi.drain ctx q in
           if extra_msgs <> [] then
-            drained_on := (Agent.cpu ctx, List.length extra_msgs) :: !drained_on
+            drained_on := (Abi.cpu ctx, List.length extra_msgs) :: !drained_on
         | None -> ())
       ()
   in

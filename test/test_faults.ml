@@ -101,7 +101,10 @@ let plan_gen =
     oneof
       [
         return Plan.Crash;
-        map (fun g -> Plan.Upgrade { handoff_gap = g }) time;
+        map2
+          (fun g abi -> Plan.Upgrade { handoff_gap = g; abi })
+          time
+          (oneof [ return None; map Option.some (int_range 0 9) ]);
         map (fun d -> Plan.Stall { duration = d }) time;
         map2 (fun p d -> Plan.Slow { penalty = p; duration = d }) time time;
         map (fun n -> Plan.Burst { count = n }) (int_range 1 1_000_000);
@@ -172,7 +175,7 @@ let test_upgrade_replacement_rebuilds () =
   let t = spawn_ghost k e ~name:"svc" (Task.compute_forever ~slice:(us 100)) in
   let plan =
     Plan.make ~name:"upgrade"
-      [ { at = ms 5; jitter = 0; kind = Upgrade { handoff_gap = us 100 } } ]
+      [ { at = ms 5; jitter = 0; kind = Upgrade { handoff_gap = us 100; abi = None } } ]
   in
   let inj =
     Injector.arm ~rng:(Kernel.rng k)
@@ -182,7 +185,7 @@ let test_upgrade_replacement_rebuilds () =
         group = Some g1;
         replace =
           Some
-            (fun () ->
+            (fun ?abi:_ () ->
               let st, pol2 = Policies.Fifo_centralized.policy () in
               st2 := Some st;
               Agent.attach_global sys e pol2);
@@ -205,6 +208,59 @@ let test_upgrade_replacement_rebuilds () =
     | None -> false);
   check_bool "progress resumed" true (t.Task.sum_exec > before);
   check_bool "still ghost-managed" true (t.Task.policy = Task.Ghost)
+
+(* --- Upgrade with an ABI the runtime doesn't speak -> rejected -> CFS ---------- *)
+
+let test_upgrade_abi_mismatch_rejected () =
+  let k = Kernel.create (machine 2) in
+  let sys = System.install k in
+  let e = System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
+  let _, pol1 = Policies.Fifo_centralized.policy () in
+  let g1 = Agent.attach_global sys e pol1 in
+  let t = spawn_ghost k e ~name:"svc" (Task.compute_forever ~slice:(us 100)) in
+  let bad_abi = Ghost.Abi.version + 1 in
+  let plan =
+    Plan.make ~name:"rejected upgrade"
+      [
+        {
+          at = ms 5;
+          jitter = 0;
+          kind = Upgrade { handoff_gap = us 100; abi = Some bad_abi };
+        };
+      ]
+  in
+  let inj =
+    Injector.arm ~rng:(Kernel.rng k)
+      {
+        Injector.sys;
+        enclave = e;
+        group = Some g1;
+        replace =
+          Some
+            (fun ?abi () ->
+              let _, pol2 = Policies.Fifo_centralized.policy () in
+              let pol2 =
+                match abi with
+                | Some v -> { pol2 with Agent.abi_version = v }
+                | None -> pol2
+              in
+              Agent.attach_global sys e pol2);
+      }
+      plan
+  in
+  Kernel.run_until k (ms 10);
+  let r = Injector.report inj in
+  check_bool "rejection recorded" true (r.Faults.Report.rejected_at <> None);
+  check_bool "no replacement attached" true (r.Faults.Report.replaced_at = None);
+  check_bool "enclave destroyed" false (System.enclave_alive e);
+  check_string "reason" "agent-crash" (Option.get r.Faults.Report.destroy_reason);
+  check_bool "thread rescued to CFS" true
+    (t.Task.policy = Task.Cfs && Task.is_runnable t);
+  (* The plan spec round-trips with its abi option intact. *)
+  check_bool "abi in rendered plan" true
+    (match Plan.parse (Plan.to_string plan) with
+    | Ok p -> p.Plan.events = plan.Plan.events
+    | Error _ -> false)
 
 (* --- Stuck agent -> watchdog --------------------------------------------------- *)
 
@@ -356,6 +412,8 @@ let () =
             test_crash_falls_back_to_cfs;
           Alcotest.test_case "upgrade -> replacement rebuilds" `Quick
             test_upgrade_replacement_rebuilds;
+          Alcotest.test_case "upgrade abi mismatch -> rejected, CFS" `Quick
+            test_upgrade_abi_mismatch_rejected;
           Alcotest.test_case "stuck agent -> watchdog" `Quick
             test_stuck_agent_trips_watchdog;
         ] );

@@ -80,6 +80,160 @@ let test_squeue_visibility =
       Squeue.consume q ~now:(vis - 1) = None
       && (match Squeue.consume q ~now:vis with Some _ -> true | None -> false))
 
+(* --- Status-word seqcount (§3.2) ------------------------------------------------- *)
+
+module Status_word = Ghost.Status_word
+
+(* Shadow model of the five payload fields. *)
+type sw_model = {
+  m_on_cpu : bool;
+  m_runnable : bool;
+  m_cpu : int;
+  m_sum_exec : int;
+  m_hint : int;
+}
+
+type sw_mut =
+  | MOn_cpu of bool
+  | MRunnable of bool
+  | MCpu of int
+  | MSum_exec of int
+  | MHint of int
+
+let apply_mut sw m mut =
+  match mut with
+  | MOn_cpu v ->
+    Status_word.set_on_cpu sw v;
+    { m with m_on_cpu = v }
+  | MRunnable v ->
+    Status_word.set_runnable sw v;
+    { m with m_runnable = v }
+  | MCpu v ->
+    Status_word.set_cpu sw v;
+    { m with m_cpu = v }
+  | MSum_exec v ->
+    Status_word.set_sum_exec sw v;
+    { m with m_sum_exec = v }
+  | MHint v ->
+    Status_word.set_hint sw v;
+    { m with m_hint = v }
+
+let snap_matches (s : Status_word.snapshot) m =
+  s.Status_word.on_cpu = m.m_on_cpu
+  && s.Status_word.runnable = m.m_runnable
+  && s.Status_word.cpu = m.m_cpu
+  && s.Status_word.sum_exec = m.m_sum_exec
+  && s.Status_word.hint = m.m_hint
+
+let mut_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun b -> MOn_cpu b) bool;
+        map (fun b -> MRunnable b) bool;
+        map (fun v -> MCpu v) (int_bound 63);
+        map (fun v -> MSum_exec v) (int_bound 1_000_000);
+        map (fun v -> MHint v) (int_bound 1_000);
+      ])
+
+let sections_gen =
+  QCheck.Gen.(list_size (int_range 1 8) (list_size (int_range 1 6) mut_gen))
+
+let test_snapshot_never_torn =
+  (* A read racing a writer section returns the pre-write snapshot exactly —
+     every field, after every intermediate store — and a read after
+     [end_write] sees every field of the completed write.  No interleaving
+     ever yields a mix. *)
+  qtest ~name:"status-word snapshot read is never torn" ~count:300
+    (QCheck.make sections_gen) (fun sections ->
+      let sw = Status_word.create () in
+      let init = Status_word.read sw in
+      let model =
+        ref
+          {
+            m_on_cpu = init.Status_word.on_cpu;
+            m_runnable = init.Status_word.runnable;
+            m_cpu = init.Status_word.cpu;
+            m_sum_exec = init.Status_word.sum_exec;
+            m_hint = init.Status_word.hint;
+          }
+      in
+      List.for_all
+        (fun muts ->
+          let pre = !model in
+          let pre_seq = Status_word.seq sw in
+          Status_word.begin_write sw;
+          let mid_ok =
+            List.for_all
+              (fun mut ->
+                model := apply_mut sw !model mut;
+                let s = Status_word.read sw in
+                (* Mid-section: pre-write values, pre-write (even) seq. *)
+                snap_matches s pre && s.Status_word.seq = pre_seq)
+              muts
+          in
+          let final_seq = Status_word.end_write sw in
+          let s = Status_word.read sw in
+          mid_ok
+          && snap_matches s !model
+          && s.Status_word.seq = final_seq
+          && final_seq = pre_seq + 2
+          && final_seq land 1 = 0)
+        sections)
+
+let sw_machine ncores =
+  {
+    Hw.Machines.name = "props";
+    topo = Hw.Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:ncores ~smt:1;
+    costs = Hw.Costs.skylake;
+  }
+
+let test_prewrite_seq_commit_estale =
+  (* End-to-end staleness: stamp a transaction with the seq from a snapshot
+     taken before any number of kernel writer sections, and the real commit
+     path must fail it ESTALE — while the same commit stamped with the
+     post-write seq never reports stale. *)
+  qtest ~name:"commit stamped with pre-write seq always fails ESTALE" ~count:50
+    QCheck.(pair (int_range 1 6) (QCheck.make sections_gen))
+    (fun (nsections, sections) ->
+      let module System = Ghost.System in
+      let module Txn = Ghost.Txn in
+      let k = Kernel.create (sw_machine 2) in
+      let sys = System.install k in
+      let e = System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
+      let task =
+        Kernel.create_task k ~name:"w"
+          (Kernel.Task.compute_forever ~slice:1000)
+      in
+      System.manage e task;
+      Kernel.start k task;
+      Kernel.run_until k 10_000;
+      let sw = Option.get (System.status_word sys task) in
+      let stale_seq = (Status_word.read sw).Status_word.seq in
+      (* [nsections] kernel write sections land after the snapshot. *)
+      let sections =
+        List.filteri (fun i _ -> i < nsections) (sections @ sections @ sections)
+      in
+      List.iter
+        (fun muts ->
+          Status_word.begin_write sw;
+          List.iter
+            (fun mut -> ignore (apply_mut sw { m_on_cpu = false; m_runnable = false;
+                                               m_cpu = 0; m_sum_exec = 0; m_hint = 0 } mut))
+            muts;
+          ignore (Status_word.end_write sw))
+        sections;
+      let commit_with seq =
+        let txn =
+          System.make_txn sys ~tid:task.Kernel.Task.tid ~cpu:1 ~thread_seq:seq ()
+        in
+        System.commit sys e ~agent_cpu:0 ~agent_sw:None ~atomic:false [ txn ];
+        txn.Txn.status
+      in
+      let stale = commit_with stale_seq in
+      let fresh = commit_with (Status_word.seq sw) in
+      stale = Txn.Failed Txn.Estale && fresh <> Txn.Failed Txn.Estale)
+
 (* --- Eventq model ---------------------------------------------------------------- *)
 
 type op = Push of int | Pop | CancelLast
@@ -217,7 +371,8 @@ let () =
       [
         test_cpumask_roundtrip; test_cpumask_set_ops; test_cpumask_cardinal;
         test_cpumask_add_remove; test_squeue_fifo; test_squeue_overflow_accounting;
-        test_squeue_visibility; test_eventq_model; test_histogram_merge_equiv;
+        test_squeue_visibility; test_snapshot_never_torn;
+        test_prewrite_seq_commit_estale; test_eventq_model; test_histogram_merge_equiv;
         test_topology_partitions; test_topology_sibling_involution;
         test_compute_total_sums;
       ]

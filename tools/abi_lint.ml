@@ -1,0 +1,226 @@
+(* ABI-boundary lint: policies and scenario controllers must talk to the
+   kernel through [Ghost.Abi] (and controllers through [Scenario]'s live
+   accessors) — never through [Kernel]/[System] internals or status-word
+   mutators.  Scans the given directories' .ml/.mli sources and fails on
+   any dotted reference outside the per-directory allowlist.
+
+   Comments and string literals are stripped first, so prose mentioning
+   {!Ghost.System.attach_bpf} doesn't trip the lint.  Aliasing [Kernel] or
+   [System] to another module name is itself a violation — it would defeat
+   the scan. *)
+
+let ( // ) = Filename.concat
+
+(* (module, immediate member) pairs allowed per directory basename.  A
+   member of ["*"] allows everything under the module. *)
+let allowed_pairs = function
+  | "policies" ->
+    [
+      (* Task records and cpumasks are plain data, not authority. *)
+      ("Kernel", "Task");
+      ("Kernel", "Cpumask");
+      (* Attach signatures name the system/enclave types (capability values
+         the harness hands over); the types carry no operations here. *)
+      ("System", "t");
+      ("System", "enclave");
+    ]
+  | "scenario" ->
+    [
+      (* The harness owns setup/teardown: building the machine, enclaves,
+         workloads and the clock is its job.  Live steering goes through
+         the [Scenario] accessors, which is why nothing below reads
+         per-task kernel state. *)
+      ("Kernel", "t");
+      ("Kernel", "create");
+      ("Kernel", "create_task");
+      ("Kernel", "start");
+      ("Kernel", "run_until");
+      ("Kernel", "now");
+      ("Kernel", "engine");
+      ("Kernel", "rng");
+      ("Kernel", "ncpus");
+      ("Kernel", "full_mask");
+      ("Kernel", "Task");
+      ("Kernel", "Cpumask");
+      ("System", "t");
+      ("System", "enclave");
+      ("System", "install");
+      ("System", "create_enclave");
+      ("System", "destroy_reason");
+      ("System", "on_destroy");
+      ("System", "manage");
+      ("System", "enclave_cpus");
+      ("System", "add_cpu");
+      ("System", "remove_cpu");
+      ("System", "Explicit");
+      ("System", "Watchdog");
+      ("System", "Agent_crash");
+    ]
+  | other -> failwith (Printf.sprintf "abi_lint: no ruleset for %S" other)
+
+(* Status-word writes are lib/core-only in every linted directory: outside
+   the kernel a status word is an immutable snapshot. *)
+let status_word_banned member =
+  member = "begin_write" || member = "end_write" || member = "bump"
+  || member = "create"
+  || String.length member >= 4
+     && String.sub member 0 4 = "set_"
+
+(* The closed backdoor: policies once reached the raw kernel this way. *)
+let agent_banned member = member = "kernel" || member = "sys"
+
+let is_ident_char c =
+  (c >= 'A' && c <= 'Z')
+  || (c >= 'a' && c <= 'z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Blank out comments (nesting) and string literals, preserving line
+   structure so reported line numbers stay right. *)
+let strip source =
+  let b = Buffer.create (String.length source) in
+  let n = String.length source in
+  let depth = ref 0 and in_string = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = source.[!i] in
+    if !in_string then begin
+      if c = '\\' && !i + 1 < n then begin
+        Buffer.add_string b "  ";
+        incr i
+      end
+      else begin
+        if c = '"' then in_string := false;
+        Buffer.add_char b (if c = '\n' then '\n' else ' ')
+      end
+    end
+    else if !depth > 0 then begin
+      if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+        incr depth;
+        Buffer.add_string b "  ";
+        incr i
+      end
+      else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+        decr depth;
+        Buffer.add_string b "  ";
+        incr i
+      end
+      else Buffer.add_char b (if c = '\n' then '\n' else ' ')
+    end
+    else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+      depth := 1;
+      Buffer.add_string b "  ";
+      incr i
+    end
+    else if c = '"' then begin
+      in_string := true;
+      Buffer.add_char b ' '
+    end
+    else Buffer.add_char b c;
+    incr i
+  done;
+  Buffer.contents b
+
+(* Dotted identifier tokens of one (already stripped) line. *)
+let tokens_of_line line =
+  let toks = ref [] in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char line.[!i] then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_ident_char line.[!i]
+           || (line.[!i] = '.' && !i + 1 < n && is_ident_char line.[!i + 1]))
+      do
+        incr i
+      done;
+      toks := String.sub line start (!i - start) :: !toks
+    end
+    else incr i
+  done;
+  List.rev !toks
+
+let module_binding line =
+  (* ["module NAME ="] on an already stripped line, if any. *)
+  let toks = tokens_of_line line in
+  match toks with
+  | "module" :: name :: _ when not (String.contains name '.') -> Some name
+  | _ -> None
+
+let violations = ref 0
+
+let report ~file ~lnum fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr violations;
+      Printf.eprintf "%s:%d: %s\n" file lnum msg)
+    fmt
+
+let check_line ~rules ~file ~lnum line =
+  List.iter
+    (fun tok ->
+      let comps = String.split_on_char '.' tok in
+      let rec walk = function
+        | [] | [ _ ] -> ()
+        | m :: (next :: _ as rest) ->
+          (match m with
+          | "Kernel" | "System" ->
+            if not (List.mem (m, next) rules || List.mem (m, "*") rules) then
+              report ~file ~lnum
+                "%s.%s bypasses the agent ABI (use Ghost.Abi / Scenario accessors)"
+                m next
+          | "Agent" ->
+            if agent_banned next then
+              report ~file ~lnum
+                "Agent.%s is the removed kernel backdoor" next
+          | "Status_word" ->
+            if status_word_banned next then
+              report ~file ~lnum
+                "Status_word.%s mutates a status word (snapshots only outside lib/core)"
+                next
+          | _ -> ());
+          walk rest
+      in
+      walk comps;
+      (* A token ending in bare Kernel/System is only legal when it (re)binds
+         that same name. *)
+      match List.rev comps with
+      | last :: _ when last = "Kernel" || last = "System" -> (
+        match module_binding line with
+        | Some name when name = last -> ()
+        | Some name ->
+          report ~file ~lnum "aliasing %s as %s defeats the ABI lint" last name
+        | None when comps = [ last ] ->
+          (* "module" itself tokenizes, so a bare name here is a use site. *)
+          report ~file ~lnum "bare %s module reference outside an alias" last
+        | None -> ())
+      | _ -> ())
+    (tokens_of_line line)
+
+let check_file ~rules file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let source = really_input_string ic len in
+  close_in ic;
+  let lines = String.split_on_char '\n' (strip source) in
+  List.iteri (fun i line -> check_line ~rules ~file ~lnum:(i + 1) line) lines
+
+let check_dir dir =
+  let rules = allowed_pairs (Filename.basename dir) in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.iter (fun name ->
+         if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+         then check_file ~rules (dir // name))
+
+let () =
+  let dirs = List.tl (Array.to_list Sys.argv) in
+  if dirs = [] then failwith "abi_lint: no directories given";
+  List.iter check_dir dirs;
+  if !violations > 0 then begin
+    Printf.eprintf "abi-lint: %d violation(s)\n" !violations;
+    exit 1
+  end
+  else
+    Printf.printf "abi-lint: clean (%s)\n" (String.concat ", " dirs)
