@@ -19,17 +19,31 @@ type t = {
   visible_at : int;
 }
 
-let kind_to_string = function
-  | THREAD_CREATED -> "THREAD_CREATED"
-  | THREAD_BLOCKED -> "THREAD_BLOCKED"
-  | THREAD_PREEMPTED -> "THREAD_PREEMPTED"
-  | THREAD_YIELD -> "THREAD_YIELD"
-  | THREAD_DEAD -> "THREAD_DEAD"
-  | THREAD_WAKEUP -> "THREAD_WAKEUP"
-  | THREAD_AFFINITY -> "THREAD_AFFINITY"
-  | TIMER_TICK -> "TIMER_TICK"
-  | CPU_AVAILABLE -> "CPU_AVAILABLE"
-  | CPU_TAKEN -> "CPU_TAKEN"
+(* Dense index used by the tracing hooks: kind names are interned once at
+   module init ({!Obs.Hooks.register_msg_kinds}) and per-message hook calls
+   pass [kind_index] instead of a string. *)
+let kind_index = function
+  | THREAD_CREATED -> 0
+  | THREAD_BLOCKED -> 1
+  | THREAD_PREEMPTED -> 2
+  | THREAD_YIELD -> 3
+  | THREAD_DEAD -> 4
+  | THREAD_WAKEUP -> 5
+  | THREAD_AFFINITY -> 6
+  | TIMER_TICK -> 7
+  | CPU_AVAILABLE -> 8
+  | CPU_TAKEN -> 9
+
+let kind_names =
+  [|
+    "THREAD_CREATED"; "THREAD_BLOCKED"; "THREAD_PREEMPTED"; "THREAD_YIELD";
+    "THREAD_DEAD"; "THREAD_WAKEUP"; "THREAD_AFFINITY"; "TIMER_TICK";
+    "CPU_AVAILABLE"; "CPU_TAKEN";
+  |]
+
+let () = Obs.Hooks.register_msg_kinds kind_names
+
+let kind_to_string k = kind_names.(kind_index k)
 
 let pp ppf m =
   Format.fprintf ppf "%s(tid=%d tseq=%d cpu=%d @%d)" (kind_to_string m.kind) m.tid

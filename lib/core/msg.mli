@@ -28,4 +28,10 @@ type t = {
 }
 
 val kind_to_string : kind -> string
+
+val kind_index : kind -> int
+(** Dense index into the kind-name table registered with
+    {!Obs.Hooks.register_msg_kinds} at module init; tracing hooks take this
+    instead of a string so recording a message event never allocates. *)
+
 val pp : Format.formatter -> t -> unit

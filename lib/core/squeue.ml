@@ -28,14 +28,14 @@ let produce q msg =
     q.dropped <- q.dropped + 1;
     if Obs.Hooks.enabled () then
       Obs.Hooks.msg_drop ~time:msg.Msg.posted_at ~qid:q.qid
-        ~kind:(Msg.kind_to_string msg.Msg.kind) ~tid:msg.Msg.tid;
+        ~kind_ix:(Msg.kind_index msg.Msg.kind) ~tid:msg.Msg.tid;
     false
   end
   else begin
     Queue.push msg q.items;
     if Obs.Hooks.enabled () then
       Obs.Hooks.msg_produce ~time:msg.Msg.posted_at ~qid:q.qid
-        ~kind:(Msg.kind_to_string msg.Msg.kind) ~tid:msg.Msg.tid
+        ~kind_ix:(Msg.kind_index msg.Msg.kind) ~tid:msg.Msg.tid
         ~tseq:msg.Msg.tseq;
     List.iter (fun sw -> ignore (Status_word.bump sw)) q.aseq_targets;
     (match q.wakeup with Some fn -> fn () | None -> ());

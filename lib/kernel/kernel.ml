@@ -109,8 +109,19 @@ let trace t event =
   (match t.tracer with
   | Some tr -> Trace.emit tr ~time:(now t) event
   | None -> ());
-  if Obs.Hooks.enabled () then
-    Obs.Hooks.sched ~now:(now t) (Trace.to_obs_sched event)
+  if Obs.Hooks.enabled () then begin
+    (* Per-type hooks: no Sink.sched variant is built per event. *)
+    let now = now t in
+    match event with
+    | Trace.Dispatch { cpu; tid; name; migrated } ->
+      Obs.Hooks.dispatch ~now ~cpu ~tid ~name ~migrated
+    | Trace.Preempted { cpu; tid } -> Obs.Hooks.preempt ~now ~cpu ~tid
+    | Trace.Blocked { cpu; tid } -> Obs.Hooks.block ~now ~cpu ~tid
+    | Trace.Yielded { cpu; tid } -> Obs.Hooks.yield ~now ~cpu ~tid
+    | Trace.Exited { cpu; tid } -> Obs.Hooks.texit ~now ~cpu ~tid
+    | Trace.Woken { tid; target_cpu } -> Obs.Hooks.wake ~now ~tid ~target_cpu
+    | Trace.Idle { cpu } -> Obs.Hooks.idle ~now ~cpu
+  end
 
 (* --- Core scheduling (§4.5 in-kernel baseline) --------------------------- *)
 
@@ -478,7 +489,7 @@ let start_ticks t =
                fairness valve opens or the sibling's task changes. *)
             if any_queued t cs.cid then resched t cs.cid);
           if Obs.Hooks.enabled () then
-            Obs.Hooks.sched ~now:(now t) (Obs.Sink.Tick { cpu = cs.cid });
+            Obs.Hooks.tick ~now:(now t) ~cpu:cs.cid;
           for i = 0 to t.n_tick_listeners - 1 do
             t.tick_listeners.(i) cs.cid
           done

@@ -1,4 +1,6 @@
-let enabled = Sink.enabled
+(* Eta-expanded: an alias binding would be an indirect closure call at
+   every instrumentation site. *)
+let[@inline] enabled () = Sink.enabled ()
 
 (* Instruments are registered once at module init; handles are mutable
    cells, so updates below are single stores. *)
@@ -34,77 +36,167 @@ let c_faults = Metrics.counter "faults.injected"
 
 let si = string_of_int
 
+(* Names and arg keys used on hot paths are interned once here, so the
+   record calls below are pure int stores. *)
+
+let k_tid = Sink.arg_int (Sink.intern "tid")
+let k_tseq = Sink.arg_int (Sink.intern "tseq")
+let k_qid = Sink.arg_int (Sink.intern "qid")
+let k_cpu = Sink.arg_int (Sink.intern "cpu")
+let k_txn = Sink.arg_int (Sink.intern "txn")
+let k_kind_s = Sink.arg_str (Sink.intern "kind")
+let k_status_s = Sink.arg_str (Sink.intern "status")
+let sig_tid = Sink.argsig [| k_tid |]
+let sig_cpu = Sink.argsig [| k_cpu |]
+let sig_msg = Sink.argsig [| k_tid; k_tseq; k_qid |]
+let sig_drop = Sink.argsig [| k_qid; k_kind_s; k_tid |]
+let sig_txn = Sink.argsig [| k_txn; k_tid; k_cpu |]
+let sig_status = Sink.argsig [| k_status_s |]
+
+let sig_pass_end =
+  Sink.argsig [| Sink.arg_int (Sink.intern "msgs"); Sink.arg_int (Sink.intern "txns") |]
+
+let n_txn = Sink.intern "txn"
+let n_agent_pass = Sink.intern "agent-pass"
+let n_msg_drop = Sink.intern "msg-drop"
+
+(* --- Message kind registration ------------------------------------------------ *)
+
+(* [Msg.kind] names register once at module init (lib/core); per-event code
+   then passes a dense [kind_ix] and the derived "msg:K" / "sched:K" span
+   names are table lookups instead of per-event [^] concats. *)
+
+let kind_name_ids = ref [||]
+let msg_name_ids = ref [||]
+let sched_name_ids = ref [||]
+let chain_opening = ref [||]
+
+let register_msg_kinds names =
+  kind_name_ids := Array.map Sink.intern names;
+  msg_name_ids := Array.map (fun n -> Sink.intern ("msg:" ^ n)) names;
+  sched_name_ids := Array.map (fun n -> Sink.intern ("sched:" ^ n)) names;
+  chain_opening :=
+    Array.map (fun n -> n = "THREAD_WAKEUP" || n = "THREAD_CREATED") names
+
 (* --- Kernel ----------------------------------------------------------------- *)
 
-let sched ~now ev =
+let dispatch ~now ~cpu ~tid ~name ~migrated =
   match Sink.current () with
   | None -> ()
   | Some s ->
-    (match ev with
-    | Sink.Dispatch { tid; cpu; _ } -> (
-      Metrics.incr c_dispatches;
-      (* Close the wakeup→dispatch chain opened at message-produce time. *)
-      match Sink.take_sched_span s ~tid with
-      | Some (id, began) ->
-        Metrics.observe h_wake_to_dispatch (now - began);
-        Sink.span_end s ~time:now ~args:[ ("cpu", si cpu) ] id
-      | None -> ())
-    | Sink.Preempt _ -> Metrics.incr c_preemptions
-    | Sink.Wake _ -> Metrics.incr c_wakeups
-    | Sink.Block _ -> Metrics.incr c_blocks
-    | Sink.Tick _ -> Metrics.incr c_ticks
-    | Sink.Yield _ | Sink.Exit _ | Sink.Idle _ -> ());
-    Sink.sched s ~time:now ev
+    Metrics.incr c_dispatches;
+    (* Close the wakeup→dispatch chain opened at message-produce time. *)
+    let id = Sink.take_sched_span s ~tid in
+    if id >= 0 then begin
+      Metrics.observe h_wake_to_dispatch (now - Sink.sched_span_began s ~tid);
+      Sink.span_end_i1 s ~time:now ~asig:sig_cpu ~v0:cpu id
+    end;
+    Sink.dispatch_i s ~time:now ~cpu ~tid ~name:(Sink.intern name) ~migrated
+
+let preempt ~now ~cpu ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_preemptions;
+    Sink.preempt_i s ~time:now ~cpu ~tid
+
+let block ~now ~cpu ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_blocks;
+    Sink.block_i s ~time:now ~cpu ~tid
+
+let yield ~now ~cpu ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s -> Sink.yield_i s ~time:now ~cpu ~tid
+
+let texit ~now ~cpu ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s -> Sink.exit_i s ~time:now ~cpu ~tid
+
+let wake ~now ~tid ~target_cpu =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_wakeups;
+    Sink.wake_i s ~time:now ~tid ~target_cpu
+
+let idle ~now ~cpu =
+  match Sink.current () with
+  | None -> ()
+  | Some s -> Sink.idle_i s ~time:now ~cpu
+
+let tick ~now ~cpu =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_ticks;
+    Sink.tick_i s ~time:now ~cpu
+
+let sched ~now ev =
+  match ev with
+  | Sink.Dispatch { cpu; tid; name; migrated } -> dispatch ~now ~cpu ~tid ~name ~migrated
+  | Sink.Preempt { cpu; tid } -> preempt ~now ~cpu ~tid
+  | Sink.Block { cpu; tid } -> block ~now ~cpu ~tid
+  | Sink.Yield { cpu; tid } -> yield ~now ~cpu ~tid
+  | Sink.Exit { cpu; tid } -> texit ~now ~cpu ~tid
+  | Sink.Wake { tid; target_cpu } -> wake ~now ~tid ~target_cpu
+  | Sink.Idle { cpu } -> idle ~now ~cpu
+  | Sink.Tick { cpu } -> tick ~now ~cpu
 
 (* --- Message queues ---------------------------------------------------------- *)
 
-let chain_opening kind = kind = "THREAD_WAKEUP" || kind = "THREAD_CREATED"
-
-let msg_produce ~time ~qid ~kind ~tid ~tseq =
+let msg_produce ~time ~qid ~kind_ix ~tid ~tseq =
   match Sink.current () with
   | None -> ()
   | Some s ->
     Metrics.incr c_produced;
     if tid >= 0 && tseq > 0 then begin
-      let track = Sink.queue_track ~qid in
+      let track = Sink.queue_track_code ~qid in
       (* A wakeup (or birth) starts a scheduling decision: open the chain
          span that the eventual dispatch will close. *)
-      if chain_opening kind && Sink.find_sched_span s ~tid = None then begin
-        let id =
-          Sink.span_begin s ~time ~name:("sched:" ^ kind) ~track
-            ~args:[ ("tid", si tid) ]
-            ()
-        in
-        Sink.open_sched_span s ~tid ~id ~began:time
-      end;
-      let parent = Option.value (Sink.find_sched_span s ~tid) ~default:0 in
-      let id =
-        Sink.span_begin s ~time ~parent ~name:("msg:" ^ kind) ~track
-          ~args:[ ("tid", si tid); ("tseq", si tseq); ("qid", si qid) ]
-          ()
+      let parent =
+        let p = Sink.sched_span_id s ~tid in
+        if p >= 0 then p
+        else if (!chain_opening).(kind_ix) then begin
+          let id =
+            Sink.span_begin_i1 s ~time ~parent:0 ~name:(!sched_name_ids).(kind_ix)
+              ~track ~asig:sig_tid ~v0:tid
+          in
+          Sink.open_sched_span s ~tid ~id ~began:time;
+          id
+        end
+        else 0
       in
-      Sink.open_msg_span s ~tid ~tseq ~id
+      let id =
+        Sink.span_begin_i3 s ~time ~parent ~name:(!msg_name_ids).(kind_ix) ~track
+          ~asig:sig_msg ~v0:tid ~v1:tseq ~v2:qid
+      in
+      (* A sampled-out span (id 0) has no end to match: skip the fifo
+         entirely so sampling also skips the join bookkeeping.  The consume
+         side's take then misses cheaply. *)
+      if id > 0 then Sink.open_msg_span s ~qid ~tid ~tseq ~id
     end
 
 let msg_consume ~time ~qid ~tid ~tseq ~posted =
   match Sink.current () with
   | None -> ()
   | Some s ->
-    ignore qid;
     Metrics.incr c_consumed;
     Metrics.observe h_queue_delay (time - posted);
-    (match Sink.take_msg_span s ~tid ~tseq with
-    | Some id -> Sink.span_end s ~time id
-    | None -> ())
+    let id = Sink.take_msg_span s ~qid ~tid ~tseq in
+    if id >= 0 then Sink.span_end_i s ~time id
 
-let msg_drop ~time ~qid ~kind ~tid =
+let msg_drop ~time ~qid ~kind_ix ~tid =
   match Sink.current () with
   | None -> ()
   | Some s ->
     Metrics.incr c_dropped;
-    Sink.instant s ~time ~name:"msg-drop" ~track:(Sink.queue_track ~qid)
-      ~args:[ ("qid", si qid); ("kind", kind); ("tid", si tid) ]
-      ()
+    Sink.instant_i3 s ~time ~name:n_msg_drop ~track:(Sink.queue_track_code ~qid)
+      ~asig:sig_drop ~v0:qid ~v1:(!kind_name_ids).(kind_ix) ~v2:tid
 
 (* --- Transactions ------------------------------------------------------------ *)
 
@@ -114,14 +206,15 @@ let txn_create ~now ~txn_id ~tid ~target ~eid =
   | Some s ->
     let parent =
       match Sink.cur_pass s with
-      | 0 -> Option.value (Sink.find_sched_span s ~tid) ~default:0
+      | 0 ->
+        let p = Sink.sched_span_id s ~tid in
+        if p < 0 then 0 else p
       | pass -> pass
     in
-    let track = if eid >= 0 then Sink.Enclave eid else Sink.Global in
+    let track = if eid >= 0 then Sink.enclave_track eid else Sink.global_track in
     let id =
-      Sink.span_begin s ~time:now ~parent ~name:"txn" ~track
-        ~args:[ ("txn", si txn_id); ("tid", si tid); ("cpu", si target) ]
-        ()
+      Sink.span_begin_i3 s ~time:now ~parent ~name:n_txn ~track
+        ~asig:sig_txn ~v0:txn_id ~v1:tid ~v2:target
     in
     Sink.open_txn_span s ~txn_id ~id ~began:now
 
@@ -131,11 +224,12 @@ let txn_decided ~now ~txn_id ~tid ~status ~committed =
   | Some s ->
     ignore tid;
     if committed then Metrics.incr c_txn_committed else Metrics.incr c_txn_failed;
-    (match Sink.take_txn_span s ~txn_id with
-    | Some (id, began) ->
+    let began = Sink.txn_span_began s ~txn_id in
+    let id = Sink.take_txn_span s ~txn_id in
+    if id >= 0 then begin
       Metrics.observe (if committed then h_txn_commit else h_txn_fail) (now - began);
-      Sink.span_end s ~time:now ~args:[ ("status", status) ] id
-    | None -> ())
+      Sink.span_end_i1 s ~time:now ~asig:sig_status ~v0:(Sink.intern status) id
+    end
 
 (* --- Agents ------------------------------------------------------------------ *)
 
@@ -145,9 +239,8 @@ let agent_pass_begin ~now ~cpu ~eid =
   | Some s ->
     Metrics.incr c_passes;
     let id =
-      Sink.span_begin s ~time:now ~name:"agent-pass" ~track:(Sink.Enclave eid)
-        ~args:[ ("cpu", si cpu) ]
-        ()
+      Sink.span_begin_i1 s ~time:now ~parent:0 ~name:n_agent_pass
+        ~track:(Sink.enclave_track eid) ~asig:sig_cpu ~v0:cpu
     in
     Sink.set_cur_pass s id;
     id
@@ -158,7 +251,7 @@ let agent_pass_end ~now ~began ~id ~nmsgs ~ntxns =
   | Some s ->
     Metrics.observe h_pass (now - began);
     if Sink.cur_pass s = id then Sink.set_cur_pass s 0;
-    Sink.span_end s ~time:now ~args:[ ("msgs", si nmsgs); ("txns", si ntxns) ] id
+    Sink.span_end_i2 s ~time:now ~asig:sig_pass_end ~v0:nmsgs ~v1:ntxns id
 
 let agent_attached ~now ~eid ~tid =
   match Sink.current () with
@@ -176,6 +269,9 @@ let agent_crash ~now ~eid =
     Sink.instant s ~time:now ~name:"agent-crash" ~track:(Sink.Enclave eid) ()
 
 (* --- Enclave lifecycle ------------------------------------------------------- *)
+
+(* Lifecycle hooks fire a handful of times per run, so they stay on the
+   structured compat API; the hot paths above are all int writers. *)
 
 let enclave_created ~now ~eid ~ncpus =
   match Sink.current () with

@@ -16,16 +16,37 @@
 
 val enabled : unit -> bool
 
-(** {1 Kernel (dispatch / preempt / tick)} *)
+val register_msg_kinds : string array -> unit
+(** Intern the message-kind names once (called from [Msg] at module init);
+    per-event hooks below take the dense index into this array instead of a
+    string, so the derived ["msg:K"]/["sched:K"] span names are table
+    lookups, not per-event concats. *)
+
+(** {1 Kernel (dispatch / preempt / tick)}
+
+    One hook per event type so call sites pass plain ints instead of
+    building a {!Sink.sched} variant per event. *)
+
+val dispatch :
+  now:int -> cpu:int -> tid:int -> name:string -> migrated:bool -> unit
+(** Additionally closes the thread's open wakeup→dispatch chain span and
+    observes its latency. *)
+
+val preempt : now:int -> cpu:int -> tid:int -> unit
+val block : now:int -> cpu:int -> tid:int -> unit
+val yield : now:int -> cpu:int -> tid:int -> unit
+val texit : now:int -> cpu:int -> tid:int -> unit
+val wake : now:int -> tid:int -> target_cpu:int -> unit
+val idle : now:int -> cpu:int -> unit
+val tick : now:int -> cpu:int -> unit
 
 val sched : now:int -> Sink.sched -> unit
-(** Record a scheduler event.  [Dispatch] additionally closes the thread's
-    open wakeup→dispatch chain span and observes its latency. *)
+(** Structured wrapper over the per-type hooks above. *)
 
 (** {1 Message queues (produce / consume / drop)} *)
 
 val msg_produce :
-  time:int -> qid:int -> kind:string -> tid:int -> tseq:int -> unit
+  time:int -> qid:int -> kind_ix:int -> tid:int -> tseq:int -> unit
 (** Opens the message's queueing span (and the scheduling chain span for
     wakeup/creation messages).  [tid < 0] (TIMER_TICK) only counts. *)
 
@@ -33,7 +54,7 @@ val msg_consume :
   time:int -> qid:int -> tid:int -> tseq:int -> posted:int -> unit
 (** Closes the queueing span; observes [time - posted] as queue delay. *)
 
-val msg_drop : time:int -> qid:int -> kind:string -> tid:int -> unit
+val msg_drop : time:int -> qid:int -> kind_ix:int -> tid:int -> unit
 (** Instant event on the owning enclave's track, plus the drop counter. *)
 
 (** {1 Transactions (commit / fail latency)} *)

@@ -29,8 +29,8 @@ let counter name =
       (c, ICounter c))
     (function ICounter c -> Some c | _ -> None)
 
-let incr c = c.c <- c.c + 1
-let add c n = c.c <- c.c + n
+let[@inline] incr c = c.c <- c.c + 1
+let[@inline] add c n = c.c <- c.c + n
 let counter_value c = c.c
 
 let gauge name =
@@ -40,7 +40,7 @@ let gauge name =
       (g, IGauge g))
     (function IGauge g -> Some g | _ -> None)
 
-let set g v = g.g <- v
+let[@inline] set g v = g.g <- v
 let gauge_value g = g.g
 
 let histogram name =
@@ -50,7 +50,7 @@ let histogram name =
       (h, IHist h))
     (function IHist h -> Some h | _ -> None)
 
-let observe h v = Gstats.Histogram.record h v
+let[@inline] observe h v = Gstats.Histogram.record h v
 
 (* --- Snapshots -------------------------------------------------------------- *)
 

@@ -1,16 +1,25 @@
-(** Trace event sink: spans, instants and scheduler events over sim time.
+(** Trace event sink: a preallocated int-packed ring buffer.
 
-    A sink is an append-only in-memory event log.  At most one sink is
-    {e installed} globally; instrumentation sites throughout the kernel and
-    ghOSt layers test {!enabled} (a single load and compare) and do nothing
-    — no allocation, no formatting — when no sink is installed, so
-    benchmark numbers are unaffected by the instrumentation being compiled
-    in.
+    Recording an event is a handful of plain int stores into a
+    fixed-capacity ring — no allocation on the hot path.  Records are
+    variable-length (3–8 words), sized to their payload: string names are
+    interned once to small ints ({!intern}, typically at hook-install
+    time); the set of arg {e keys} a record carries is registered once as
+    an arg signature ({!argsig}) so the record stores only the value
+    words.  When the ring is full the oldest records are overwritten
+    (drop-oldest) and each loss is counted in the [obs.ring_dropped]
+    metric.
 
-    Spans are begin/end pairs with optional parent links, identified by a
-    sink-assigned integer id; the keyed tables below let producers and
-    consumers in different layers join the two halves of a span without
-    threading ids through message types. *)
+    At most one sink is {e installed} globally; instrumentation sites test
+    {!enabled} (a single load and compare) and do nothing when no sink is
+    installed.
+
+    The structured {!ev} view still exists, but only on the read side:
+    {!iter}/{!events} decode ring records offline, so {!Perfetto} export,
+    cross-layer joins and tests keep working on the decoded view while the
+    write path stays allocation-free. *)
+
+(** {1 Decoded event view (read side)} *)
 
 type track =
   | Cpu of int  (** rendered on the per-CPU timeline *)
@@ -40,11 +49,33 @@ type ev = { time : int; track : track; kind : kind; args : (string * string) lis
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> ?sample:int -> ?seed:int -> unit -> t
+(** [capacity] is the ring size in 8-byte words (default 2^17 = 1 MiB),
+    rounded up to a power of two; records take 3–8 words each, so the
+    default holds roughly 20k–40k records.  Once full, new records
+    overwrite the oldest.  [sample] > 1 keeps 1 in [sample] spans per span
+    name; the kept phase is drawn from a labeled {!Sim.Rng} stream of
+    [seed], so a sampled run is bit-reproducible for a fixed seed.
+    Instants and sched events are never sampled (they carry the per-CPU
+    timeline). *)
+
+val capacity : t -> int
+(** Ring size in words. *)
+
+val sample : t -> int
+
+val recorded : t -> int
+(** Total records ever written, including overwritten ones. *)
+
+val dropped : t -> int
+(** Records lost to ring wrap. *)
 
 (** {1 Global installation} *)
 
 val install : t -> unit
+(** Also resets the process-global queue-ownership map, so ownership
+    cannot leak between consecutive runs in one process. *)
+
 val uninstall : unit -> unit
 val current : unit -> t option
 
@@ -52,14 +83,97 @@ val enabled : unit -> bool
 (** The zero-cost gate: instrumentation sites check this before building
     any event payload. *)
 
-(** {1 Recording} *)
+(** {1 Interning} *)
+
+val intern : string -> int
+(** Process-global and append-only: ids stay valid across sinks and
+    install/uninstall.  Id 0 is reserved for [""]. *)
+
+val intern_name : int -> string
+val interned_count : unit -> int
+
+val arg_int : int -> int
+(** [arg_int key_id] — key code for an arg whose value word is a raw int. *)
+
+val arg_str : int -> int
+(** [arg_str key_id] — key code for an arg whose value word is an interned
+    string id. *)
+
+val argsig : int array -> int
+(** Register an ordered list of arg key codes as a signature and return
+    its id (deduplicated, process-global, at most 3 keys).  Records store
+    a signature id plus value words; the keys themselves are never written
+    per record. *)
+
+(** {1 Track codes} *)
+
+val global_track : int
+val cpu_track : int -> int
+val enclave_track : int -> int
+val track_code : track -> int
+
+(** {1 Recording — int writers (hot path)}
+
+    All writers are plain stores into the ring; the [_iN] suffix is the
+    number of arg value words, which must match the arity of [asig].  Span
+    writers return the span id, or 0 when the span was sampled out; a 0 id
+    is inert: it parents nothing and [span_end*] on it is a no-op. *)
+
+val span_begin_i : t -> time:int -> parent:int -> name:int -> track:int -> int
+
+val span_begin_i1 :
+  t -> time:int -> parent:int -> name:int -> track:int -> asig:int -> v0:int -> int
+
+val span_begin_i2 :
+  t -> time:int -> parent:int -> name:int -> track:int ->
+  asig:int -> v0:int -> v1:int -> int
+
+val span_begin_i3 :
+  t -> time:int -> parent:int -> name:int -> track:int ->
+  asig:int -> v0:int -> v1:int -> v2:int -> int
+
+val span_end_i : t -> time:int -> int -> unit
+val span_end_i1 : t -> time:int -> asig:int -> v0:int -> int -> unit
+val span_end_i2 : t -> time:int -> asig:int -> v0:int -> v1:int -> int -> unit
+
+val span_end_i3 :
+  t -> time:int -> asig:int -> v0:int -> v1:int -> v2:int -> int -> unit
+
+val instant_i : t -> time:int -> name:int -> track:int -> unit
+val instant_i1 : t -> time:int -> name:int -> track:int -> asig:int -> v0:int -> unit
+
+val instant_i2 :
+  t -> time:int -> name:int -> track:int -> asig:int -> v0:int -> v1:int -> unit
+
+val instant_i3 :
+  t -> time:int -> name:int -> track:int ->
+  asig:int -> v0:int -> v1:int -> v2:int -> unit
+
+val dispatch_i :
+  t -> time:int -> cpu:int -> tid:int -> name:int -> migrated:bool -> unit
+
+val preempt_i : t -> time:int -> cpu:int -> tid:int -> unit
+val block_i : t -> time:int -> cpu:int -> tid:int -> unit
+val yield_i : t -> time:int -> cpu:int -> tid:int -> unit
+val exit_i : t -> time:int -> cpu:int -> tid:int -> unit
+val wake_i : t -> time:int -> tid:int -> target_cpu:int -> unit
+val idle_i : t -> time:int -> cpu:int -> unit
+val tick_i : t -> time:int -> cpu:int -> unit
+
+(** {1 Recording — structured compatibility API}
+
+    Thin wrappers over the int writers that intern names and build arg
+    signatures on the way in (this path may allocate); at most 3 args per
+    record ([Invalid_argument] beyond that).  Int-valued arg strings are
+    stored as raw ints and decode back via [string_of_int], so a record
+    written through this API decodes to exactly what was given. *)
 
 val sched : t -> time:int -> sched -> unit
 
 val span_begin :
   t -> time:int -> ?parent:int -> name:string -> track:track ->
   ?args:(string * string) list -> unit -> int
-(** Returns the new span's id (> 0). *)
+(** Returns the new span's id (> 0), or 0 when sampled out. *)
 
 val span_end : t -> time:int -> ?args:(string * string) list -> int -> unit
 
@@ -67,31 +181,47 @@ val instant :
   t -> time:int -> name:string -> track:track ->
   ?args:(string * string) list -> unit -> unit
 
-(** {1 Reading} *)
+(** {1 Reading (offline decode)} *)
 
 val length : t -> int
+(** Records currently stored. *)
+
 val iter : t -> (ev -> unit) -> unit
+(** Decodes stored records oldest → newest. *)
+
 val events : t -> ev list
+
 val last_time : t -> int
 (** Largest timestamp recorded; 0 when empty. *)
 
 (** {1 Cross-layer span joining}
 
-    Small keyed tables so the layer that opens a span and the layer that
-    closes it need not share state: thread messages are keyed by
-    [(tid, tseq)] (unique per message), wakeup→dispatch chains by [tid],
-    transactions by [txn_id]. *)
+    Int-keyed structures (no allocation on the hot path) so the layer that
+    opens a span and the layer that closes it need not share state.
+    Message spans are keyed by [(qid, tid, tseq)] and held in a per-queue
+    FIFO — consume order is produce order per queue, so the take is a
+    head-pop plus key compare, with a self-healing linear scan as the
+    out-of-order fallback.  Wakeup→dispatch chains are keyed by [tid]
+    (dense array), transactions by [txn_id] (open-addressing int table).
+    Absent entries are [-1]; a stored id of 0 means the chain exists but
+    its span was sampled out. *)
 
-val open_msg_span : t -> tid:int -> tseq:int -> id:int -> unit
-val take_msg_span : t -> tid:int -> tseq:int -> int option
+val open_msg_span : t -> qid:int -> tid:int -> tseq:int -> id:int -> unit
+
+val take_msg_span : t -> qid:int -> tid:int -> tseq:int -> int
+(** The span id, or -1 when none was opened — removes the entry. *)
 
 val open_sched_span : t -> tid:int -> id:int -> began:int -> unit
-val find_sched_span : t -> tid:int -> int option
-val take_sched_span : t -> tid:int -> (int * int) option
-(** [(id, began)] — removes the entry. *)
+
+val sched_span_id : t -> tid:int -> int
+(** The open chain span for [tid], or -1. *)
+
+val sched_span_began : t -> tid:int -> int
+val take_sched_span : t -> tid:int -> int
 
 val open_txn_span : t -> txn_id:int -> id:int -> began:int -> unit
-val take_txn_span : t -> txn_id:int -> (int * int) option
+val txn_span_began : t -> txn_id:int -> int
+val take_txn_span : t -> txn_id:int -> int
 
 val set_cur_pass : t -> int -> unit
 val cur_pass : t -> int
@@ -103,9 +233,25 @@ val cur_pass : t -> int
 
     [qid → enclave id], recorded unconditionally at queue-creation time
     (not gated on {!enabled}: creation is rare and a sink installed later
-    still needs the mapping). *)
+    still needs the mapping).  Process-global, reset by {!install}. *)
 
 val note_queue_owner : qid:int -> eid:int -> unit
 val queue_owner : qid:int -> int option
+val queue_owner_eid : qid:int -> int
+(** [-1] when unknown. *)
+
 val queue_track : qid:int -> track
+val queue_track_code : qid:int -> int
 (** [Enclave eid] when known, [Global] otherwise. *)
+
+(** {1 Binary ring files}
+
+    A self-contained dump of the stored records plus snapshots of the
+    intern and signature tables, for offline decode by
+    [ghost_bench_cli decode]. *)
+
+val write_binary : ?meta:(string * string) list -> t -> path:string -> unit
+
+val read_binary : path:string -> t * (string * string) list
+(** Returns a read-only sink (decode via {!iter}/{!events}) and the meta
+    pairs stored by the writer. *)

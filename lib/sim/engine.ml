@@ -20,21 +20,27 @@ let cancel e h = Eventq.cancel e.events h
 let pending e = Eventq.live_count e.events
 
 let step e =
-  match Eventq.pop e.events with
-  | None -> false
-  | Some (time, fn) ->
-    e.clock <- time;
+  let c = Eventq.pop_cell e.events in
+  if c == Heapq.nil then false
+  else begin
+    e.clock <- c.Heapq.time;
     e.fired <- e.fired + 1;
-    fn ();
+    c.Heapq.fn ();
     true
+  end
 
+(* Single pass per event: [pop_cell_until] folds the horizon check into the
+   pop, where peek-then-step normalised the queue twice, and the sentinel
+   protocol makes the whole loop allocation-free. *)
 let run_until e horizon =
   let rec loop () =
-    match Eventq.peek_time e.events with
-    | Some t when t <= horizon ->
-      ignore (step e);
+    let c = Eventq.pop_cell_until e.events ~horizon in
+    if c != Heapq.nil then begin
+      e.clock <- c.Heapq.time;
+      e.fired <- e.fired + 1;
+      c.Heapq.fn ();
       loop ()
-    | Some _ | None -> ()
+    end
   in
   loop ();
   if horizon > e.clock then e.clock <- horizon

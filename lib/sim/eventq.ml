@@ -47,28 +47,57 @@ let cancel q (cell : handle) =
 
 let is_cancelled (cell : handle) = cell.Heapq.cancelled
 
-let fire (cell : Heapq.cell) =
-  cell.Heapq.cancelled <- true;
-  Some (cell.Heapq.time, cell.Heapq.fn)
-
-let take_wheel q w =
-  Wheel.take q.wheel w;
-  fire w
-
-let pop q =
-  match (Wheel.peek q.wheel, Heapq.peek_live q.heap) with
-  | None, None -> None
-  | Some w, None -> take_wheel q w
-  | Some w, Some h when Heapq.earlier w h -> take_wheel q w
-  | (Some _ | None), Some _ ->
-    let cell = Option.get (Heapq.pop_live q.heap) in
+(* Remove and return the earliest live cell marked as fired ({!Heapq.nil}
+   when empty).  Sentinel-based: the whole path — two tier peeks, the merge
+   compare, the removal — allocates nothing, where the [option] API below
+   pays a [Some (time, fn)] per event. *)
+let pop_cell q =
+  let w = Wheel.peek_cell q.wheel in
+  let h = Heapq.peek_live_cell q.heap in
+  if w != Heapq.nil && (h == Heapq.nil || Heapq.earlier w h) then begin
+    Wheel.take_peeked q.wheel;
+    w.Heapq.cancelled <- true;
+    w
+  end
+  else if h != Heapq.nil then begin
+    let cell = Heapq.pop_live_cell q.heap in
     (* Keep the wheel's base near the clock so short-delay pushes file at
        level 0; safe because this cell was the global minimum. *)
     Wheel.advance q.wheel cell.Heapq.time;
-    fire cell
+    cell.Heapq.cancelled <- true;
+    cell
+  end
+  else Heapq.nil
+
+(* [pop_cell] that leaves the queue untouched (and returns {!Heapq.nil})
+   when the earliest live event is after [horizon] — one peek pass serves
+   both the "anything left before the horizon?" test and the pop, where
+   [peek_time]-then-[pop] would normalise the wheel twice per event. *)
+let pop_cell_until q ~horizon =
+  let w = Wheel.peek_cell q.wheel in
+  let h = Heapq.peek_live_cell q.heap in
+  if w != Heapq.nil && (h == Heapq.nil || Heapq.earlier w h) then
+    if w.Heapq.time > horizon then Heapq.nil
+    else begin
+      Wheel.take_peeked q.wheel;
+      w.Heapq.cancelled <- true;
+      w
+    end
+  else if h != Heapq.nil && h.Heapq.time <= horizon then begin
+    let cell = Heapq.pop_live_cell q.heap in
+    Wheel.advance q.wheel cell.Heapq.time;
+    cell.Heapq.cancelled <- true;
+    cell
+  end
+  else Heapq.nil
+
+let pop q =
+  let c = pop_cell q in
+  if c == Heapq.nil then None else Some (c.Heapq.time, c.Heapq.fn)
 
 let peek_time q =
-  match (Wheel.peek q.wheel, Heapq.peek_live q.heap) with
-  | None, None -> None
-  | Some c, None | None, Some c -> Some c.Heapq.time
-  | Some w, Some h -> Some (if Heapq.earlier w h then w.Heapq.time else h.Heapq.time)
+  let w = Wheel.peek_cell q.wheel in
+  let h = Heapq.peek_live_cell q.heap in
+  if w == Heapq.nil then (if h == Heapq.nil then None else Some h.Heapq.time)
+  else if h == Heapq.nil || Heapq.earlier w h then Some w.Heapq.time
+  else Some h.Heapq.time

@@ -32,9 +32,20 @@ val cancel : t -> handle -> unit
 val is_cancelled : handle -> bool
 (** Whether [cancel] was called on this handle. *)
 
+val pop_cell : t -> Heapq.cell
+(** Remove and return the earliest live event's cell, marked as fired
+    ({!Heapq.nil} when empty; compare with [==]).  The allocation-free pop
+    the engine loop runs on — read [time]/[fn] straight off the cell. *)
+
+val pop_cell_until : t -> horizon:int -> Heapq.cell
+(** Like {!pop_cell} but leaves the queue untouched (returning {!Heapq.nil})
+    when the earliest live event is after [horizon] — the single-pass
+    primitive behind {!Engine.run_until}. *)
+
 val pop : t -> (int * (unit -> unit)) option
 (** Remove and return the earliest live event as [(time, fn)], skipping
-    cancelled entries.  [None] when the queue has no live event. *)
+    cancelled entries.  [None] when the queue has no live event.
+    Allocates; prefer {!pop_cell} on hot paths. *)
 
 val peek_time : t -> int option
 (** Timestamp of the earliest live event without removing it. *)

@@ -30,6 +30,7 @@ type t = {
 }
 
 let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true; in_heap = true }
+let nil = dummy
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -100,43 +101,52 @@ let note_cancel q =
   q.dead <- q.dead + 1;
   if q.size >= 64 && q.dead > q.size / 2 then compact q
 
-let pop_cell q =
-  if q.size = 0 then None
+(* Raw root removal, cancelled or not; [nil] when empty. *)
+let pop_any q =
+  if q.size = 0 then nil
   else begin
     let top = q.heap.(0) in
     q.size <- q.size - 1;
     q.heap.(0) <- q.heap.(q.size);
     q.heap.(q.size) <- dummy;
     if q.size > 0 then sift_down q 0;
-    Some top
+    top
   end
 
-(* Earliest live cell, removed.  The caller owns the returned cell (it is no
-   longer stored here) and is responsible for marking it cancelled once
-   fired. *)
-let rec pop_live q =
-  match pop_cell q with
-  | None -> None
-  | Some cell ->
-    if cell.cancelled then begin
-      q.dead <- q.dead - 1;
-      pop_live q
-    end
-    else Some cell
+(* Earliest live cell, removed; [nil] when empty.  The caller owns the
+   returned cell (it is no longer stored here) and is responsible for
+   marking it cancelled once fired.  Sentinel-based so the pop path never
+   allocates an [option]. *)
+let rec pop_live_cell q =
+  let cell = pop_any q in
+  if cell == nil then nil
+  else if cell.cancelled then begin
+    q.dead <- q.dead - 1;
+    pop_live_cell q
+  end
+  else cell
+
+let pop_live q =
+  let c = pop_live_cell q in
+  if c == nil then None else Some c
 
 (* Earliest live cell, left in place (cancelled cells at the top are
-   reclaimed on the way). *)
-let rec peek_live q =
-  if q.size = 0 then None
+   reclaimed on the way); [nil] when empty. *)
+let rec peek_live_cell q =
+  if q.size = 0 then nil
   else begin
     let top = q.heap.(0) in
     if top.cancelled then begin
-      ignore (pop_cell q);
+      ignore (pop_any q);
       q.dead <- q.dead - 1;
-      peek_live q
+      peek_live_cell q
     end
-    else Some top
+    else top
   end
+
+let peek_live q =
+  let c = peek_live_cell q in
+  if c == nil then None else Some c
 
 (* --- Standalone queue API (heap-only baseline, mirrors Eventq) ------------- *)
 
@@ -156,12 +166,20 @@ let cancel q cell =
 
 let is_cancelled cell = cell.cancelled
 
+(* Remove and return the earliest live cell marked as fired, [nil] when
+   empty — the allocation-free pop used by the engine loop and benches. *)
+let pop_cell q =
+  let c = pop_live_cell q in
+  if c != nil then c.cancelled <- true;
+  c
+
+let pop_cell_until q ~horizon =
+  let c = peek_live_cell q in
+  if c == nil || c.time > horizon then nil else pop_cell q
+
 let pop q =
-  match pop_live q with
-  | None -> None
-  | Some cell ->
-    cell.cancelled <- true;
-    Some (cell.time, cell.fn)
+  let c = pop_cell q in
+  if c == nil then None else Some (c.time, c.fn)
 
 let peek_time q =
   match peek_live q with Some cell -> Some cell.time | None -> None

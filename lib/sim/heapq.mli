@@ -22,6 +22,11 @@ type cell = {
 val earlier : cell -> cell -> bool
 (** Strict [(time, seq)] order. *)
 
+val nil : cell
+(** Sentinel meaning "no cell" on the allocation-free pop paths; compare
+    with physical equality ([==]).  It is permanently cancelled, never
+    stored, and firing its [fn] is a no-op. *)
+
 type t
 
 val create : unit -> t
@@ -43,8 +48,14 @@ val pop_live : t -> cell option
 (** Remove and return the earliest live cell ([None] if none).  The cell is
     no longer stored; the caller marks it cancelled after firing it. *)
 
+val pop_live_cell : t -> cell
+(** [pop_live] without the [option]: {!nil} when empty. *)
+
 val peek_live : t -> cell option
 (** Earliest live cell without removing it. *)
+
+val peek_live_cell : t -> cell
+(** [peek_live] without the [option]: {!nil} when empty. *)
 
 val compact : t -> unit
 (** Drop all cancelled cells and re-heapify. *)
@@ -56,5 +67,14 @@ type handle = cell
 val push : t -> time:int -> (unit -> unit) -> handle
 val cancel : t -> handle -> unit
 val is_cancelled : handle -> bool
+
+val pop_cell : t -> cell
+(** Remove and return the earliest live cell, marked as fired ({!nil} when
+    empty).  The allocation-free pop: no [option], no tuple. *)
+
+val pop_cell_until : t -> horizon:int -> cell
+(** Like {!pop_cell} but leaves the queue untouched (returning {!nil}) when
+    the earliest live event is after [horizon]. *)
+
 val pop : t -> (int * (unit -> unit)) option
 val peek_time : t -> int option

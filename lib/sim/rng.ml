@@ -1,19 +1,36 @@
-type t = { mutable state : int64 }
+(* splitmix64.  The state lives in an 8-byte [Bytes.t] rather than a boxed
+   [int64] record field: [Bytes.{get,set}_int64_le] compile to raw unboxed
+   loads/stores in native code, and with [mix] inlined the whole of [bits64]
+   runs on unboxed int64 arithmetic — a draw allocates nothing.  Simulation
+   hot paths (event delays, policy decisions) draw every few events, so this
+   keeps the generator out of the minor-GC traffic entirely.  The sequence
+   is bit-identical to the boxed implementation it replaces. *)
+
+type t = Bytes.t
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix z =
+let[@inline] state t = Bytes.get_int64_le t 0
+let[@inline] set_state t v = Bytes.set_int64_le t 0 v
+
+let[@inline] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = mix (Int64.of_int seed) }
+let of_state v =
+  let t = Bytes.create 8 in
+  set_state t v;
+  t
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+let create seed = of_state (mix (Int64.of_int seed))
 
-let split t = { state = bits64 t }
+let[@inline] bits64 t =
+  let s = Int64.add (state t) golden_gamma in
+  set_state t s;
+  mix s
+
+let split t = of_state (bits64 t)
 
 let stream t ~label =
   (* FNV-1a over the label, folded into the parent's *current* state without
@@ -25,9 +42,9 @@ let stream t ~label =
     (fun c ->
       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
     label;
-  { state = mix (Int64.logxor t.state !h) }
+  of_state (mix (Int64.logxor (state t) !h))
 
-let int t n =
+let[@inline] int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free modulo is fine here: n is tiny relative to 2^62 in all
      simulator uses, so the bias is negligible and determinism is what

@@ -1,56 +1,77 @@
 (* Hierarchical timer wheel — the near-horizon tier of {!Eventq}.
 
-   Linux-style layout: [levels] levels of [32] slots each, shifted up by a
-   [granularity] of 2^9 ns.  A slot at level [l] spans [2^9 * 32^l] ns —
-   level 0 resolves 512 ns buckets and covers 16 us, and the whole wheel
-   covers 2^44 ns (~4.8 h of virtual time) from [base].  The coarse bottom
-   granularity means the dominant traffic (rescheds, context switches,
-   ticks: delays up to tens of microseconds) files at level 0 or 1 directly
-   and is popped with at most one move, instead of trickling down the full
-   hierarchy one level at a time.
+   Asymmetric layout: a *wide* bottom level of [1024] slots of 2^10 ns each
+   (covering ~1 ms), topped by [5] Linux-style levels of [32] slots, for a
+   total horizon of 2^45 ns (~9.7 h of virtual time) from [base].
+
+   The wide bottom is one load-bearing choice.  Simulator traffic —
+   rescheds, context switches, IPI deliveries, quantum expiries, service
+   times — is concentrated in delays of a few microseconds to a
+   millisecond.  With a narrow bottom level those delays file one or two
+   levels up and every event pays a cascade hop per level on its way down.
+   With level 0 spanning the whole dominant band, the hot traffic files
+   directly into its final slot.
+
+   The other is the slot representation.  A slot stores its cells' keys in
+   parallel *int* arrays ([times]/[seqs]) alongside the cell pointers, so
+   ordering work — the drain sort, the cascade redistribution — runs on
+   dense unboxed ints and never dereferences a cell.  Cells are allocated
+   at push time and popped tens of thousands of events later, far outside
+   any cache; a binary heap pays that cold miss at every comparison on the
+   sift path, while here a cell is dereferenced exactly once per lifetime,
+   at fire time.  Cancelled cells are likewise reclaimed only when their
+   slot drains (or in a compaction sweep) — cascades move them blindly
+   rather than touch cold memory to test a flag.
 
    An event is filed at the lowest level whose epoch it shares with [base];
    as [base] advances, higher-level slots are split ("cascaded") into lower
-   levels, each cell moving at most [levels - 1] times, so push/pop are O(1)
-   amortized with no comparisons against unrelated events.
+   levels.  Exact ordering is preserved: a level-0 slot is sorted by
+   (time, seq) on first drain.  A push into a partially drained slot
+   (always at a time at or after the drain cursor's — the engine never
+   posts into the past) clears [sorted], and the next peek re-sorts the
+   undrained remainder (an O(n) pass of the insertion sort, since the
+   prefix is already in order), so pop order stays bit-identical to a
+   global heap.
 
-   Exact ordering is preserved: a level-0 slot is sorted by (time, seq) on
-   first drain.  A push into a partially drained slot (always at a time at
-   or after the drain cursor's — the engine never posts into the past)
-   clears [sorted], and the next peek re-sorts the undrained remainder, so
-   pop order stays bit-identical to a global heap.
+   Occupancy tracking: level 0 uses a two-tier bitmap — 32 group words of
+   32 slots each plus a 32-bit summary word — so "find the next non-empty
+   slot" is two count-trailing-zeros; the narrow upper levels use one word
+   each.  Within a level, slot index order is time order: a level only
+   holds events inside one aligned parent window, so the [land] in the
+   index computation never actually wraps. *)
 
-   Per-level occupancy bitmaps make "find the next non-empty slot" a
-   count-trailing-zeros, so an idle wheel skips empty regions in O(1) rather
-   than stepping slot by slot.
+let granularity = 10  (* level-0 slots span 2^10 ns *)
+let l0_bits = 10
+let l0_slots = 1 lsl l0_bits  (* 1024: level 0 covers ~1 ms *)
+let l0_mask = l0_slots - 1
+let up_bits = 5
+let up_slots = 1 lsl up_bits
+let up_mask = up_slots - 1
+let up_levels = 5
 
-   Cancellation is lazy (cells are dropped when their slot is drained or
-   cascaded); when cancelled cells outnumber live ones the wheel sweeps all
-   occupied slots and reclaims them. *)
-
-let granularity = 9  (* level-0 slots span 2^9 ns *)
-let bits = 5
-let slots_per_level = 1 lsl bits
-let slot_mask = slots_per_level - 1
-let levels = 7
-
-let epoch_shift = granularity + (bits * levels)
-(* the wheel spans [base, base + 2^44) *)
+let epoch_shift = granularity + l0_bits + (up_bits * up_levels)
+(* the wheel spans [base, base + 2^45) *)
 
 (* Bit position of level [l]'s slot index within a timestamp. *)
-let shift l = granularity + (bits * l)
+let shift l =
+  if l = 0 then granularity else granularity + l0_bits + (up_bits * (l - 1))
 
 type slot = {
   mutable cells : Heapq.cell array;
+  mutable times : int array;  (* times.(i)/seqs.(i) mirror cells.(i) *)
+  mutable seqs : int array;
   mutable len : int;
   mutable pos : int;  (* drain cursor; non-zero only in the active slot *)
   mutable sorted : bool;
 }
 
 type t = {
-  slots : slot array;  (* levels * 32, row-major by level *)
-  occupancy : int array;  (* per-level bitmap of non-empty slots *)
+  slots : slot array;  (* 1024 level-0 slots, then 5 * 32 upper slots *)
+  occ0 : int array;  (* 32 groups of 32 level-0 slots *)
+  mutable sum0 : int;  (* bitmap of non-empty occ0 groups *)
+  up_occ : int array;  (* per upper level bitmap of non-empty slots *)
   mutable base : int;  (* all stored cells have time >= base *)
+  mutable cur : int;  (* level-0 slot index the last peek normalised to *)
   mutable size : int;  (* stored cells, including lazily-cancelled ones *)
   mutable dead : int;  (* cancelled cells still stored *)
 }
@@ -61,10 +82,15 @@ let dummy_cell =
 let create () =
   {
     slots =
-      Array.init (levels * slots_per_level) (fun _ ->
-          { cells = [||]; len = 0; pos = 0; sorted = false });
-    occupancy = Array.make levels 0;
+      Array.init
+        (l0_slots + (up_levels * up_slots))
+        (fun _ ->
+          { cells = [||]; times = [||]; seqs = [||]; len = 0; pos = 0; sorted = false });
+    occ0 = Array.make 32 0;
+    sum0 = 0;
+    up_occ = Array.make up_levels 0;
     base = 0;
+    cur = 0;
     size = 0;
     dead = 0;
   }
@@ -76,24 +102,32 @@ let accepts t ~time =
   time >= t.base && time lsr epoch_shift = t.base lsr epoch_shift
 
 (* Lowest level whose epoch contains both [time] and [base]; [accepts]
-   guarantees termination at [levels - 1].  Top-level recursion (and no
+   guarantees termination at the top level.  Top-level recursion (and no
    closures anywhere on the hot path): without flambda a local [rec] or
    [ref] is a minor-heap allocation per call. *)
 let rec level_from base time l =
   if time lsr (shift (l + 1)) = base lsr (shift (l + 1)) then l
   else level_from base time (l + 1)
 
-let level_for t time = level_from t.base time 0
+let grow_slot slot =
+  let cap = max 8 (2 * Array.length slot.times) in
+  let cells = Array.make cap dummy_cell in
+  let times = Array.make cap 0 in
+  let seqs = Array.make cap 0 in
+  Array.blit slot.cells 0 cells 0 slot.len;
+  Array.blit slot.times 0 times 0 slot.len;
+  Array.blit slot.seqs 0 seqs 0 slot.len;
+  slot.cells <- cells;
+  slot.times <- times;
+  slot.seqs <- seqs
 
-let slot_push slot cell =
-  if slot.len = Array.length slot.cells then begin
-    let cap = max 8 (2 * Array.length slot.cells) in
-    let a = Array.make cap dummy_cell in
-    Array.blit slot.cells 0 a 0 slot.len;
-    slot.cells <- a
-  end;
-  slot.cells.(slot.len) <- cell;
-  slot.len <- slot.len + 1;
+let[@inline] slot_push slot cell time seq =
+  if slot.len = Array.length slot.times then grow_slot slot;
+  let i = slot.len in
+  Array.unsafe_set slot.cells i cell;
+  Array.unsafe_set slot.times i time;
+  Array.unsafe_set slot.seqs i seq;
+  slot.len <- i + 1;
   (* Appending to a slot already sorted for draining: the new cell's time is
      >= the cursor's but may precede later cells; re-sort the remainder on
      the next peek. *)
@@ -101,22 +135,35 @@ let slot_push slot cell =
 
 let reset_slot slot =
   (* Keep the capacity, drop the cell references (fired closures must be
-     collectable). *)
+     collectable); stale ints are harmless. *)
   Array.fill slot.cells 0 slot.len dummy_cell;
   slot.len <- 0;
   slot.pos <- 0;
   slot.sorted <- false
 
-let insert_cell t cell =
-  let l = level_for t cell.Heapq.time in
-  let idx = (cell.Heapq.time lsr shift l) land slot_mask in
-  slot_push t.slots.((l * slots_per_level) + idx) cell;
-  t.occupancy.(l) <- t.occupancy.(l) lor (1 lsl idx)
+(* [cell]'s key is passed alongside so cascades can re-file straight off the
+   source slot's int arrays without dereferencing the cell. *)
+let insert_raw t cell time seq =
+  if time lsr (granularity + l0_bits) = t.base lsr (granularity + l0_bits)
+  then begin
+    (* The dominant case: files directly into its final level-0 slot. *)
+    let idx = (time lsr granularity) land l0_mask in
+    slot_push t.slots.(idx) cell time seq;
+    let g = idx lsr 5 in
+    t.occ0.(g) <- t.occ0.(g) lor (1 lsl (idx land 31));
+    t.sum0 <- t.sum0 lor (1 lsl g)
+  end
+  else begin
+    let l = level_from t.base time 1 in
+    let idx = (time lsr shift l) land up_mask in
+    slot_push t.slots.(l0_slots + ((l - 1) * up_slots) + idx) cell time seq;
+    t.up_occ.(l - 1) <- t.up_occ.(l - 1) lor (1 lsl idx)
+  end
 
 let add t cell =
   if not (accepts t ~time:cell.Heapq.time) then
     invalid_arg "Wheel.add: time outside the wheel horizon";
-  insert_cell t cell;
+  insert_raw t cell cell.Heapq.time cell.Heapq.seq;
   t.size <- t.size + 1
 
 let lsb_index x =
@@ -127,32 +174,57 @@ let lsb_index x =
   let i = if x land 0xCCCCCCCC <> 0 then i + 2 else i in
   if x land 0xAAAAAAAA <> 0 then i + 1 else i
 
-let cmp_cell a b =
-  if Heapq.earlier a b then -1 else if Heapq.earlier b a then 1 else 0
-
 let sort_slot slot =
   let lo = slot.pos and hi = slot.len in
   if hi - lo > 1 then begin
-    if hi - lo <= 16 then
+    let times = slot.times and seqs = slot.seqs and cells = slot.cells in
+    if hi - lo <= 48 then
+      (* Insertion sort over the int keys (cells carried along): in place,
+         no allocation, no cell dereferences, and O(n) on the nearly-sorted
+         slots that re-sorts after a push produce. *)
       for i = lo + 1 to hi - 1 do
-        let c = slot.cells.(i) in
+        let ct = times.(i) and cs = seqs.(i) and cc = cells.(i) in
         let j = ref (i - 1) in
-        while !j >= lo && Heapq.earlier c slot.cells.(!j) do
-          slot.cells.(!j + 1) <- slot.cells.(!j);
+        while
+          !j >= lo
+          && (times.(!j) > ct || (times.(!j) = ct && seqs.(!j) > cs))
+        do
+          times.(!j + 1) <- times.(!j);
+          seqs.(!j + 1) <- seqs.(!j);
+          cells.(!j + 1) <- cells.(!j);
           decr j
         done;
-        slot.cells.(!j + 1) <- c
+        times.(!j + 1) <- ct;
+        seqs.(!j + 1) <- cs;
+        cells.(!j + 1) <- cc
       done
     else begin
-      let a = Array.sub slot.cells lo (hi - lo) in
-      Array.sort cmp_cell a;
-      Array.blit a 0 slot.cells lo (hi - lo)
+      (* Rare (dense slots only): sort an index permutation by the int
+         keys, then apply it through scratch copies. *)
+      let n = hi - lo in
+      let perm = Array.init n (fun k -> lo + k) in
+      Array.sort
+        (fun a b ->
+          let c = compare times.(a) times.(b) in
+          if c <> 0 then c else compare seqs.(a) seqs.(b))
+        perm;
+      let ct = Array.sub times lo n in
+      let cs = Array.sub seqs lo n in
+      let cc = Array.sub cells lo n in
+      for k = 0 to n - 1 do
+        let src = perm.(k) - lo in
+        times.(lo + k) <- ct.(src);
+        seqs.(lo + k) <- cs.(src);
+        cells.(lo + k) <- cc.(src)
+      done
     end
   end;
   slot.sorted <- true
 
 (* Advance the drain cursor past cancelled cells; true iff a live cell is
-   left at [slot.pos]. *)
+   left at [slot.pos].  This is the only place (besides {!compact}) that
+   tests the cancelled flag — cascades move dead cells blindly rather than
+   dereference cold memory. *)
 let rec skip_cancelled t slot =
   if slot.pos >= slot.len then false
   else begin
@@ -167,71 +239,88 @@ let rec skip_cancelled t slot =
     else true
   end
 
-let rec find_level t l =
-  if l >= levels then -1 else if t.occupancy.(l) <> 0 then l else find_level t (l + 1)
+let rec find_upper t l =
+  if l > up_levels then -1
+  else if t.up_occ.(l - 1) <> 0 then l
+  else find_upper t (l + 1)
 
-(* Earliest live cell, left in place.  Advances [base] (cascading
-   higher-level slots down) and reclaims cancelled cells on the way, so the
-   result is always at the level-0 slot [lsb occupancy.(0)], position
-   [pos]. *)
-let rec peek t =
-  if t.size = 0 then None
-  else if t.occupancy.(0) <> 0 then begin
-    let idx = lsb_index t.occupancy.(0) in
+let clear_l0 t idx =
+  let g = idx lsr 5 in
+  let w = t.occ0.(g) land lnot (1 lsl (idx land 31)) in
+  t.occ0.(g) <- w;
+  if w = 0 then t.sum0 <- t.sum0 land lnot (1 lsl g)
+
+(* Earliest live cell, left in place; {!Heapq.nil} when empty.  Advances
+   [base] (cascading upper-level slots down) and reclaims cancelled cells
+   on the way, so the result is always at level-0 slot [t.cur], position
+   [pos].  Sentinel-based so the per-pop peek never allocates an
+   [option]. *)
+let rec peek_cell t =
+  if t.size = 0 then Heapq.nil
+  else if t.sum0 <> 0 then begin
+    let g = lsb_index t.sum0 in
+    let idx = (g lsl 5) lor lsb_index t.occ0.(g) in
     let slot = t.slots.(idx) in
     if not slot.sorted then sort_slot slot;
-    if skip_cancelled t slot then Some slot.cells.(slot.pos)
+    if skip_cancelled t slot then begin
+      t.cur <- idx;
+      slot.cells.(slot.pos)
+    end
     else begin
       reset_slot slot;
-      t.occupancy.(0) <- t.occupancy.(0) land lnot (1 lsl idx);
-      peek t
+      clear_l0 t idx;
+      peek_cell t
     end
   end
   else begin
-    match find_level t 1 with
-    | -1 -> None  (* unreachable while size > 0; defensive *)
+    match find_upper t 1 with
+    | -1 -> Heapq.nil  (* unreachable while size > 0; defensive *)
     | l ->
-      let idx = lsb_index t.occupancy.(l) in
-      let slot = t.slots.((l * slots_per_level) + idx) in
+      let idx = lsb_index t.up_occ.(l - 1) in
+      let slot = t.slots.(l0_slots + ((l - 1) * up_slots) + idx) in
       (* Nothing lives before this slot: jump base to its start, then split
-         its cells into lower levels (each lands strictly below [l]). *)
-      let upper = t.base lsr (shift (l + 1)) in
-      t.base <- (upper lsl (shift (l + 1))) lor (idx lsl (shift l));
-      t.occupancy.(l) <- t.occupancy.(l) land lnot (1 lsl idx);
+         its cells into lower levels (each lands strictly below [l]) — off
+         the slot's int arrays, without touching the cells themselves. *)
+      let upper = t.base lsr shift (l + 1) in
+      t.base <- (upper lsl shift (l + 1)) lor (idx lsl shift l);
+      t.up_occ.(l - 1) <- t.up_occ.(l - 1) land lnot (1 lsl idx);
       for i = 0 to slot.len - 1 do
-        let c = slot.cells.(i) in
-        if c.Heapq.cancelled then begin
-          t.size <- t.size - 1;
-          t.dead <- t.dead - 1
-        end
-        else insert_cell t c
+        insert_raw t slot.cells.(i) slot.times.(i) slot.seqs.(i)
       done;
       reset_slot slot;
-      peek t
+      peek_cell t
   end
 
-(* Remove the cell at the drain cursor; [peek] has just normalised the wheel
-   so that cell is the minimum. *)
+let peek t =
+  let c = peek_cell t in
+  if c == Heapq.nil then None else Some c
+
+(* Remove the cell at the drain cursor; [peek_cell] has just normalised the
+   wheel so that cell is the minimum, at slot [t.cur]. *)
 let take_at_cursor t =
-  let idx = lsb_index t.occupancy.(0) in
-  let slot = t.slots.(idx) in
-  let c = slot.cells.(slot.pos) in
-  slot.cells.(slot.pos) <- dummy_cell;
-  slot.pos <- slot.pos + 1;
+  let slot = t.slots.(t.cur) in
+  let pos = slot.pos in
+  let time = slot.times.(pos) in
+  slot.cells.(pos) <- dummy_cell;
+  slot.pos <- pos + 1;
   t.size <- t.size - 1;
   if slot.pos = slot.len then begin
     reset_slot slot;
-    t.occupancy.(0) <- t.occupancy.(0) land lnot (1 lsl idx)
+    clear_l0 t t.cur
   end;
-  if c.Heapq.time > t.base then t.base <- c.Heapq.time
+  if time > t.base then t.base <- time
 
 (* Remove the cell a [peek] with no intervening wheel mutation returned;
    O(1), no re-normalisation.  The caller marks it cancelled once fired. *)
 let take t (cell : Heapq.cell) =
-  let idx = lsb_index t.occupancy.(0) in
-  let slot = t.slots.(idx) in
+  let slot = t.slots.(t.cur) in
   if slot.pos < slot.len && slot.cells.(slot.pos) == cell then take_at_cursor t
   else invalid_arg "Wheel.take: cell is not the peeked minimum"
+
+(* Unchecked [take]: valid only immediately after a non-nil [peek_cell] with
+   no intervening mutation (the {!Eventq} pop path, which has just compared
+   the peeked cell against the overflow tier's head). *)
+let take_peeked = take_at_cursor
 
 (* Remove and return the earliest live cell.  The caller marks it cancelled
    once fired. *)
@@ -253,30 +342,51 @@ let advance t time =
 (* Sweep every occupied slot, dropping cancelled cells in place (stable, so
    sorted slots stay sorted). *)
 let compact t =
-  for l = 0 to levels - 1 do
-    let occ = ref t.occupancy.(l) in
+  let sweep_slot slot =
+    let j = ref slot.pos in
+    for i = slot.pos to slot.len - 1 do
+      let c = slot.cells.(i) in
+      if c.Heapq.cancelled then begin
+        t.size <- t.size - 1;
+        t.dead <- t.dead - 1
+      end
+      else begin
+        slot.cells.(!j) <- c;
+        slot.times.(!j) <- slot.times.(i);
+        slot.seqs.(!j) <- slot.seqs.(i);
+        incr j
+      end
+    done;
+    Array.fill slot.cells !j (slot.len - !j) dummy_cell;
+    slot.len <- !j
+  in
+  let sum = ref t.sum0 in
+  while !sum <> 0 do
+    let g = lsb_index !sum in
+    sum := !sum land lnot (1 lsl g);
+    let occ = ref t.occ0.(g) in
     while !occ <> 0 do
-      let idx = lsb_index !occ in
-      occ := !occ land lnot (1 lsl idx);
-      let slot = t.slots.((l * slots_per_level) + idx) in
-      let j = ref 0 in
-      for i = slot.pos to slot.len - 1 do
-        let c = slot.cells.(i) in
-        if c.Heapq.cancelled then begin
-          t.size <- t.size - 1;
-          t.dead <- t.dead - 1
-        end
-        else begin
-          slot.cells.(!j) <- c;
-          incr j
-        end
-      done;
-      Array.fill slot.cells !j (slot.len - !j) dummy_cell;
-      slot.len <- !j;
-      slot.pos <- 0;
-      if !j = 0 then begin
+      let b = lsb_index !occ in
+      occ := !occ land lnot (1 lsl b);
+      let idx = (g lsl 5) lor b in
+      let slot = t.slots.(idx) in
+      sweep_slot slot;
+      if slot.len = slot.pos then begin
+        reset_slot slot;
+        clear_l0 t idx
+      end
+    done
+  done;
+  for l = 1 to up_levels do
+    let occ = ref t.up_occ.(l - 1) in
+    while !occ <> 0 do
+      let b = lsb_index !occ in
+      occ := !occ land lnot (1 lsl b);
+      let slot = t.slots.(l0_slots + ((l - 1) * up_slots) + b) in
+      sweep_slot slot;
+      if slot.len = 0 then begin
         slot.sorted <- false;
-        t.occupancy.(l) <- t.occupancy.(l) land lnot (1 lsl idx)
+        t.up_occ.(l - 1) <- t.up_occ.(l - 1) land lnot (1 lsl b)
       end
     done
   done

@@ -1,12 +1,15 @@
 (** Hierarchical timer wheel: the near-horizon tier of {!Eventq}.
 
-    Seven levels of 32 slots (a level-[l] slot spans [2^9 * 32^l] ns) cover
-    [2^44] ns (~4.8 h) of virtual time from [base] with O(1) amortized
-    insert/extract and exact [(time, seq)] FIFO ordering — level-0 slots
-    bucket 512 ns and are [(time, seq)]-sorted on drain, so pop order is
-    bit-identical to a global binary heap over the same cells.  Per-level
-    occupancy bitmaps locate the next non-empty slot without scanning.
-    Cells are {!Heapq.cell}s so the two {!Eventq} tiers share handles. *)
+    Asymmetric layout: a wide bottom level of 1024 slots of [2^10] ns
+    (covering ~1 ms — the whole dominant band of simulator delays, so the
+    hot traffic files directly into its final slot and never cascades),
+    topped by five 32-slot levels, covering [2^45] ns (~9.7 h) of virtual
+    time from [base] with O(1) amortized insert/extract and exact
+    [(time, seq)] FIFO ordering — level-0 slots are [(time, seq)]-sorted on
+    drain, so pop order is bit-identical to a global binary heap over the
+    same cells.  Per-level occupancy bitmaps (two-tier for the wide level 0)
+    locate the next non-empty slot without scanning.  Cells are
+    {!Heapq.cell}s so the two {!Eventq} tiers share handles. *)
 
 type t
 
@@ -25,6 +28,9 @@ val peek : t -> Heapq.cell option
 (** Earliest live cell, left stored.  May advance [base], cascade slots and
     reclaim cancelled cells. *)
 
+val peek_cell : t -> Heapq.cell
+(** {!peek} without the [option]: {!Heapq.nil} when empty. *)
+
 val pop : t -> Heapq.cell option
 (** Remove and return the earliest live cell.  The caller marks it cancelled
     after firing.  Advances [base] to the popped time. *)
@@ -33,6 +39,10 @@ val take : t -> Heapq.cell -> unit
 (** [take t c] removes [c], which must be the result of a {!peek} with no
     intervening wheel mutation (raises [Invalid_argument] otherwise).  O(1):
     skips the re-normalisation {!pop} would repeat. *)
+
+val take_peeked : t -> unit
+(** Unchecked {!take} of the cell the immediately preceding non-nil
+    {!peek_cell} returned (no intervening mutation allowed). *)
 
 val advance : t -> int -> unit
 (** Move [base] forward (no-op backwards).  Precondition: no stored cell is

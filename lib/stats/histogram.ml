@@ -23,7 +23,7 @@ let msb_position v =
   let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
   go v 0
 
-let index_of v =
+let[@inline] index_of v =
   if v < sub_count then v
   else begin
     let e = msb_position v in
@@ -43,7 +43,7 @@ let value_of_index i =
     base + width - 1
   end
 
-let record_n h v n =
+let[@inline] record_n h v n =
   if n > 0 then begin
     let v = if v < 0 then 0 else v in
     let i = index_of v in
@@ -54,7 +54,7 @@ let record_n h v n =
     if v > h.max_v then h.max_v <- v
   end
 
-let record h v = record_n h v 1
+let[@inline] record h v = record_n h v 1
 let count h = h.total
 let sum h = h.sum
 let mean h = if h.total = 0 then 0.0 else float_of_int h.sum /. float_of_int h.total

@@ -367,6 +367,100 @@ let test_drop_surfacing () =
       | Obs.Metrics.Counter n -> check_bool "drop metric" true (n > 0)
       | _ -> Alcotest.fail "msg.dropped not a counter")
 
+(* --- Ring mechanics ----------------------------------------------------------- *)
+
+let test_ring_wrap_drops () =
+  Obs.Metrics.reset ();
+  let sink = Obs.Sink.create ~capacity:256 () in
+  let n = 2000 in
+  for i = 1 to n do
+    Obs.Sink.instant sink ~time:i ~name:"tickle" ~track:Obs.Sink.Global ()
+  done;
+  check_int "recorded counts overwritten" n (Obs.Sink.recorded sink);
+  check_bool "ring wrapped" true (Obs.Sink.dropped sink > 0);
+  check_int "length = recorded - dropped"
+    (n - Obs.Sink.dropped sink)
+    (Obs.Sink.length sink);
+  (* Drop-oldest: the survivors are exactly the newest records, in order. *)
+  let times = List.map (fun e -> e.Obs.Sink.time) (Obs.Sink.events sink) in
+  let len = Obs.Sink.length sink in
+  check_bool "oldest dropped first" true
+    (times = List.init len (fun i -> n - len + 1 + i));
+  match List.assoc "obs.ring_dropped" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter c ->
+    check_int "obs.ring_dropped metric" (Obs.Sink.dropped sink) c
+  | _ -> Alcotest.fail "obs.ring_dropped not a counter"
+
+let test_intern_round_trip () =
+  let id = Obs.Sink.intern "ring-test-name" in
+  check_bool "positive id" true (id > 0);
+  check_int "same string, same id" id (Obs.Sink.intern "ring-test-name");
+  Alcotest.(check string) "round-trip" "ring-test-name" (Obs.Sink.intern_name id);
+  check_int "empty string is id 0" 0 (Obs.Sink.intern "")
+
+let test_sampling_deterministic () =
+  let run () =
+    let sink = Obs.Sink.create ~sample:4 ~seed:7 () in
+    for i = 1 to 200 do
+      let name = if i mod 2 = 0 then "sample-even" else "sample-odd" in
+      let id =
+        Obs.Sink.span_begin sink ~time:(10 * i) ~name ~track:Obs.Sink.Global ()
+      in
+      if id > 0 then Obs.Sink.span_end sink ~time:((10 * i) + 5) id
+    done;
+    Obs.Sink.events sink
+  in
+  let a = run () in
+  let b = run () in
+  check_bool "identical events at fixed seed" true (a = b);
+  let count p = List.length (List.filter p a) in
+  let begins =
+    count (fun e ->
+        match e.Obs.Sink.kind with Obs.Sink.Span_begin _ -> true | _ -> false)
+  in
+  let ends =
+    count (fun e ->
+        match e.Obs.Sink.kind with Obs.Sink.Span_end _ -> true | _ -> false)
+  in
+  (* 100 spans per name at 1-in-4 keeps exactly 25 of each: the countdown
+     sampler keeps every 4th span per name whatever phase was drawn. *)
+  check_int "1-in-4 per name" 50 begins;
+  check_int "kept spans are balanced" begins ends
+
+let test_binary_round_trip () =
+  let sink = Obs.Sink.create ~capacity:512 () in
+  (* A mix of record shapes — sched, spans with args, instants — at enough
+     volume that the ring wraps, so the dump path has to cope with a
+     non-zero tail and squeezed pads. *)
+  for i = 1 to 300 do
+    Obs.Sink.sched sink ~time:i
+      (Obs.Sink.Dispatch { cpu = i mod 4; tid = i; name = "t"; migrated = i mod 2 = 0 });
+    let id =
+      Obs.Sink.span_begin sink ~time:i ~name:"work"
+        ~track:(Obs.Sink.Cpu (i mod 4))
+        ~args:[ ("i", string_of_int i) ]
+        ()
+    in
+    Obs.Sink.span_end sink ~time:(i + 1) id;
+    Obs.Sink.instant sink ~time:i ~name:"mark" ~track:Obs.Sink.Global
+      ~args:[ ("tag", "x") ]
+      ()
+  done;
+  check_bool "ring wrapped" true (Obs.Sink.dropped sink > 0);
+  let path = Filename.temp_file "ghost-ring" ".ring" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Sink.write_binary ~meta:[ ("experiment", "unit"); ("k", "v") ] sink ~path;
+      let rd, meta = Obs.Sink.read_binary ~path in
+      check_bool "meta preserved" true
+        (meta = [ ("experiment", "unit"); ("k", "v") ]);
+      check_int "dropped preserved" (Obs.Sink.dropped sink) (Obs.Sink.dropped rd);
+      check_int "recorded preserved" (Obs.Sink.recorded sink) (Obs.Sink.recorded rd);
+      check_int "length preserved" (Obs.Sink.length sink) (Obs.Sink.length rd);
+      check_bool "decoded events equal" true
+        (Obs.Sink.events sink = Obs.Sink.events rd))
+
 let () =
   Alcotest.run "obs"
     [
@@ -387,4 +481,13 @@ let () =
         ] );
       ( "drops",
         [ Alcotest.test_case "surfaced at every level" `Quick test_drop_surfacing ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound drops oldest" `Quick test_ring_wrap_drops;
+          Alcotest.test_case "intern round-trip" `Quick test_intern_round_trip;
+          Alcotest.test_case "sampling deterministic" `Quick
+            test_sampling_deterministic;
+          Alcotest.test_case "binary write/read round-trip" `Quick
+            test_binary_round_trip;
+        ] );
     ]
