@@ -237,6 +237,7 @@ module Engine_bench (Q : sig
   type handle
 
   val create : unit -> t
+  val nil_handle : handle
   val push : t -> time:int -> (unit -> unit) -> handle
   val cancel : t -> handle -> unit
   val pop_cell : t -> Sim.Heapq.cell
@@ -301,25 +302,32 @@ struct
 
   (* Preemption churn: every step cancels the previous segment-end event and
      posts a fresh one, like resched storms do, again over a standing timer
-     population. *)
+     population.  Mirrors the kernel's layout: per-CPU handle slots hold
+     [nil_handle] (not an [option]) and the two closures per CPU are
+     allocated up front, so the steady state allocates exactly the two
+     queue cells each fired step pushes. *)
   let cancel_heavy ~events =
     let q = Q.create () in
     let now = ref 0 in
     seed_timers q (Sim.Rng.create 5) now ~count:1_000_000;
     let ncpus = 64 in
-    let pending = Array.make ncpus None in
-    let rec step cpu () =
-      (match pending.(cpu) with
-      | Some h ->
-        Q.cancel q h;
-        pending.(cpu) <- None
-      | None -> ());
-      pending.(cpu) <-
-        Some (Q.push q ~time:(!now + 150_000) (fun () -> pending.(cpu) <- None));
-      ignore (Q.push q ~time:(!now + 10_000) (step cpu))
+    let pending = Array.make ncpus Q.nil_handle in
+    let clears =
+      Array.init ncpus (fun cpu () -> pending.(cpu) <- Q.nil_handle)
     in
+    let steps = Array.make ncpus (fun () -> ()) in
     for cpu = 0 to ncpus - 1 do
-      ignore (Q.push q ~time:(cpu * 997) (step cpu))
+      steps.(cpu) <-
+        (fun () ->
+          if pending.(cpu) != Q.nil_handle then begin
+            Q.cancel q pending.(cpu);
+            pending.(cpu) <- Q.nil_handle
+          end;
+          pending.(cpu) <- Q.push q ~time:(!now + 150_000) clears.(cpu);
+          ignore (Q.push q ~time:(!now + 10_000) steps.(cpu)))
+    done;
+    for cpu = 0 to ncpus - 1 do
+      ignore (Q.push q ~time:(cpu * 997) steps.(cpu))
     done;
     drive q now ~events
 
@@ -756,12 +764,147 @@ let run_engine () =
      ceiling. *)
   guard_max "mixed-horizon wheel words/ev" (wheel_words "mixed-horizon")
     ~ceiling:(if !quick then 16.0 else 10.0);
+  (* Lazy cancellation's floor: each fired event re-arms a timeout, so the
+     steady state is two live 5-word cells (the fired event's and the
+     replacement timeout's) per event — ~10 words.  Anything above this
+     ceiling means boxing crept back into the cancel path (the handle
+     options and the two-bool cells this packed away paid 24). *)
+  guard_max "cancel-heavy wheel words/ev" (wheel_words "cancel-heavy")
+    ~ceiling:(if !quick then 13.0 else 12.0);
   guard "obs enabled/disabled" (obs_enabled /. obs_disabled) ~floor:0.25;
   (* Release builds clear 0.6 sampled; quick mode also runs under the
      dev-profile @ci gate, where the lost cross-module inlining costs the
      sampled fast path enough to sit just under 0.5. *)
   guard "obs sampled/disabled" (obs_sampled /. obs_disabled)
     ~floor:(if !quick then 0.42 else 0.5);
+  check_guards ()
+
+(* --- cluster: lane-merge scaling + fleet controller guards --------------------- *)
+
+(* Three checks on the fleet harness: merge throughput as machines are
+   added (events/sec through Sim.Lanes at 1, 2 and 8 machines, per-machine
+   load held constant), the identity property (a machine inside a cluster
+   with no fleet traffic reproduces its standalone Scenario.run report
+   exactly), and the capstone delta (fleet controller vs static round-robin
+   on the straggler fleet — the controller must win on fleet p99). *)
+let run_cluster () =
+  let seed = 42 in
+  let measure_ns = if !quick then ms 20 else ms 50 in
+  let serve_cpus = List.init 8 (fun c -> c) in
+  let serve_scn ~name ~seed =
+    Scenario.make ~seed ~warmup_ns:(ms 5) ~measure_ns ~cooldown_ns:(ms 5)
+      ~machine:Hw.Machines.xeon_e5_1s
+      ~enclaves:
+        [ Scenario.enclave ~policy:"shinjuku" ~cpus:serve_cpus ~workloads:[] "serve" ]
+      name
+  in
+  (* Scaling: rate grows with the fleet so per-machine load is constant. *)
+  let scaling =
+    List.map
+      (fun n ->
+        let machines =
+          Array.init n (fun i ->
+              serve_scn ~name:(Printf.sprintf "scale-m%d" i) ~seed:(seed + i))
+        in
+        let c =
+          Cluster.make ~machines
+            ~serve:{ Cluster.Machine.enclave = "serve"; nworkers = 32 }
+            ~arrivals:
+              {
+                Cluster.aseed = 1337;
+                rate = 20_000.0 *. float_of_int n;
+                service = Sim.Dist.Exponential 80_000.0;
+              }
+            ~routing:Cluster.Balancer.Weighted
+            (Printf.sprintf "scale-%d" n)
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Cluster.run c in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "cluster scale n=%d: %d events in %.2fs (%.2f Mev/s), served %d\n%!"
+          n r.Cluster.events_fired dt
+          (float_of_int r.Cluster.events_fired /. dt /. 1e6)
+          r.Cluster.fleet_served;
+        (n, float_of_int r.Cluster.events_fired /. dt))
+      [ 1; 2; 8 ]
+  in
+  (* Identity: same scenarios standalone and as passive cluster machines. *)
+  let ident_scn i =
+    Scenario.make ~seed:(100 + i) ~warmup_ns:(ms 5) ~measure_ns:(ms 20)
+      ~cooldown_ns:(ms 5) ~machine:Hw.Machines.xeon_e5_1s
+      ~enclaves:
+        [
+          Scenario.enclave ~policy:"shinjuku" ~cpus:serve_cpus
+            ~workloads:
+              [
+                Scenario.Openloop
+                  {
+                    wseed = 7 + i;
+                    rate = 20_000.0;
+                    service = Sim.Dist.Exponential 50_000.0;
+                    nworkers = 50;
+                    prefix = "worker";
+                  };
+              ]
+            "serve";
+        ]
+      (Printf.sprintf "ident-m%d" i)
+  in
+  let solo = Array.init 2 (fun i -> Scenario.run (ident_scn i)) in
+  let fleet_r =
+    Cluster.run
+      (Cluster.make ~machines:(Array.init 2 ident_scn) "identity")
+  in
+  let identical =
+    Array.for_all2
+      (fun (s : Scenario.report) (m : Cluster.machine_report) ->
+        s = m.Cluster.scenario)
+      solo fleet_r.Cluster.machines
+  in
+  Printf.printf "cluster identity: standalone reports %s\n%!"
+    (if identical then "reproduced exactly" else "DIVERGED");
+  (* Capstone: controller vs static round-robin on the straggler fleet. *)
+  let cap_measure = if !quick then ms 60 else ms 200 in
+  let cap = Experiments.Fleet.run ~seed ~measure_ns:cap_measure () in
+  Experiments.Fleet.print cap;
+  let ratio =
+    cap.Experiments.Fleet.static_.Experiments.Fleet.p99_us
+    /. Float.max 0.1 cap.Experiments.Fleet.dynamic.Experiments.Fleet.p99_us
+  in
+  update_bench_json
+    [
+      ( "cluster",
+        Obs.Json.Obj
+          [
+            ( "scaling",
+              Obs.Json.Arr
+                (List.map
+                   (fun (n, rate) ->
+                     Obs.Json.Obj
+                       [
+                         ("machines", Obs.Json.Num (float_of_int n));
+                         ("events_per_sec", Obs.Json.Num rate);
+                       ])
+                   scaling) );
+            ("identity", Obs.Json.Bool identical);
+            ( "fleet",
+              Obs.Json.Obj
+                [
+                  ( "static_p99_us",
+                    Obs.Json.Num cap.Experiments.Fleet.static_.Experiments.Fleet.p99_us );
+                  ( "dynamic_p99_us",
+                    Obs.Json.Num cap.Experiments.Fleet.dynamic.Experiments.Fleet.p99_us );
+                  ("static_over_dynamic_p99", Obs.Json.Num ratio);
+                  ( "rebalances",
+                    Obs.Json.Num
+                      (float_of_int
+                         cap.Experiments.Fleet.dynamic.Experiments.Fleet.rebalances) );
+                ] );
+          ] );
+    ];
+  guard "cluster identity" (if identical then 1.0 else 0.0) ~floor:1.0;
+  guard "fleet static/dynamic p99" ratio ~floor:(if !quick then 1.5 else 3.0);
   check_guards ()
 
 (* --- Driver ------------------------------------------------------------------- *)
@@ -784,6 +927,7 @@ let all_targets =
     ("colocation", run_colocation);
     ("micro", run_micro);
     ("engine", run_engine);
+    ("cluster", run_cluster);
   ]
 
 (* Not part of `all`: re-recording the direct baseline is an explicit act

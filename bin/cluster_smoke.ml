@@ -1,0 +1,50 @@
+(* CI gate for the cluster harness: a 2-machine fleet at a fixed seed must
+   serve traffic, and two runs of the same spec must produce byte-identical
+   fleet reports (the lane merge is deterministic).  Run via
+   `dune build @cluster-smoke` (part of `@ci`). *)
+
+let ms = Sim.Units.ms
+
+let spec () =
+  let machines =
+    Array.init 2 (fun i ->
+        Scenario.make ~seed:(42 + i) ~warmup_ns:(ms 5) ~measure_ns:(ms 20)
+          ~cooldown_ns:(ms 5) ~machine:Hw.Machines.xeon_e5_1s
+          ~enclaves:
+            [
+              Scenario.enclave ~policy:"shinjuku"
+                ~cpus:[ 0; 1; 2; 3 ] ~workloads:[] "serve";
+            ]
+          (Printf.sprintf "smoke-m%d" i))
+  in
+  Cluster.make ~machines
+    ~serve:{ Cluster.Machine.enclave = "serve"; nworkers = 16 }
+    ~arrivals:
+      { Cluster.aseed = 1337; rate = 20_000.0;
+        service = Sim.Dist.Exponential 80_000.0 }
+    ~routing:Cluster.Balancer.Weighted "cluster-smoke"
+
+let () =
+  let a = Cluster.to_string (Cluster.run (spec ())) in
+  let b = Cluster.to_string (Cluster.run (spec ())) in
+  print_string a;
+  if a <> b then begin
+    Printf.eprintf "cluster smoke: reports differ across identical runs\n%s" b;
+    exit 1
+  end;
+  let r = Cluster.run (spec ()) in
+  if r.Cluster.fleet_served = 0 then begin
+    Printf.eprintf "cluster smoke: no requests served\n";
+    exit 1
+  end;
+  Array.iter
+    (fun (m : Cluster.machine_report) ->
+      if m.Cluster.served = 0 then begin
+        Printf.eprintf "cluster smoke: machine %d served nothing\n"
+          m.Cluster.mid;
+        exit 1
+      end)
+    r.Cluster.machines;
+  Printf.printf "cluster smoke: deterministic, %d served across %d machines\n"
+    r.Cluster.fleet_served
+    (Array.length r.Cluster.machines)

@@ -485,6 +485,143 @@ let trace_cmd =
       $ duration_arg ~default:5 ~doc:"traced sim duration (ms)"
       $ seed_arg $ sample $ ring_capacity $ binary)
 
+(* --- cluster (fleet-scale simulation) ------------------------------------ *)
+
+let cluster_cmd =
+  let machines_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "machines" ] ~docv:"N" ~doc:"fleet size (default 2)")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "shinjuku"
+      & info [ "policy" ] ~docv:"SPEC"
+          ~doc:
+            "policy spec for every machine's serving enclave (registry \
+             syntax, e.g. $(b,shinjuku?timeslice=10us))")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 40_000.0
+      & info [ "rate" ] ~docv:"R" ~doc:"fleet-wide offered load (req/s)")
+  in
+  let routing_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("static", Cluster.Balancer.Round_robin);
+               ("weighted", Cluster.Balancer.Weighted);
+             ])
+          Cluster.Balancer.Weighted
+      & info [ "routing" ]
+          ~doc:"$(b,static) round-robin or $(b,weighted) (fleet controller)")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "export a Perfetto trace of the whole fleet; each machine \
+             renders as its own process group (m0/, m1/, ...)")
+  in
+  let run n policy rate routing trace duration seed =
+    if n <= 0 then begin
+      Printf.eprintf "cluster: need at least one machine\n";
+      exit 1
+    end;
+    let scenarios =
+      Array.init n (fun i ->
+          Scenario.make ~seed:(seed + i) ~warmup_ns:(ms 10)
+            ~measure_ns:(ms duration) ~cooldown_ns:(ms 10)
+            ~machine:Hw.Machines.xeon_e5_1s
+            ~enclaves:
+              [
+                Scenario.enclave ~policy
+                  ~cpus:(List.init 8 (fun c -> c))
+                  ~workloads:[] "serve";
+              ]
+            (Printf.sprintf "m%d" i))
+    in
+    let c =
+      Cluster.make ~machines:scenarios
+        ~serve:{ Cluster.Machine.enclave = "serve"; nworkers = 32 }
+        ~arrivals:
+          {
+            Cluster.aseed = seed * 7919;
+            rate;
+            service = Sim.Dist.Exponential 100_000.0;
+          }
+        ~routing
+        (Printf.sprintf "cli-%dx-%s" n policy)
+    in
+    let sink =
+      Option.map
+        (fun _ ->
+          let s = Obs.Sink.create ~seed () in
+          Obs.Sink.install s;
+          s)
+        trace
+    in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> if sink <> None then Obs.Sink.uninstall ())
+        (fun () -> Cluster.run c)
+    in
+    print_string (Cluster.to_string report);
+    match (trace, sink) with
+    | Some path, Some s ->
+      Obs.Perfetto.write_file s ~path
+        ~meta:
+          [
+            ("experiment", Obs.Json.Str "cluster");
+            ("machines", Obs.Json.Str (string_of_int n));
+            ("policy", Obs.Json.Str policy);
+            ("seed", Obs.Json.Str (string_of_int seed));
+          ];
+      Printf.printf "%s: %d events over %.3f ms of sim time\n" path
+        (Obs.Sink.length s)
+        (float_of_int (Obs.Sink.last_time s) /. 1e6);
+      Printf.printf "open in https://ui.perfetto.dev (Open trace file)\n"
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Fleet-scale simulation: N machines on per-machine event lanes \
+          behind a load balancer, with queue-depth gossip and the fleet \
+          controller when $(b,--routing weighted)")
+    Term.(
+      const run $ machines_arg $ policy_arg $ rate_arg $ routing_arg
+      $ trace_arg
+      $ duration_arg ~default:50 ~doc:"measurement window (ms)"
+      $ seed_arg)
+
+(* --- fleet (capstone: controller vs static round-robin) ------------------- *)
+
+let fleet_cmd =
+  let rate_arg =
+    Arg.(
+      value & opt float 120_000.0
+      & info [ "rate" ] ~docv:"R" ~doc:"fleet-wide offered load (req/s)")
+  in
+  let run duration rate seed =
+    Experiments.Fleet.print
+      (Experiments.Fleet.run ~seed ~measure_ns:(ms duration) ~rate ())
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet capstone: fleet controller vs static round-robin on a \
+          4-machine cluster with one straggler")
+    Term.(
+      const run
+      $ duration_arg ~default:200 ~doc:"measurement window (ms)"
+      $ rate_arg $ seed_arg)
+
 (* --- decode (binary ring -> Perfetto JSON) -------------------------------- *)
 
 let decode_cmd =
@@ -533,6 +670,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "ghost_bench_cli" ~version:"1.0" ~doc)
     [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; table4_cmd;
-      bpf_cmd; tickless_cmd; colocation_cmd; faults_cmd; trace_cmd; decode_cmd ]
+      bpf_cmd; tickless_cmd; colocation_cmd; faults_cmd; trace_cmd;
+      cluster_cmd; fleet_cmd; decode_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

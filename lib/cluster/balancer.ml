@@ -1,0 +1,48 @@
+(* Request routing at the fleet's front door.
+
+   Round-robin is the static baseline: a counter, no state, no feedback.
+   Weighted routing draws the target from a normalised weight vector the
+   fleet controller rebalances from gossiped queue depths.  The draw comes
+   from the balancer's own RNG stream, so the {e offered} request sequence
+   (arrival times and service costs, drawn from separate streams) is
+   bit-identical whichever routing mode runs — the capstone experiment
+   compares policies on the same traffic. *)
+
+type mode = Round_robin | Weighted
+
+type t = {
+  mode : mode;
+  n : int;
+  mutable rr : int;  (* next round-robin target *)
+  weights : float array;
+  rng : Sim.Rng.t;  (* weighted-pick stream, unused in round-robin *)
+}
+
+let create ~mode ~n ~rng =
+  if n <= 0 then invalid_arg "Balancer.create: no machines";
+  { mode; n; rr = 0; weights = Array.make n (1.0 /. float_of_int n); rng }
+
+let weights t = t.weights
+
+let set_weights t w =
+  if Array.length w <> t.n then invalid_arg "Balancer.set_weights: arity";
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Balancer.set_weights: zero total";
+  Array.iteri (fun i x -> t.weights.(i) <- x /. total) w
+
+let pick t =
+  match t.mode with
+  | Round_robin ->
+    let i = t.rr in
+    t.rr <- (i + 1) mod t.n;
+    i
+  | Weighted ->
+    let u = Sim.Rng.float t.rng 1.0 in
+    let rec go i acc =
+      if i >= t.n - 1 then t.n - 1
+      else begin
+        let acc = acc +. t.weights.(i) in
+        if u < acc then i else go (i + 1) acc
+      end
+    in
+    go 0 0.0

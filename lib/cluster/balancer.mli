@@ -1,0 +1,18 @@
+(** Request routing: static round-robin, or weighted routing steered by
+    the fleet controller.  The weighted pick draws from its own RNG stream
+    so the offered request sequence is identical across routing modes. *)
+
+type mode = Round_robin | Weighted
+
+type t
+
+val create : mode:mode -> n:int -> rng:Sim.Rng.t -> t
+val pick : t -> int
+(** Target machine for the next request. *)
+
+val weights : t -> float array
+(** Current normalised weights (all [1/n] in round-robin). *)
+
+val set_weights : t -> float array -> unit
+(** Replace the weights (normalised internally).  Raises on arity mismatch
+    or non-positive total. *)

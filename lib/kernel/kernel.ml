@@ -16,7 +16,7 @@ type stats = {
 type cpu_state = {
   cid : int;
   mutable curr : Task.t option;
-  mutable seg : Sim.Engine.handle option;  (* end-of-segment event *)
+  mutable seg : Sim.Engine.handle;  (* end-of-segment event; [nil_handle] = none *)
   mutable last_account : int;  (* last time curr's runtime was charged *)
   mutable dispatch_time : int;  (* when curr was last dispatched *)
   mutable switching : bool;  (* a context switch is in flight *)
@@ -178,11 +178,10 @@ and account t cs (task : Task.t) =
 
 and stop_curr t cs (task : Task.t) =
   account t cs task;
-  (match cs.seg with
-  | Some h ->
-    Sim.Engine.cancel t.engine h;
-    cs.seg <- None
-  | None -> ());
+  if cs.seg != Sim.Engine.nil_handle then begin
+    Sim.Engine.cancel t.engine cs.seg;
+    cs.seg <- Sim.Engine.nil_handle
+  end;
   task.state <- Task.Runnable;
   task.runnable_since <- now t;
   task.nr_preemptions <- task.nr_preemptions + 1;
@@ -312,17 +311,16 @@ and begin_segment t cs (task : Task.t) =
   cs.last_account <- now t;
   if task.remaining > 0 then
     cs.seg <-
-      Some (Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task))
+      Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task)
   else advance t cs task
 
 and seg_end t cs (task : Task.t) =
-  cs.seg <- None;
+  cs.seg <- Sim.Engine.nil_handle;
   account t cs task;
   if task.remaining > 0 then
     (* Interrupts stole part of the segment: keep running the remainder. *)
     cs.seg <-
-      Some
-        (Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task))
+      Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task)
   else advance t cs task
 
 and advance t cs (task : Task.t) =
@@ -331,8 +329,7 @@ and advance t cs (task : Task.t) =
     task.cont <- after;
     task.remaining <- max 1 ns;
     cs.seg <-
-      Some
-        (Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task))
+      Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task)
   | Task.Block { after } ->
     task.cont <- after;
     task.state <- Task.Blocked;
@@ -401,11 +398,10 @@ let kill t (task : Task.t) =
   | Task.Running ->
     let cs = t.cpus.(task.cpu) in
     account t cs task;
-    (match cs.seg with
-    | Some h ->
-      Sim.Engine.cancel t.engine h;
-      cs.seg <- None
-    | None -> ());
+    if cs.seg != Sim.Engine.nil_handle then begin
+      Sim.Engine.cancel t.engine cs.seg;
+      cs.seg <- Sim.Engine.nil_handle
+    end;
     cs.curr <- None;
     cs.idle_since <- now t;
     task.state <- Task.Dead;
@@ -475,7 +471,7 @@ let start_ticks t =
         if cs.ticks_enabled then begin
           (match cs.curr with
           | Some task
-            when task.state = Task.Running && (not cs.switching) && cs.seg <> None ->
+            when task.state = Task.Running && (not cs.switching) && cs.seg != Sim.Engine.nil_handle ->
             account t cs task;
             (* The interrupt itself steals CPU time from the task (a guest
                pays a VM-exit here, §5). *)
@@ -536,7 +532,7 @@ let create ?(core_sched = false) ?(seed = 42) machine =
             {
               cid;
               curr = None;
-              seg = None;
+              seg = Sim.Engine.nil_handle;
               last_account = 0;
               dispatch_time = 0;
               switching = false;

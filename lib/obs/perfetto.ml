@@ -1,17 +1,27 @@
 (* pid layout: one synthetic "process" per track family.  Chrome/Perfetto
    group timelines by pid, so CPUs share pid 1 (one thread per CPU) and each
-   enclave gets its own pid for its async spans and instants. *)
+   enclave gets its own pid for its async spans and instants.  Cluster runs
+   offset every pid by 1000 per machine (machine 0 -> 1001, 1099, 1100+eid,
+   ...) so each machine renders as its own process group; single-machine
+   records carry machine -1 and keep the unshifted layout. *)
 
 let pid_cpus = 1
 let pid_global = 99
 let pid_of_enclave eid = 100 + eid
+let machine_off m = if m < 0 then 0 else (m + 1) * 1000
 
-let pid_of_track = function
-  | Sink.Cpu _ -> pid_cpus
-  | Sink.Enclave eid -> pid_of_enclave eid
-  | Sink.Global -> pid_global
+let pid_of_track ~machine = function
+  | Sink.Cpu _ -> pid_cpus + machine_off machine
+  | Sink.Enclave eid -> pid_of_enclave eid + machine_off machine
+  | Sink.Global -> pid_global + machine_off machine
 
 let tid_of_track = function Sink.Cpu c -> c | Sink.Enclave _ | Sink.Global -> 0
+
+(* Bookkeeping keys packing (machine, id); unscoped records (machine -1)
+   keep the bare id, so single-machine exports are unchanged. *)
+let mkey m id = ((m + 1) lsl 20) lor id
+let mkey_machine k = (k lsr 20) - 1
+let mkey_id k = k land 0xFFFFF
 
 let jint i = Json.Num (float_of_int i)
 let jts ns = Json.Num (float_of_int ns /. 1000.0)
@@ -35,20 +45,23 @@ let export ?(meta = []) sink =
      interval.  At most one slice is open per CPU, so B/E pairs are always
      matched per track. *)
   let open_slice : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let close_slice ~ts cpu =
-    if Hashtbl.mem open_slice cpu then begin
-      Hashtbl.remove open_slice cpu;
-      emit (base "" "E" ~ts ~pid:pid_cpus ~tid:cpu [])
+  let close_slice ~ts ~machine cpu =
+    let k = mkey machine cpu in
+    if Hashtbl.mem open_slice k then begin
+      Hashtbl.remove open_slice k;
+      emit (base "" "E" ~ts ~pid:(pid_cpus + machine_off machine) ~tid:cpu [])
     end
   in
-  let begin_slice ~ts cpu name args =
-    close_slice ~ts cpu;
-    Hashtbl.replace open_slice cpu ();
-    emit (base name "B" ~ts ~pid:pid_cpus ~tid:cpu [ ("args", jargs args) ])
-  in
-  let cpu_instant ~ts cpu name args =
+  let begin_slice ~ts ~machine cpu name args =
+    close_slice ~ts ~machine cpu;
+    Hashtbl.replace open_slice (mkey machine cpu) ();
     emit
-      (base name "i" ~ts ~pid:pid_cpus ~tid:cpu
+      (base name "B" ~ts ~pid:(pid_cpus + machine_off machine) ~tid:cpu
+         [ ("args", jargs args) ])
+  in
+  let cpu_instant ~ts ~machine cpu name args =
+    emit
+      (base name "i" ~ts ~pid:(pid_cpus + machine_off machine) ~tid:cpu
          (("s", Json.Str "t") :: (if args = [] then [] else [ ("args", jargs args) ])))
   in
   (* Spans become async b/e pairs; ends carry only the id in the sink, so
@@ -62,12 +75,14 @@ let export ?(meta = []) sink =
   in
   let cpus = Hashtbl.create 16 in
   let enclaves = Hashtbl.create 16 in
-  let note_track = function
-    | Sink.Cpu c -> Hashtbl.replace cpus c ()
-    | Sink.Enclave e -> Hashtbl.replace enclaves e ()
+  let machines = Hashtbl.create 8 in
+  let note_machine m = if m >= 0 then Hashtbl.replace machines m () in
+  let note_track ~machine = function
+    | Sink.Cpu c -> Hashtbl.replace cpus (mkey machine c) ()
+    | Sink.Enclave e -> Hashtbl.replace enclaves (mkey machine e) ()
     | Sink.Global -> ()
   in
-  let note_cpu c = Hashtbl.replace cpus c () in
+  let note_cpu ~machine c = Hashtbl.replace cpus (mkey machine c) () in
   (* Sort by time (stable: equal timestamps keep recording order, which is
      causal order within one sim step). *)
   let evs = Array.make (Sink.length sink) None in
@@ -80,13 +95,15 @@ let export ?(meta = []) sink =
   Array.iter
     (fun (ev : Sink.ev) ->
       let ts = ev.time in
-      note_track ev.track;
+      let machine = ev.machine in
+      note_machine machine;
+      note_track ~machine ev.track;
       match ev.kind with
       | Sink.Sched s -> (
         match s with
         | Sink.Dispatch { cpu; tid; name; migrated } ->
-          note_cpu cpu;
-          begin_slice ~ts cpu ("run:" ^ name)
+          note_cpu ~machine cpu;
+          begin_slice ~ts ~machine cpu ("run:" ^ name)
             (("tid", string_of_int tid)
             :: (if migrated then [ ("migrated", "true") ] else []))
         | Sink.Preempt { cpu; _ }
@@ -94,16 +111,16 @@ let export ?(meta = []) sink =
         | Sink.Yield { cpu; _ }
         | Sink.Exit { cpu; _ }
         | Sink.Idle { cpu } ->
-          note_cpu cpu;
-          close_slice ~ts cpu
+          note_cpu ~machine cpu;
+          close_slice ~ts ~machine cpu
         | Sink.Wake { tid; target_cpu } ->
-          note_cpu target_cpu;
-          cpu_instant ~ts target_cpu "wake" [ ("tid", string_of_int tid) ]
+          note_cpu ~machine target_cpu;
+          cpu_instant ~ts ~machine target_cpu "wake" [ ("tid", string_of_int tid) ]
         | Sink.Tick { cpu } ->
-          note_cpu cpu;
-          cpu_instant ~ts cpu "tick" [])
+          note_cpu ~machine cpu;
+          cpu_instant ~ts ~machine cpu "tick" [])
       | Sink.Span_begin { id; parent; name } ->
-        let pid = pid_of_track ev.track in
+        let pid = pid_of_track ~machine ev.track in
         Hashtbl.replace span_info id (name, pid);
         let args =
           if parent = 0 then ev.args
@@ -120,7 +137,7 @@ let export ?(meta = []) sink =
       | Sink.Instant { name } ->
         emit
           (base name "i" ~ts
-             ~pid:(pid_of_track ev.track)
+             ~pid:(pid_of_track ~machine ev.track)
              ~tid:(tid_of_track ev.track)
              (("s", Json.Str "p")
              :: (if ev.args = [] then [] else [ ("args", jargs ev.args) ])))
@@ -129,7 +146,12 @@ let export ?(meta = []) sink =
   (* Self-repair: terminate anything still open at the last timestamp so
      every begin has an end. *)
   let final = Sink.last_time sink in
-  Hashtbl.iter (fun cpu () -> emit (base "" "E" ~ts:final ~pid:pid_cpus ~tid:cpu []))
+  Hashtbl.iter
+    (fun k () ->
+      emit
+        (base "" "E" ~ts:final
+           ~pid:(pid_cpus + machine_off (mkey_machine k))
+           ~tid:(mkey_id k) []))
     open_slice;
   Hashtbl.iter
     (fun id (name, pid) ->
@@ -152,13 +174,29 @@ let export ?(meta = []) sink =
   meta_ev "process_name" ~pid:pid_cpus ~tid:0 "cpus";
   meta_ev "process_name" ~pid:pid_global ~tid:0 "ghost-global";
   Hashtbl.iter
-    (fun c () ->
-      meta_ev "thread_name" ~pid:pid_cpus ~tid:c (Printf.sprintf "cpu%d" c))
+    (fun m () ->
+      meta_ev "process_name" ~pid:(pid_cpus + machine_off m) ~tid:0
+        (Printf.sprintf "m%d/cpus" m);
+      meta_ev "process_name" ~pid:(pid_global + machine_off m) ~tid:0
+        (Printf.sprintf "m%d/ghost-global" m))
+    machines;
+  Hashtbl.iter
+    (fun k () ->
+      let m = mkey_machine k and c = mkey_id k in
+      let prefix = if m < 0 then "" else Printf.sprintf "m%d/" m in
+      meta_ev "thread_name"
+        ~pid:(pid_cpus + machine_off m)
+        ~tid:c
+        (Printf.sprintf "%scpu%d" prefix c))
     cpus;
   Hashtbl.iter
-    (fun e () ->
-      meta_ev "process_name" ~pid:(pid_of_enclave e) ~tid:0
-        (Printf.sprintf "enclave-%d" e))
+    (fun k () ->
+      let m = mkey_machine k and e = mkey_id k in
+      let prefix = if m < 0 then "" else Printf.sprintf "m%d/" m in
+      meta_ev "process_name"
+        ~pid:(pid_of_enclave e + machine_off m)
+        ~tid:0
+        (Printf.sprintf "%senclave-%d" prefix e))
     enclaves;
   Json.Obj
     ([

@@ -41,7 +41,13 @@ type kind =
   | Instant of { name : string }
   | Sched of sched
 
-type ev = { time : int; track : track; kind : kind; args : (string * string) list }
+type ev = {
+  time : int;
+  track : track;
+  machine : int;  (* -1 = unscoped (single-machine run) *)
+  kind : kind;
+  args : (string * string) list;
+}
 
 (* --- Global intern table ----------------------------------------------------- *)
 
@@ -129,10 +135,32 @@ let track_code = function
   | Cpu c -> cpu_track c
   | Enclave e -> enclave_track e
 
+(* Machine scope for cluster runs: bits 22+ of a track code carry
+   [machine + 1] (0 = unscoped), stamped by [claim] so every record — spans,
+   instants, sched events — is attributed to the machine whose lane was
+   draining when it was written.  Track ids therefore live in bits 2..21.
+   Process-global like the installed sink itself: the cluster's lane merge
+   calls {!set_machine} on every lane switch. *)
+
+let track_id_mask = 0xFFFFF
+let scope_shift = 22
+
+(* [scope] holds machine + 1 (0 = unscoped); [scope_meta] caches it
+   pre-shifted into meta-word position (track code << 17, scope << 22
+   within the code), so the claim fast path pays one load and one [lor]. *)
+let scope = ref 0
+let scope_meta = ref 0
+
+let set_machine m =
+  scope := (if m < 0 then 0 else m + 1);
+  scope_meta := !scope lsl (scope_shift + 17)
+
+let machine_scope () = !scope - 1
+
 let decode_track code =
   match code land 3 with
-  | 1 -> Cpu (code asr 2)
-  | 2 -> Enclave (code asr 2)
+  | 1 -> Cpu ((code lsr 2) land track_id_mask)
+  | 2 -> Enclave ((code lsr 2) land track_id_mask)
   | _ -> Global
 
 (* --- Record layout ------------------------------------------------------------ *)
@@ -436,13 +464,26 @@ let reset_queue_owners () = Array.fill !queue_owners 0 (Array.length !queue_owne
 
 let install t =
   reset_queue_owners ();
+  set_machine (-1);
   installed := Some t
 
-let uninstall () = installed := None
+let uninstall () =
+  set_machine (-1);
+  installed := None
 let current () = !installed
 let[@inline] enabled () = !installed != None
 
+(* Machines number their qids/tids/txn ids independently, so when a scope
+   is active the join keys are offset into a per-machine range — otherwise
+   two machines' (qid, tid, tseq) joins would collide in the one installed
+   sink.  With no scope the offsets are 0 and the layout is exactly the
+   single-machine one. *)
+let[@inline] scope_qid qid = qid + (!scope lsl 10)
+let[@inline] scope_tid tid = tid + (!scope lsl 12)
+let[@inline] scope_txn txn_id = txn_id lxor (!scope lsl 40)
+
 let note_queue_owner ~qid ~eid =
+  let qid = if qid >= 0 then scope_qid qid else qid in
   if qid >= 0 then begin
     if qid >= Array.length !queue_owners then begin
       let n = pow2 (qid + 1) (2 * Array.length !queue_owners) in
@@ -454,6 +495,7 @@ let note_queue_owner ~qid ~eid =
   end
 
 let[@inline] queue_owner_eid ~qid =
+  let qid = if qid >= 0 then scope_qid qid else qid in
   if qid >= 0 && qid < Array.length !queue_owners then !queue_owners.(qid) else -1
 
 let queue_owner ~qid =
@@ -508,7 +550,7 @@ let[@inline] claim t ~size ~m ~time =
     end
   in
   let ring = t.ring in
-  Array.unsafe_set ring w m;
+  Array.unsafe_set ring w (m lor !scope_meta);
   Array.unsafe_set ring (w + 1) time;
   t.head <- t.head + size;
   t.written <- t.written + 1;
@@ -785,10 +827,12 @@ let msg_fifo t qid =
   Array.unsafe_get t.msg_fifos qid
 
 let[@inline] open_msg_span t ~qid ~tid ~tseq ~id =
-  if qid >= 0 then Qfifo.push (msg_fifo t qid) ~key:(msg_key ~tid ~tseq) ~id
+  if qid >= 0 then
+    Qfifo.push (msg_fifo t (scope_qid qid)) ~key:(msg_key ~tid ~tseq) ~id
 
 (* Returns the span id, or -1 when no span was opened for this message. *)
 let[@inline] take_msg_span t ~qid ~tid ~tseq =
+  let qid = if qid >= 0 then scope_qid qid else qid in
   if qid < 0 || qid >= Array.length t.msg_fifos then -1
   else Qfifo.take (Array.unsafe_get t.msg_fifos qid) ~key:(msg_key ~tid ~tseq)
 
@@ -804,6 +848,7 @@ let ensure_tid t tid =
   end
 
 let open_sched_span t ~tid ~id ~began =
+  let tid = if tid >= 0 then scope_tid tid else tid in
   if tid >= 0 then begin
     ensure_tid t tid;
     t.sched_id.(tid) <- id;
@@ -813,29 +858,32 @@ let open_sched_span t ~tid ~id ~began =
 (* The open chain span id for [tid]: -1 when none is open (a 0 id means the
    chain exists but its span was sampled out). *)
 let[@inline] sched_span_id t ~tid =
+  let tid = if tid >= 0 then scope_tid tid else tid in
   if tid >= 0 && tid < Array.length t.sched_id then Array.unsafe_get t.sched_id tid
   else -1
 
 let sched_span_began t ~tid =
+  let tid = if tid >= 0 then scope_tid tid else tid in
   if tid >= 0 && tid < Array.length t.sched_began then
     Array.unsafe_get t.sched_began tid
   else 0
 
 let take_sched_span t ~tid =
   let id = sched_span_id t ~tid in
-  if id >= 0 then Array.unsafe_set t.sched_id tid (-1);
+  if id >= 0 then Array.unsafe_set t.sched_id (scope_tid tid) (-1);
   id
 
-let open_txn_span t ~txn_id ~id ~began = Itab.insert t.txn_open txn_id id began
+let open_txn_span t ~txn_id ~id ~began =
+  Itab.insert t.txn_open (scope_txn txn_id) id began
 
 (* The begin time of the open transaction span; must be read before the
    take. *)
 let txn_span_began t ~txn_id =
-  let i = Itab.find t.txn_open txn_id in
+  let i = Itab.find t.txn_open (scope_txn txn_id) in
   if i < 0 then 0 else t.txn_open.Itab.v2.(i)
 
 let take_txn_span t ~txn_id =
-  let i = Itab.find t.txn_open txn_id in
+  let i = Itab.find t.txn_open (scope_txn txn_id) in
   if i < 0 then -1
   else begin
     let id = t.txn_open.Itab.v1.(i) in
@@ -901,7 +949,8 @@ let decode t w m =
     if tag >= tag_dispatch || tag = tag_span_end then Global
     else decode_track (meta_track m)
   in
-  { time; track; kind; args = decode_args t w m }
+  let machine = (meta_track m lsr scope_shift) - 1 in
+  { time; track; machine; kind; args = decode_args t w m }
 
 (* Like {!record_size} but resolving the signature against [t]'s snapshot
    tables when it was read from a binary file — the process-global argsig

@@ -45,7 +45,15 @@ type kind =
   | Instant of { name : string }
   | Sched of sched
 
-type ev = { time : int; track : track; kind : kind; args : (string * string) list }
+type ev = {
+  time : int;
+  track : track;
+  machine : int;
+      (** Machine the record was written under in a cluster run ({!set_machine});
+          [-1] in single-machine runs. *)
+  kind : kind;
+  args : (string * string) list;
+}
 
 type t
 
@@ -111,6 +119,22 @@ val global_track : int
 val cpu_track : int -> int
 val enclave_track : int -> int
 val track_code : track -> int
+
+(** {1 Machine scope (cluster runs)}
+
+    Process-global, like sink installation: the cluster lane merge calls
+    {!set_machine} whenever it starts draining a different machine's lane,
+    and every record written meanwhile — and every cross-layer join key —
+    is attributed to that machine.  Track ids are limited to 20 bits; the
+    machine lives in the track code's high bits, so single-machine runs
+    (scope unset) produce bit-identical rings to before. *)
+
+val set_machine : int -> unit
+(** [set_machine m] scopes subsequent records to machine [m]; [-1] (or
+    {!install}/{!uninstall}) clears the scope. *)
+
+val machine_scope : unit -> int
+(** Currently scoped machine, [-1] when unscoped. *)
 
 (** {1 Recording — int writers (hot path)}
 

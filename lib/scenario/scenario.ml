@@ -332,7 +332,16 @@ let report_of (t : t) (le : live_enclave) =
     faults = Faults.Injector.report le.injector;
   }
 
-let run (t : t) =
+(* The run is split into phases so the cluster harness can drive many
+   machines' scenarios in lockstep on per-machine event lanes: [start]
+   builds the whole system and arms workloads/controller (setup order
+   unchanged — it fixes task ids and event seq numbers, hence bit-exact
+   reports), the clock is then advanced externally, and the marks/finish
+   take the same snapshots [run] always took at the same virtual times. *)
+
+type started = { scn : t; live : live; sink : Obs.Sink.t option }
+
+let start (t : t) =
   let kernel = Kernel.create ~seed:t.seed t.machine in
   let sys = System.install kernel in
   let sink =
@@ -343,88 +352,113 @@ let run (t : t) =
       Obs.Sink.install s;
       Some s
   in
-  Fun.protect
-    ~finally:(fun () -> if sink <> None then Obs.Sink.uninstall ())
-    (fun () ->
-      let les = List.map (setup_enclave kernel sys) t.enclaves in
-      let les =
-        List.map
-          (fun le ->
-            let le =
-              { le with
-                live_workloads =
-                  List.map (setup_workload t kernel le) le.spec.workloads }
-            in
-            (* Threads fall back to CFS before destroy callbacks run; this
-               snapshot is the paper's "transparently revert" check. *)
-            let ghost_tasks =
-              List.concat_map
-                (function
-                  | L_openloop ol -> Workloads.Openloop.workers ol
-                  | L_batch b -> Workloads.Batch.tasks b
-                  | L_spin ts -> ts
-                  | L_jobs j -> j.tasks)
-                le.live_workloads
-            in
-            System.on_destroy le.enclave (fun _reason ->
-                le.all_cfs_at_destroy <-
-                  Some
-                    (List.for_all
-                       (fun (tk : Task.t) ->
-                         tk.Task.state = Task.Dead || tk.Task.policy = Task.Cfs)
-                       ghost_tasks));
-            le)
-          les
-      in
-      let live = { kernel; sys; live_enclaves = les } in
-      let horizon = t.warmup_ns + t.measure_ns in
-      List.iter
+  try
+    let les = List.map (setup_enclave kernel sys) t.enclaves in
+    let les =
+      List.map
         (fun le ->
-          List.iter
-            (function
-              | L_openloop ol -> Workloads.Openloop.start ol ~until:horizon
-              | L_batch _ | L_spin _ | L_jobs _ -> ())
-            le.live_workloads)
-        les;
-      (match t.controller with
-      | None -> ()
-      | Some c ->
-        let rec tick () =
-          if Kernel.now kernel < horizon then begin
-            c.tick live;
-            ignore
-              (Sim.Engine.post_in (Kernel.engine kernel) ~delay:c.period_ns
-                 tick)
-          end
-        in
-        ignore
-          (Sim.Engine.post_in (Kernel.engine kernel) ~delay:c.period_ns tick));
+          let le =
+            { le with
+              live_workloads =
+                List.map (setup_workload t kernel le) le.spec.workloads }
+          in
+          (* Threads fall back to CFS before destroy callbacks run; this
+             snapshot is the paper's "transparently revert" check. *)
+          let ghost_tasks =
+            List.concat_map
+              (function
+                | L_openloop ol -> Workloads.Openloop.workers ol
+                | L_batch b -> Workloads.Batch.tasks b
+                | L_spin ts -> ts
+                | L_jobs j -> j.tasks)
+              le.live_workloads
+          in
+          System.on_destroy le.enclave (fun _reason ->
+              le.all_cfs_at_destroy <-
+                Some
+                  (List.for_all
+                     (fun (tk : Task.t) ->
+                       tk.Task.state = Task.Dead || tk.Task.policy = Task.Cfs)
+                     ghost_tasks));
+          le)
+        les
+    in
+    let live = { kernel; sys; live_enclaves = les } in
+    let horizon = t.warmup_ns + t.measure_ns in
+    List.iter
+      (fun le ->
+        List.iter
+          (function
+            | L_openloop ol -> Workloads.Openloop.start ol ~until:horizon
+            | L_batch _ | L_spin _ | L_jobs _ -> ())
+          le.live_workloads)
+      les;
+    (match t.controller with
+    | None -> ()
+    | Some c ->
+      let rec tick () =
+        if Kernel.now kernel < horizon then begin
+          c.tick live;
+          ignore
+            (Sim.Engine.post_in (Kernel.engine kernel) ~delay:c.period_ns tick)
+        end
+      in
+      ignore (Sim.Engine.post_in (Kernel.engine kernel) ~delay:c.period_ns tick));
+    { scn = t; live; sink }
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    if sink <> None then Obs.Sink.uninstall ();
+    Printexc.raise_with_backtrace e bt
+
+let live_of st = st.live
+let kernel_of st = st.live.kernel
+let enclave_handle le = le.enclave
+
+(* To be called when the clock reaches [warmup_ns] / [warmup_ns +
+   measure_ns]: snapshot policy stats so the report covers exactly the
+   measurement window. *)
+let mark_measure_start st =
+  List.iter
+    (fun (le : live_enclave) ->
+      le.stats_at_measure_start <- le.instance.Ghost_policy.stats ();
+      List.iter
+        (function
+          | L_batch b -> Workloads.Batch.mark b
+          | L_openloop _ | L_spin _ | L_jobs _ -> ())
+        le.live_workloads)
+    st.live.live_enclaves
+
+let mark_measure_end st =
+  List.iter
+    (fun (le : live_enclave) ->
+      le.stats_at_measure_end <- le.instance.Ghost_policy.stats ();
+      Registry.publish_stats le.instance)
+    st.live.live_enclaves
+
+let finish st =
+  {
+    scenario = st.scn.name;
+    seed = st.scn.seed;
+    measure_ns = st.scn.measure_ns;
+    enclaves = List.map (report_of st.scn) st.live.live_enclaves;
+  }
+
+let run (t : t) =
+  let st = start t in
+  Fun.protect
+    ~finally:(fun () -> if st.sink <> None then Obs.Sink.uninstall ())
+    (fun () ->
+      let kernel = st.live.kernel in
+      let horizon = t.warmup_ns + t.measure_ns in
       Kernel.run_until kernel t.warmup_ns;
-      List.iter
-        (fun (le : live_enclave) ->
-          le.stats_at_measure_start <- le.instance.Ghost_policy.stats ();
-          List.iter
-            (function
-              | L_batch b -> Workloads.Batch.mark b
-              | L_openloop _ | L_spin _ | L_jobs _ -> ())
-            le.live_workloads)
-        les;
+      mark_measure_start st;
       Kernel.run_until kernel horizon;
-      List.iter
-        (fun (le : live_enclave) ->
-          le.stats_at_measure_end <- le.instance.Ghost_policy.stats ();
-          Registry.publish_stats le.instance)
-        les;
+      mark_measure_end st;
       Kernel.run_until kernel (horizon + t.cooldown_ns);
-      (match (sink, t.trace) with
+      (match (st.sink, t.trace) with
       | Some s, Some path -> Obs.Perfetto.write_file s ~path
       | _ -> ());
-      {
-        scenario = t.name;
-        seed = t.seed;
-        measure_ns = t.measure_ns;
-        enclaves = List.map (report_of t) les;
-      })
+      finish st)
 
 (* --- Smoke ------------------------------------------------------------------- *)
 

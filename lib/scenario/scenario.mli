@@ -152,6 +152,36 @@ type report = {
 
 val run : t -> report
 
+(** {1 Phased execution (cluster harness)}
+
+    {!run} in separable phases, so the cluster subsystem can build many
+    machines' scenarios, advance their clocks in lockstep on per-machine
+    event lanes, and take the measurement snapshots at the same virtual
+    times {!run} would.  [start] performs the full setup in the canonical
+    order (and installs the trace sink iff [trace] is set — cluster
+    machines pass [trace = None] and let the cluster own the one sink);
+    the caller then advances the kernel's engine to [warmup_ns], calls
+    {!mark_measure_start}, advances to [warmup_ns + measure_ns], calls
+    {!mark_measure_end}, runs the cooldown and calls {!finish}.  Running
+    {!run} and this sequence produce identical reports. *)
+
+type started
+
+val start : t -> started
+
+val live_of : started -> live
+val kernel_of : started -> Kernel.t
+(** Harness-level escape hatch (the cluster drives each machine's engine
+    directly); controllers still only ever see {!live}. *)
+
+val enclave_handle : live_enclave -> Ghost.System.enclave
+(** The underlying enclave, for harness-level task spawning (e.g. the
+    cluster's serving pools). *)
+
+val mark_measure_start : started -> unit
+val mark_measure_end : started -> unit
+val finish : started -> report
+
 val enclave_report : report -> string -> enclave_report
 
 val stat_delta : enclave_report -> string -> int option

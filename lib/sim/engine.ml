@@ -18,6 +18,12 @@ let post_in e ~delay fn =
 
 let cancel e h = Eventq.cancel e.events h
 let pending e = Eventq.live_count e.events
+let next_time e = Eventq.next_time e.events
+
+(* Inert pre-fired handle: cancel is a no-op, comparison is by [==].  Lets
+   callers keep a [handle] slot (rather than a [handle option]) for a timer
+   that may not be armed — no [Some] box per re-arm on hot paths. *)
+let nil_handle : handle = Heapq.nil
 
 let step e =
   let c = Eventq.pop_cell e.events in

@@ -31,6 +31,17 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of live pending events. *)
 
+val next_time : t -> int
+(** Timestamp of the earliest live pending event, [max_int] when none.
+    Allocation-free (unlike peeking through an [option]); the cluster lane
+    merge polls this across all machine engines every batch. *)
+
+val nil_handle : handle
+(** Inert, permanently-cancelled handle; compare with [==].  Use it to
+    initialise a [handle] slot for a timer that may not be armed, avoiding
+    a [handle option] box on re-arm-heavy hot paths ({!cancel} on it is a
+    no-op). *)
+
 val events_fired : t -> int
 (** Total events fired since creation (the numerator of the engine's
     events/sec throughput metric). *)

@@ -15,6 +15,8 @@
 
 type handle = Heapq.cell
 
+let nil_handle : handle = Heapq.nil
+
 type t = {
   wheel : Wheel.t;
   heap : Heapq.t;
@@ -27,25 +29,23 @@ let live_count q = Wheel.live q.wheel + Heapq.live_count q.heap
 let is_empty q = live_count q = 0
 
 let push q ~time fn =
-  let cell =
-    { Heapq.time; seq = q.next_seq; fn; cancelled = false; in_heap = false }
-  in
+  let cell = { Heapq.time; seq = q.next_seq; fn; flags = 0 } in
   q.next_seq <- q.next_seq + 1;
   if Wheel.accepts q.wheel ~time then Wheel.add q.wheel cell
   else begin
-    cell.in_heap <- true;
+    Heapq.set_in_heap cell;
     Heapq.add q.heap cell
   end;
   cell
 
 let cancel q (cell : handle) =
-  if not cell.Heapq.cancelled then begin
-    cell.Heapq.cancelled <- true;
-    if cell.Heapq.in_heap then Heapq.note_cancel q.heap
+  if not (Heapq.cancelled cell) then begin
+    Heapq.set_cancelled cell;
+    if Heapq.in_heap cell then Heapq.note_cancel q.heap
     else Wheel.note_cancel q.wheel
   end
 
-let is_cancelled (cell : handle) = cell.Heapq.cancelled
+let is_cancelled (cell : handle) = Heapq.cancelled cell
 
 (* Remove and return the earliest live cell marked as fired ({!Heapq.nil}
    when empty).  Sentinel-based: the whole path — two tier peeks, the merge
@@ -56,7 +56,7 @@ let pop_cell q =
   let h = Heapq.peek_live_cell q.heap in
   if w != Heapq.nil && (h == Heapq.nil || Heapq.earlier w h) then begin
     Wheel.take_peeked q.wheel;
-    w.Heapq.cancelled <- true;
+    Heapq.set_cancelled w;
     w
   end
   else if h != Heapq.nil then begin
@@ -64,7 +64,7 @@ let pop_cell q =
     (* Keep the wheel's base near the clock so short-delay pushes file at
        level 0; safe because this cell was the global minimum. *)
     Wheel.advance q.wheel cell.Heapq.time;
-    cell.Heapq.cancelled <- true;
+    Heapq.set_cancelled cell;
     cell
   end
   else Heapq.nil
@@ -80,13 +80,13 @@ let pop_cell_until q ~horizon =
     if w.Heapq.time > horizon then Heapq.nil
     else begin
       Wheel.take_peeked q.wheel;
-      w.Heapq.cancelled <- true;
+      Heapq.set_cancelled w;
       w
     end
   else if h != Heapq.nil && h.Heapq.time <= horizon then begin
     let cell = Heapq.pop_live_cell q.heap in
     Wheel.advance q.wheel cell.Heapq.time;
-    cell.Heapq.cancelled <- true;
+    Heapq.set_cancelled cell;
     cell
   end
   else Heapq.nil
@@ -101,3 +101,12 @@ let peek_time q =
   if w == Heapq.nil then (if h == Heapq.nil then None else Some h.Heapq.time)
   else if h == Heapq.nil || Heapq.earlier w h then Some w.Heapq.time
   else Some h.Heapq.time
+
+(* [peek_time] without the [option]: [max_int] when empty.  The lane merge
+   scans this across N machines per batch, so it must not allocate. *)
+let next_time q =
+  let w = Wheel.peek_cell q.wheel in
+  let h = Heapq.peek_live_cell q.heap in
+  if w == Heapq.nil then (if h == Heapq.nil then max_int else h.Heapq.time)
+  else if h == Heapq.nil || Heapq.earlier w h then w.Heapq.time
+  else h.Heapq.time

@@ -14,6 +14,11 @@ type t
 type handle = Heapq.cell
 (** A handle on a scheduled event, usable to cancel it. *)
 
+val nil_handle : handle
+(** {!Heapq.nil}: an inert, pre-cancelled handle (compare with [==]).
+    Initialise re-armed timer slots with it instead of [None] so arming
+    does not box a [Some] per event. *)
+
 val create : unit -> t
 (** A fresh, empty queue. *)
 
@@ -49,3 +54,7 @@ val pop : t -> (int * (unit -> unit)) option
 
 val peek_time : t -> int option
 (** Timestamp of the earliest live event without removing it. *)
+
+val next_time : t -> int
+(** {!peek_time} without the [option]: [max_int] when no live event remains.
+    Allocation-free — the primitive the cluster lane merge scans on. *)

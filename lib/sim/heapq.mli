@@ -10,14 +10,23 @@ type cell = {
   time : int;
   seq : int;
   fn : unit -> unit;
-  mutable cancelled : bool;
-  mutable in_heap : bool;
-      (** Which {!Eventq} tier stores the cell: [true] = this heap, [false] =
-          the timer wheel.  Fixed at push time (cells never migrate between
-          tiers). *)
+  mutable flags : int;
+      (** Bit 0: cancelled.  Bit 1: which {!Eventq} tier stores the cell
+          ([1] = this heap, [0] = the timer wheel; fixed at push time, cells
+          never migrate between tiers).  Packed so a cell is 5 words instead
+          of 6 — cancel-heavy workloads allocate two cells per fired event
+          and feel the difference directly in minor-GC pressure. *)
 }
 (** A scheduled event.  [(time, seq)] totally orders cells: seq numbers are
     unique, so ties in time resolve to insertion order. *)
+
+val flag_cancelled : int
+val flag_in_heap : int
+
+val cancelled : cell -> bool
+val set_cancelled : cell -> unit
+val in_heap : cell -> bool
+val set_in_heap : cell -> unit
 
 val earlier : cell -> cell -> bool
 (** Strict [(time, seq)] order. *)
@@ -63,6 +72,10 @@ val compact : t -> unit
 (** {1 Standalone queue API (heap-only baseline)} *)
 
 type handle = cell
+
+val nil_handle : handle
+(** {!nil} under its queue-API name, so the engine-bench functor signature
+    (shared with {!Eventq}) can expose it. *)
 
 val push : t -> time:int -> (unit -> unit) -> handle
 val cancel : t -> handle -> unit

@@ -1,0 +1,100 @@
+(* Deterministic merge of N independent event lanes.
+
+   Each lane is a full {!Engine} — its own clock, wheel and overflow heap —
+   so per-machine simulation never contends on one global queue.  The merge
+   advances whichever lane holds the globally earliest event, ordering
+   events by lowest [(time, lane_id, seq)]: ties in time fire the lowest
+   lane first, and within a lane the engine's own [(time, seq)] order
+   applies.  At a fixed seed the interleaving is bit-reproducible.
+
+   Two facts make the merge cheap and correct:
+
+   - {b Merge invariant}: every lane clock is always [<=] the global fire
+     time, so a cross-lane post at a time [>= now t] can never land in a
+     destination lane's past ([Engine.post] would raise).  Clocks only
+     catch up to the window edge in {!run_until}'s final alignment pass.
+
+   - {b Batching}: after one O(N) scan picks the winning lane [i] and the
+     runner-up head time across the other lanes, lane [i] may fire events
+     back-to-back — no rescan — while its head stays strictly below both
+     the runner-up and the earliest cross-post made since the scan
+     ([xmin]).  Strictly: on any tie the merge rescans, and the scan
+     resolves it to the lowest lane id.  Cross-lane posts MUST go through
+     {!post}/{!post_in} (which maintain [xmin]); same-lane posts may use
+     the lane's engine directly, the scan of [Engine.next_time] sees them. *)
+
+type t = {
+  engines : Engine.t array;
+  mutable now : int;  (* time of the last globally-fired event *)
+  mutable xmin : int;  (* earliest cross-post since the current scan *)
+  mutable fired : int;  (* events fired through the merge *)
+  mutable current : int;  (* lane currently draining; -1 before the first *)
+  on_lane_switch : int -> unit;
+}
+
+let create ?(on_lane_switch = ignore) engines =
+  if Array.length engines = 0 then invalid_arg "Lanes.create: no lanes";
+  { engines; now = 0; xmin = max_int; fired = 0; current = -1; on_lane_switch }
+
+let lanes t = Array.length t.engines
+let engine t i = t.engines.(i)
+let now t = t.now
+let events_fired t = t.fired
+
+let post t ~lane ~time fn =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Lanes.post: time %d is before global now %d" time t.now);
+  if time < t.xmin then t.xmin <- time;
+  Engine.post t.engines.(lane) ~time fn
+
+let post_in t ~lane ~delay fn =
+  if delay < 0 then invalid_arg "Lanes.post_in: negative delay";
+  post t ~lane ~time:(t.now + delay) fn
+
+(* One batch: pick the winning lane, fire its run, return false when no
+   event remains at or before [horizon]. *)
+let batch t ~horizon =
+  let n = Array.length t.engines in
+  let best = ref (-1) and best_t = ref max_int and runner = ref max_int in
+  for i = 0 to n - 1 do
+    let ti = Engine.next_time t.engines.(i) in
+    if ti < !best_t then begin
+      runner := !best_t;
+      best_t := ti;
+      best := i
+    end
+    else if ti < !runner then runner := ti
+  done;
+  if !best < 0 || !best_t > horizon then false
+  else begin
+    let i = !best in
+    if i <> t.current then begin
+      t.current <- i;
+      t.on_lane_switch i
+    end;
+    let e = t.engines.(i) in
+    let runner = !runner in
+    t.xmin <- max_int;
+    (* The scan already proved the head is the global minimum: fire it,
+       then keep draining while this lane provably stays the minimum. *)
+    let rec drain () =
+      ignore (Engine.step e);
+      t.now <- Engine.now e;
+      t.fired <- t.fired + 1;
+      let h = Engine.next_time e in
+      if h <= horizon && h < runner && h < t.xmin then drain ()
+    in
+    drain ();
+    true
+  end
+
+let run_until t horizon =
+  while batch t ~horizon do
+    ()
+  done;
+  (* End-of-window alignment: every queue is drained past [horizon], so
+     this only advances clocks, preserving the merge invariant for the
+     next window. *)
+  Array.iter (fun e -> Engine.run_until e horizon) t.engines;
+  if horizon > t.now then t.now <- horizon

@@ -76,8 +76,7 @@ type t = {
   mutable dead : int;  (* cancelled cells still stored *)
 }
 
-let dummy_cell =
-  { Heapq.time = 0; seq = 0; fn = ignore; cancelled = true; in_heap = false }
+let dummy_cell = { Heapq.time = 0; seq = 0; fn = ignore; flags = Heapq.flag_cancelled }
 
 let create () =
   {
@@ -229,7 +228,7 @@ let rec skip_cancelled t slot =
   if slot.pos >= slot.len then false
   else begin
     let c = slot.cells.(slot.pos) in
-    if c.Heapq.cancelled then begin
+    if Heapq.cancelled c then begin
       slot.cells.(slot.pos) <- dummy_cell;
       slot.pos <- slot.pos + 1;
       t.size <- t.size - 1;
@@ -346,7 +345,7 @@ let compact t =
     let j = ref slot.pos in
     for i = slot.pos to slot.len - 1 do
       let c = slot.cells.(i) in
-      if c.Heapq.cancelled then begin
+      if Heapq.cancelled c then begin
         t.size <- t.size - 1;
         t.dead <- t.dead - 1
       end
