@@ -69,10 +69,6 @@ let run_table4 () =
   let work_ns = if !quick then ms 200 else ms 400 in
   Experiments.Table4.print (Experiments.Table4.run ~work_ns ())
 
-let run_bpf () =
-  let duration_ns = if !quick then ms 300 else ms 500 in
-  Experiments.Bpf_ablation.print (Experiments.Bpf_ablation.run ~duration_ns ())
-
 let run_tickless () =
   let duration_ns = if !quick then ms 300 else ms 500 in
   Experiments.Tickless.print (Experiments.Tickless.run ~duration_ns ())
@@ -905,6 +901,87 @@ let run_cluster () =
     ];
   guard "cluster identity" (if identical then 1.0 else 0.0) ~floor:1.0;
   guard "fleet static/dynamic p99" ratio ~floor:(if !quick then 1.5 else 3.0);
+  check_guards ()
+
+(* --- BPF fastpath tier (§3.5) -------------------------------------------------- *)
+
+(* The exact numbers the engine produced for the reference FIFO
+   configuration before the BPF tier landed.  With no program installed the
+   fastpath must be invisible: same events, same costs, same bytes. *)
+let bpf_identity_expect =
+  ( (* completed *) 49322,
+    (* p50_ns *) 25087,
+    (* p99_ns *) 2424831,
+    (* mean_ns *) 207005.370504,
+    (* commits *) 7914,
+    (* msgs *) 15826,
+    (* ctx_switches *) 7919 )
+
+let run_bpf () =
+  let duration_ns = if !quick then ms 150 else ms 500 in
+  let rows = Experiments.Bpf_ablation.run ~duration_ns () in
+  Experiments.Bpf_ablation.print rows;
+  let agent_only, fastpath =
+    match rows with
+    | [ a; f ] -> (a, f)
+    | _ -> failwith "bpf: two rows expected"
+  in
+  let e_completed, e_p50, e_p99, e_mean, e_commits, e_msgs, e_ctx =
+    bpf_identity_expect
+  in
+  let id = Experiments.Bpf_ablation.run_identity () in
+  let identity_ok =
+    id.Experiments.Bpf_ablation.id_completed = e_completed
+    && id.id_p50_ns = e_p50 && id.id_p99_ns = e_p99
+    && abs_float (id.id_mean_ns -. e_mean) < 1e-6
+    && id.id_commits = e_commits && id.id_msgs = e_msgs
+    && id.id_ctx_switches = e_ctx
+  in
+  Printf.printf
+    "identity run: completed=%d p50=%d p99=%d mean=%.6f commits=%d msgs=%d \
+     ctx=%d (%s)\n"
+    id.id_completed id.id_p50_ns id.id_p99_ns id.id_mean_ns id.id_commits
+    id.id_msgs id.id_ctx_switches
+    (if identity_ok then "matches pre-BPF baseline" else "DIVERGED");
+  let wd_win =
+    agent_only.Experiments.Bpf_ablation.wd_p99_us
+    /. fastpath.Experiments.Bpf_ablation.wd_p99_us
+  in
+  guard "bpf offered traffic identical"
+    (if
+       agent_only.Experiments.Bpf_ablation.offered
+       = fastpath.Experiments.Bpf_ablation.offered
+     then 1.0
+     else 0.0)
+    ~floor:1.0;
+  guard "bpf fastpath picks" (float_of_int fastpath.bpf_picks) ~floor:1_000.0;
+  guard "bpf wakeup-to-dispatch p99 win" wd_win ~floor:2.0;
+  guard "bpf no-program identity" (if identity_ok then 1.0 else 0.0) ~floor:1.0;
+  let row_json (r : Experiments.Bpf_ablation.row) =
+    Obs.Json.Obj
+      [
+        ("offered", Obs.Json.Num (float_of_int r.offered));
+        ("completed", Obs.Json.Num (float_of_int r.completed));
+        ("wd_p50_us", Obs.Json.Num r.wd_p50_us);
+        ("wd_p99_us", Obs.Json.Num r.wd_p99_us);
+        ("sojourn_p99_us", Obs.Json.Num r.sojourn_p99_us);
+        ("throughput_kqps", Obs.Json.Num r.throughput_kqps);
+        ("picks", Obs.Json.Num (float_of_int r.bpf_picks));
+        ("misses", Obs.Json.Num (float_of_int r.bpf_misses));
+        ("fallbacks", Obs.Json.Num (float_of_int r.bpf_fallbacks));
+      ]
+  in
+  update_bench_json
+    [
+      ( "bpf",
+        Obs.Json.Obj
+          [
+            ("agent_only", row_json agent_only);
+            ("fastpath", row_json fastpath);
+            ("wd_p99_win", Obs.Json.Num wd_win);
+            ("identity_ok", Obs.Json.Num (if identity_ok then 1.0 else 0.0));
+          ] );
+    ];
   check_guards ()
 
 (* --- Driver ------------------------------------------------------------------- *)

@@ -164,7 +164,10 @@ let bpf_cmd =
       (Experiments.Bpf_ablation.run ~duration_ns:(ms duration) ~seed ())
   in
   Cmd.v
-    (Cmd.info "bpf" ~doc:"BPF pick_next_task fastpath ablation (end of 3.2 / 5)")
+    (Cmd.info "bpf"
+       ~doc:
+         "BPF fastpath ablation: wakeup-to-dispatch latency with and without \
+          in-kernel programs (3.5 / 5)")
     Term.(
       const run $ duration_arg ~default:500 ~doc:"measured window (ms)" $ seed_arg)
 
@@ -339,7 +342,7 @@ let trace_experiments =
     ("fig8", "Google Search under the ghOSt policy");
     ("table3", "ghOSt operation microbenchmarks");
     ("table4", "secure VM core scheduling");
-    ("bpf", "BPF pick_next_task ablation");
+    ("bpf", "BPF fastpath wakeup-to-dispatch ablation");
     ("tickless", "tick-less guest scheduling") ]
 
 let run_traced_experiment name ~seed duration_ns =

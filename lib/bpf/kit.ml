@@ -1,0 +1,127 @@
+(* Canned fastpath programs and the map-layout convention shared with
+   agent-side publishers (Policies.Fastpath).
+
+   Map ids:
+     ring_data (0): power-of-two ring of runnable tids
+     ring_meta (1): [0] = head (consumer), [1] = tail (producer)
+     cls_map   (2): tid land cls_mask -> nonzero if wakeup-eligible
+     conf_map  (3): [0] = timeslice in ns (0 disables tick preemption)
+
+   The ring is single-producer from the program side (tick requeue) and
+   single-consumer (pick); the agent also publishes into it through the
+   ABI map calls.  In the simulator an agent pass runs at one instant,
+   so producer/consumer interleaving hazards cannot arise. *)
+
+let ring_data = 0
+let ring_meta = 1
+let cls_map = 2
+let conf_map = 3
+
+let meta_head = 0
+let meta_tail = 1
+let conf_slice = 0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ring_maps cap =
+  [ { Prog.mid = ring_data; size = cap }; { Prog.mid = ring_meta; size = 2 } ]
+
+(* Pick hook: pop the head of the shared ring, or decline when empty.
+   r1 = cpu (unused: the ring is enclave-global), r2 = attempt. *)
+let ring_pick ~cap =
+  if not (is_pow2 cap) then invalid_arg "Kit.ring_pick: cap must be a power of two";
+  {
+    Prog.name = "kit.ring_pick";
+    hook = Prog.Pick;
+    insns =
+      [|
+        Prog.Ldi (0, -1);
+        (* head *)
+        Prog.Ldi (5, meta_head);
+        Prog.Ldmap (3, ring_meta, 5);
+        (* tail *)
+        Prog.Ldi (5, meta_tail);
+        Prog.Ldmap (4, ring_meta, 5);
+        (* empty? *)
+        Prog.Jcc (Prog.Eq, 3, 4, 7);
+        Prog.Mov (5, 3);
+        Prog.Alui (Prog.And, 5, cap - 1);
+        Prog.Ldmap (6, ring_data, 5);
+        Prog.Alui (Prog.Add, 3, 1);
+        Prog.Ldi (5, meta_head);
+        Prog.Stmap (ring_meta, 5, 3);
+        Prog.Mov (0, 6);
+        Prog.Exit;
+      |];
+    maps = ring_maps cap;
+  }
+
+(* Wakeup hook: place any waking thread on the first idle cpu. *)
+let wakeup_first_idle =
+  {
+    Prog.name = "kit.wakeup_first_idle";
+    hook = Prog.Wakeup;
+    insns = [| Prog.Ldsnap (0, Prog.First_idle, 1); Prog.Exit |];
+    maps = [];
+  }
+
+(* Wakeup hook gated by a class map: only threads the agent marked
+   eligible (cls_map[tid land cls_mask] <> 0) take the fastpath. *)
+let wakeup_place ~cls_mask =
+  if not (is_pow2 (cls_mask + 1)) then
+    invalid_arg "Kit.wakeup_place: cls_mask must be 2^k - 1";
+  {
+    Prog.name = "kit.wakeup_place";
+    hook = Prog.Wakeup;
+    insns =
+      [|
+        Prog.Ldi (0, -1);
+        Prog.Mov (3, 1);
+        Prog.Alui (Prog.And, 3, cls_mask);
+        Prog.Ldmap (4, cls_map, 3);
+        Prog.Jcci (Prog.Eq, 4, 0, 1);
+        Prog.Ldsnap (0, Prog.First_idle, 3);
+        Prog.Exit;
+      |];
+    maps = [ { Prog.mid = cls_map; size = cls_mask + 1 } ];
+  }
+
+(* Tick hook: preempt (r0 = 1) once the current thread has run a full
+   timeslice (conf_map[0]), pushing its tid to the ring tail so the pick
+   hook redistributes it.  Declines when no slice is configured, the
+   slice has not elapsed, or the tid is invalid. *)
+let tick_requeue ~cap =
+  if not (is_pow2 cap) then
+    invalid_arg "Kit.tick_requeue: cap must be a power of two";
+  {
+    Prog.name = "kit.tick_requeue";
+    hook = Prog.Tick;
+    insns =
+      [|
+        Prog.Ldi (0, 0);
+        (* slice *)
+        Prog.Ldi (5, conf_slice);
+        Prog.Ldmap (3, conf_map, 5);
+        Prog.Jcci (Prog.Le, 3, 0, 11);
+        (* since_dispatch < slice? *)
+        Prog.Jcc (Prog.Lt, 2, 3, 10);
+        Prog.Jcci (Prog.Lt, 1, 0, 9);
+        (* push tid at tail *)
+        Prog.Ldi (5, meta_tail);
+        Prog.Ldmap (4, ring_meta, 5);
+        Prog.Mov (5, 4);
+        Prog.Alui (Prog.And, 5, cap - 1);
+        Prog.Stmap (ring_data, 5, 1);
+        Prog.Alui (Prog.Add, 4, 1);
+        Prog.Ldi (5, meta_tail);
+        Prog.Stmap (ring_meta, 5, 4);
+        Prog.Ldi (0, 1);
+        Prog.Exit;
+      |];
+    maps =
+      [
+        { Prog.mid = ring_data; size = cap };
+        { Prog.mid = ring_meta; size = 2 };
+        { Prog.mid = conf_map; size = 1 };
+      ];
+  }

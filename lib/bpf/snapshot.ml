@@ -1,0 +1,20 @@
+(* Bounded read-only view of kernel state handed to fastpath programs.
+
+   Every closure is total: out-of-range arguments return -1 (or 0 for
+   boolean fields), never raise.  The kernel builds one snapshot per
+   enclave at install time; the closures read live state, so a program
+   always sees the instant it runs at. *)
+
+type t = {
+  ncpus : unit -> int;
+  cpu_at : int -> int;
+  idle : int -> int;
+  latched : int -> int;
+  curr : int -> int;
+  curr_ghost : int -> int;
+  since_dispatch : int -> int;
+  runnable : int -> int;
+  thread_seq : int -> int;
+  first_idle : unit -> int;
+  socket : int -> int;
+}

@@ -1,0 +1,20 @@
+(** Bounded read-only view of kernel state for fastpath programs.
+
+    The kernel constructs one snapshot per enclave; programs read it via
+    [Ldsnap].  Every closure must be total — return -1 (or 0 for 0/1
+    fields) on out-of-range arguments, never raise — because verified
+    programs may load any register value as an index. *)
+
+type t = {
+  ncpus : unit -> int;  (** enclave cpu count *)
+  cpu_at : int -> int;  (** i-th enclave cpu, -1 out of range *)
+  idle : int -> int;  (** 1 if cpu idle, else 0 *)
+  latched : int -> int;  (** tid latched on cpu, -1 none *)
+  curr : int -> int;  (** tid running on cpu, -1 none *)
+  curr_ghost : int -> int;  (** 1 if cpu runs a thread of this enclave *)
+  since_dispatch : int -> int;  (** ns since dispatch on cpu, 0 if idle *)
+  runnable : int -> int;  (** 1 if tid runnable, else 0 *)
+  thread_seq : int -> int;  (** status-word seqcount of tid, -1 unknown *)
+  first_idle : unit -> int;  (** lowest idle enclave cpu, -1 none *)
+  socket : int -> int;  (** socket of cpu, -1 out of range *)
+}

@@ -1,0 +1,248 @@
+(* Static verifier for fastpath programs (paper §3.5).
+
+   Safety properties established once, at install time:
+   - termination: control flow is a forward-only DAG, so an accepted
+     program executes at most [Array.length insns] instructions;
+   - memory safety: every map access index is proven in-bounds by an
+     interval analysis over the DAG (no runtime bounds trap needed);
+   - no kernel mutation: the instruction set has no store other than
+     [Stmap] into the program's own declared maps; the verifier only
+     admits well-formed register/map operands.
+
+   The interval analysis is a forward dataflow pass.  Because all jumps
+   go forward, visiting instructions in program order is a topological
+   order of the CFG and a single pass reaches a fixpoint — no widening
+   needed.  Intervals use saturating arithmetic on native ints. *)
+
+let max_insns = 256
+let max_maps = 8
+let max_map_size = 65536
+let nregs = 8
+
+type verified = { prog : Prog.t; max_steps : int }
+
+let prog v = v.prog
+let max_steps v = v.max_steps
+
+(* Saturating interval arithmetic. ---------------------------------- *)
+
+type iv = { lo : int; hi : int }
+
+let top = { lo = min_int; hi = max_int }
+let const n = { lo = n; hi = n }
+let union a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let sat_add a b =
+  let s = a + b in
+  if a > 0 && b > 0 && s < 0 then max_int
+  else if a < 0 && b < 0 && s >= 0 then min_int
+  else s
+
+let shift iv n = { lo = sat_add iv.lo n; hi = sat_add iv.hi n }
+
+let nonneg iv = iv.lo >= 0
+
+(* Per-field result intervals for Ldsnap. *)
+let field_iv = function
+  | Prog.Idle | Prog.Curr_ghost | Prog.Runnable -> { lo = 0; hi = 1 }
+  | Prog.Since_dispatch | Prog.Ncpus -> { lo = 0; hi = max_int }
+  | Prog.Cpu_at | Prog.Latched | Prog.Curr | Prog.Thread_seq
+  | Prog.First_idle | Prog.Socket ->
+      { lo = -1; hi = max_int }
+
+(* Refine interval [v] under the assumption [v cmp imm] holds. *)
+let refine cmp imm v =
+  match cmp with
+  | Prog.Eq -> { lo = max v.lo imm; hi = min v.hi imm }
+  | Prog.Ne -> v
+  | Prog.Lt -> { v with hi = min v.hi (if imm = min_int then min_int else imm - 1) }
+  | Prog.Le -> { v with hi = min v.hi imm }
+  | Prog.Gt -> { v with lo = max v.lo (if imm = max_int then max_int else imm + 1) }
+  | Prog.Ge -> { v with lo = max v.lo imm }
+
+let negate = function
+  | Prog.Eq -> Prog.Ne
+  | Prog.Ne -> Prog.Eq
+  | Prog.Lt -> Prog.Ge
+  | Prog.Le -> Prog.Gt
+  | Prog.Gt -> Prog.Le
+  | Prog.Ge -> Prog.Lt
+
+let empty_iv v = v.lo > v.hi
+
+(* ------------------------------------------------------------------ *)
+
+let verify (p : Prog.t) : (verified, string) result =
+  let len = Array.length p.insns in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  (* Map declarations: ids unique and in range, sizes bounded. *)
+  let map_size = Array.make max_maps (-1) in
+  let rec check_maps = function
+    | [] -> Ok ()
+    | { Prog.mid; size } :: rest ->
+        if mid < 0 || mid >= max_maps then err "map id %d out of range" mid
+        else if size <= 0 || size > max_map_size then
+          err "map %d: bad size %d" mid size
+        else if map_size.(mid) >= 0 then err "map %d declared twice" mid
+        else (
+          map_size.(mid) <- size;
+          check_maps rest)
+  in
+  if len = 0 then err "empty program"
+  else if len > max_insns then err "too many instructions (%d > %d)" len max_insns
+  else if p.insns.(len - 1) <> Prog.Exit then err "last instruction must be Exit"
+  else
+    match check_maps p.maps with
+    | Error _ as e -> e
+    | Ok () ->
+        (* In-state per pc: None = unreached, Some regs = interval per reg. *)
+        let states = Array.make len None in
+        states.(0) <- Some (Array.make nregs top);
+        let merge pc regs =
+          if pc >= 0 && pc < len then
+            match states.(pc) with
+            | None -> states.(pc) <- Some (Array.copy regs)
+            | Some old ->
+                for r = 0 to nregs - 1 do
+                  old.(r) <- union old.(r) regs.(r)
+                done
+        in
+        let jump what pc off k =
+          if off < 0 then err "%s at %d: backward jump" what pc
+          else if pc + 1 + off >= len then err "%s at %d: jump past end" what pc
+          else k (pc + 1 + off)
+        in
+        let check_map_access what pc mid idx_iv =
+          if mid < 0 || mid >= max_maps || map_size.(mid) < 0 then
+            err "%s at %d: map %d not declared" what pc mid
+          else if idx_iv.lo < 0 || idx_iv.hi >= map_size.(mid) then
+            err "%s at %d: map %d index not provably in [0,%d)" what pc mid
+              map_size.(mid)
+          else Ok ()
+        in
+        let exception Reject of string in
+        (try
+           for pc = 0 to len - 1 do
+             match states.(pc) with
+             | None -> () (* unreachable; nothing to check downstream *)
+             | Some regs -> (
+                 let fail fmt =
+                   Printf.ksprintf (fun m -> raise (Reject m)) fmt
+                 in
+                 let reg what r =
+                   if r < 0 || r >= nregs then fail "%s at %d: bad register r%d" what pc r
+                 in
+                 let fallthrough () =
+                   if pc + 1 >= len then fail "missing Exit on path at %d" pc
+                   else merge (pc + 1) regs
+                 in
+                 match p.insns.(pc) with
+                 | Prog.Exit -> ()
+                 | Prog.Ldi (d, imm) ->
+                     reg "Ldi" d;
+                     regs.(d) <- const imm;
+                     fallthrough ()
+                 | Prog.Mov (d, s) ->
+                     reg "Mov" d;
+                     reg "Mov" s;
+                     regs.(d) <- regs.(s);
+                     fallthrough ()
+                 | Prog.Alu (op, d, s) ->
+                     reg "Alu" d;
+                     reg "Alu" s;
+                     (match op with
+                     | Prog.Lsl | Prog.Lsr ->
+                         fail "Alu at %d: register shift is unbounded" pc
+                     | Prog.Add ->
+                         regs.(d) <-
+                           {
+                             lo = sat_add regs.(d).lo regs.(s).lo;
+                             hi = sat_add regs.(d).hi regs.(s).hi;
+                           }
+                     | Prog.Sub ->
+                         regs.(d) <-
+                           {
+                             lo = sat_add regs.(d).lo (-regs.(s).hi);
+                             hi = sat_add regs.(d).hi (-regs.(s).lo);
+                           }
+                     | Prog.And ->
+                         regs.(d) <-
+                           (if nonneg regs.(s) then { lo = 0; hi = regs.(s).hi }
+                            else if nonneg regs.(d) then { lo = 0; hi = regs.(d).hi }
+                            else top)
+                     | Prog.Mul | Prog.Or | Prog.Xor -> regs.(d) <- top);
+                     fallthrough ()
+                 | Prog.Alui (op, d, imm) ->
+                     reg "Alui" d;
+                     (match op with
+                     | Prog.Add -> regs.(d) <- shift regs.(d) imm
+                     | Prog.Sub -> regs.(d) <- shift regs.(d) (-imm)
+                     | Prog.And ->
+                         regs.(d) <-
+                           (if imm >= 0 then { lo = 0; hi = imm }
+                            else if nonneg regs.(d) then { lo = 0; hi = regs.(d).hi }
+                            else top)
+                     | Prog.Lsl | Prog.Lsr ->
+                         if imm < 0 || imm > 62 then
+                           fail "Alui at %d: shift amount %d out of [0,62]" pc imm
+                         else if op = Prog.Lsr && nonneg regs.(d) then
+                           regs.(d) <-
+                             { lo = regs.(d).lo lsr imm; hi = regs.(d).hi lsr imm }
+                         else regs.(d) <- top
+                     | Prog.Mul | Prog.Or | Prog.Xor -> regs.(d) <- top);
+                     fallthrough ()
+                 | Prog.Ldsnap (d, f, s) ->
+                     reg "Ldsnap" d;
+                     reg "Ldsnap" s;
+                     regs.(d) <- field_iv f;
+                     fallthrough ()
+                 | Prog.Ldmap (d, m, i) -> (
+                     reg "Ldmap" d;
+                     reg "Ldmap" i;
+                     match check_map_access "Ldmap" pc m regs.(i) with
+                     | Error e -> raise (Reject e)
+                     | Ok () ->
+                         regs.(d) <- top;
+                         fallthrough ())
+                 | Prog.Stmap (m, i, s) -> (
+                     reg "Stmap" i;
+                     reg "Stmap" s;
+                     match check_map_access "Stmap" pc m regs.(i) with
+                     | Error e -> raise (Reject e)
+                     | Ok () -> fallthrough ())
+                 | Prog.Jmp off -> (
+                     match jump "Jmp" pc off (fun t -> Ok t) with
+                     | Error e -> raise (Reject e)
+                     | Ok t -> merge t regs)
+                 | Prog.Jcc (c, a, b, off) -> (
+                     ignore c;
+                     reg "Jcc" a;
+                     reg "Jcc" b;
+                     match jump "Jcc" pc off (fun t -> Ok t) with
+                     | Error e -> raise (Reject e)
+                     | Ok t ->
+                         merge t regs;
+                         fallthrough ())
+                 | Prog.Jcci (c, a, imm, off) -> (
+                     reg "Jcci" a;
+                     match jump "Jcci" pc off (fun t -> Ok t) with
+                     | Error e -> raise (Reject e)
+                     | Ok t ->
+                         (* Branch refinement: the taken edge knows the
+                            comparison holds, the fallthrough knows it
+                            doesn't.  An empty interval means the edge is
+                            statically dead — don't propagate. *)
+                         let taken = refine c imm regs.(a) in
+                         if not (empty_iv taken) then (
+                           let saved = regs.(a) in
+                           regs.(a) <- taken;
+                           merge t regs;
+                           regs.(a) <- saved);
+                         let untaken = refine (negate c) imm regs.(a) in
+                         if not (empty_iv untaken) then (
+                           regs.(a) <- untaken;
+                           fallthrough ()))
+             )
+           done;
+           Ok { prog = p; max_steps = len }
+         with Reject m -> Error m)

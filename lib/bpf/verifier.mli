@@ -1,0 +1,31 @@
+(** Static verifier for fastpath programs.
+
+    [verify] either rejects a program with a human-readable reason or
+    returns an opaque {!verified} token the kernel requires at install
+    time.  Acceptance establishes, once:
+
+    - {b termination}: all jumps are strictly forward, so execution
+      visits each instruction at most once; {!max_steps} (= instruction
+      count) is a hard budget the VM also enforces defensively;
+    - {b memory safety}: every [Ldmap]/[Stmap] index register is proven
+      within the declared map bounds by interval analysis;
+    - {b no kernel mutation}: programs can only write their own declared
+      maps; their sole kernel-visible effect is the r0 result, which the
+      kernel re-validates before acting.
+
+    Rejections include: empty program, > {!max_insns} instructions, last
+    instruction not [Exit], backward or out-of-range jumps, bad register
+    operands, register-operand shifts, undeclared/duplicate/oversized
+    maps, and map indices not provably in bounds. *)
+
+val max_insns : int
+val max_maps : int
+val max_map_size : int
+val nregs : int
+
+type verified
+
+val prog : verified -> Prog.t
+val max_steps : verified -> int
+
+val verify : Prog.t -> (verified, string) result

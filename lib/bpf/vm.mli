@@ -1,0 +1,19 @@
+(** Zero-alloc interpreter for verified fastpath programs.
+
+    [create] preallocates the register file; [run] reuses it, so the
+    kernel hot path allocates nothing per execution.  [run] returns the
+    program's r0 result, or -1 (decline) if the defensive step budget or
+    a bounds check trips — which verified programs never do. *)
+
+type t
+
+val create : unit -> t
+
+val run :
+  t ->
+  Verifier.verified ->
+  snap:Snapshot.t ->
+  maps:int array array ->
+  r1:int ->
+  r2:int ->
+  int

@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 exception Version_mismatch of { agent : int; runtime : int }
 
@@ -28,6 +28,10 @@ type ops = {
   op_thread_seq : Kernel.Task.t -> int option;
   op_task_by_tid : int -> Kernel.Task.t option;
   op_topology : unit -> Hw.Topology.t;
+  op_bpf_install : Bpf.Prog.t -> (unit, string) result;
+  op_bpf_remove : Bpf.Prog.hook -> bool;
+  op_bpf_map_update : map:int -> idx:int -> int -> (unit, string) result;
+  op_bpf_map_get : map:int -> idx:int -> int option;
 }
 
 type t = { v : int; ops : ops }
@@ -65,3 +69,7 @@ let status_word t task = t.ops.op_status_word task
 let thread_seq t task = t.ops.op_thread_seq task
 let task_by_tid t tid = t.ops.op_task_by_tid tid
 let topology t = t.ops.op_topology ()
+let bpf_install t p = t.ops.op_bpf_install p
+let bpf_remove t hook = t.ops.op_bpf_remove hook
+let bpf_map_update t ~map ~idx v = t.ops.op_bpf_map_update ~map ~idx v
+let bpf_map_get t ~map ~idx = t.ops.op_bpf_map_get ~map ~idx

@@ -106,6 +106,23 @@ val topology : t -> Hw.Topology.t
 (** The machine topology (enclaves are carved along its boundaries).  A
     plain shared-memory read, charged nothing. *)
 
+(** {1 BPF fastpath (§3.5, ABI v2)}
+
+    Install/remove restricted programs and update their shared maps.  All
+    four are charged at sub-syscall Table-3 cost ([Hw.Costs.bpf_install] /
+    [bpf_map_op]): installation verifies off the hot path, and map updates
+    are shared-memory stores. *)
+
+val bpf_install : t -> Bpf.Prog.t -> (unit, string) result
+(** Verify and install a program on its declared hook for this enclave.
+    [Error] carries the verifier's rejection reason. *)
+
+val bpf_remove : t -> Bpf.Prog.hook -> bool
+
+val bpf_map_update : t -> map:int -> idx:int -> int -> (unit, string) result
+
+val bpf_map_get : t -> map:int -> idx:int -> int option
+
 (** {1 Runtime-side constructor (lib/core only)} *)
 
 type ops = {
@@ -134,6 +151,10 @@ type ops = {
   op_thread_seq : Kernel.Task.t -> int option;
   op_task_by_tid : int -> Kernel.Task.t option;
   op_topology : unit -> Hw.Topology.t;
+  op_bpf_install : Bpf.Prog.t -> (unit, string) result;
+  op_bpf_remove : Bpf.Prog.hook -> bool;
+  op_bpf_map_update : map:int -> idx:int -> int -> (unit, string) result;
+  op_bpf_map_get : map:int -> idx:int -> int option;
 }
 (** The operation table the agent runtime implements.  Policies never see
     this: they go through the accessors above. *)

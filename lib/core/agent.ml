@@ -186,6 +186,22 @@ let get_abi g =
           op_thread_seq = (fun task -> System.thread_seq g.sys task);
           op_task_by_tid = (fun tid -> Kernel.task_by_tid g.kern tid);
           op_topology = (fun () -> Kernel.topo g.kern);
+          op_bpf_install =
+            (fun p ->
+              charge ctx (Kernel.costs g.kern).Hw.Costs.bpf_install;
+              System.bpf_install g.sys g.enc p);
+          op_bpf_remove =
+            (fun hook ->
+              charge ctx (Kernel.costs g.kern).Hw.Costs.bpf_install;
+              System.bpf_remove g.enc hook);
+          op_bpf_map_update =
+            (fun ~map ~idx v ->
+              charge ctx (Kernel.costs g.kern).Hw.Costs.bpf_map_op;
+              System.bpf_map_update g.enc ~map ~idx v);
+          op_bpf_map_get =
+            (fun ~map ~idx ->
+              charge ctx (Kernel.costs g.kern).Hw.Costs.bpf_map_op;
+              System.bpf_map_get g.enc ~map ~idx);
         }
     in
     g.the_abi <- Some abi;

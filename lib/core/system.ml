@@ -13,6 +13,9 @@ type stats = {
   mutable commit_failures : int;
   mutable estales : int;
   mutable bpf_picks : int;
+  mutable bpf_misses : int;
+  mutable bpf_fallbacks : int;
+  mutable bpf_verifier_rejects : int;
   mutable watchdog_fires : int;
   mutable msg_drops : int;
 }
@@ -40,7 +43,11 @@ and enclave = {
   mutable agents : (Task.t * Status_word.t) list;
   mutable on_destroy : (destroy_reason -> unit) list;
   mutable on_resize : (resize -> unit) list;
-  mutable bpf : (Bpf.t * (int -> int)) option;
+  bpf_slots : Bpf.Verifier.verified option array;  (* indexed by hook *)
+  bpf_maps : int array array;  (* indexed by map id; [||] = undeclared *)
+  mutable bpf_cpu_cache : int array;  (* enclave cpus, refreshed on resize *)
+  mutable bpf_snap : Bpf.Snapshot.t option;  (* built once after creation *)
+  bpf_vm : Bpf.Vm.t;
   mutable msg_drops : int;
   mutable managed_cache : Task.t list option;
       (* sorted [managed_threads] view, invalidated on manage/unmanage *)
@@ -175,6 +182,169 @@ let enclave_for t cpu =
 
 let enclave_of_ts _t ts = if ts.enclave.alive then Some ts.enclave else None
 
+(* --- BPF fastpath tier (§3.5) ----------------------------------------------
+
+   Verified programs hang off the enclave in per-hook slots and run over a
+   read-only snapshot plus the enclave's shared maps.  The kernel treats a
+   program's r0 as a hint: every result is re-validated before any state
+   change, so a buggy (but verified) program can only cost cycles, never
+   correctness.  Counter semantics: [bpf_picks] = the kernel acted on a
+   program result (latch/dispatch/preempt), [bpf_misses] = the result failed
+   kernel validation, [bpf_fallbacks] = the program declined, and
+   [bpf_verifier_rejects] = install-time rejections. *)
+
+let wakeup_slot = Bpf.Prog.hook_index Bpf.Prog.Wakeup
+let tick_slot = Bpf.Prog.hook_index Bpf.Prog.Tick
+let pick_slot = Bpf.Prog.hook_index Bpf.Prog.Pick
+
+let make_bpf_snapshot t e =
+  let k = t.kernel in
+  let in_enclave cpu =
+    cpu >= 0 && cpu < Kernel.ncpus k && Cpumask.mem e.cpus cpu
+  in
+  let ts_of tid =
+    match Hashtbl.find_opt t.tstates tid with
+    | Some ts when ts.enclave == e -> Some ts
+    | Some _ | None -> None
+  in
+  {
+    Bpf.Snapshot.ncpus = (fun () -> Array.length e.bpf_cpu_cache);
+    cpu_at =
+      (fun i ->
+        if i >= 0 && i < Array.length e.bpf_cpu_cache then e.bpf_cpu_cache.(i)
+        else -1);
+    idle = (fun cpu -> if in_enclave cpu && Kernel.cpu_idle k cpu then 1 else 0);
+    latched =
+      (fun cpu ->
+        if in_enclave cpu then
+          match t.latched_slots.(cpu) with
+          | Some task -> task.Task.tid
+          | None -> -1
+        else -1);
+    curr =
+      (fun cpu ->
+        if in_enclave cpu then
+          match Kernel.curr k cpu with Some task -> task.Task.tid | None -> -1
+        else -1);
+    curr_ghost =
+      (fun cpu ->
+        if in_enclave cpu then
+          match Kernel.curr k cpu with
+          | Some task -> ( match ts_of task.Task.tid with Some _ -> 1 | None -> 0)
+          | None -> 0
+        else 0);
+    since_dispatch =
+      (fun cpu -> if in_enclave cpu then Kernel.since_dispatch k cpu else 0);
+    runnable =
+      (fun tid ->
+        match ts_of tid with
+        | Some ts when ts.task.Task.state = Task.Runnable -> 1
+        | Some _ | None -> 0);
+    thread_seq =
+      (fun tid ->
+        match ts_of tid with Some ts -> Status_word.seq ts.sw | None -> -1);
+    first_idle =
+      (fun () ->
+        let cache = e.bpf_cpu_cache in
+        let n = Array.length cache in
+        let rec scan i =
+          if i >= n then -1
+          else if Kernel.cpu_idle k cache.(i) then cache.(i)
+          else scan (i + 1)
+        in
+        scan 0);
+    socket =
+      (fun cpu ->
+        if in_enclave cpu then Hw.Topology.socket_of (Kernel.topo k) cpu else -1);
+  }
+
+let bpf_run e slot ~r1 ~r2 =
+  match e.bpf_slots.(slot) with
+  | None -> None
+  | Some v -> (
+    match e.bpf_snap with
+    | None -> None
+    | Some snap -> Some (Bpf.Vm.run e.bpf_vm v ~snap ~maps:e.bpf_maps ~r1 ~r2))
+
+(* Wakeup hook: the program proposes a CPU for the waking thread.  The
+   kernel validates the proposal (idle enclave CPU, empty latch slot,
+   runnable thread, affinity) and latches directly — exactly the state an
+   agent commit would have produced, minus the agent round-trip. *)
+let bpf_wakeup t e ts =
+  if e.bpf_slots.(wakeup_slot) <> None then begin
+    let task = ts.task in
+    match bpf_run e wakeup_slot ~r1:task.Task.tid ~r2:task.Task.cpu with
+    | None -> ()
+    | Some r ->
+      if r < 0 then begin
+        t.stats.bpf_fallbacks <- t.stats.bpf_fallbacks + 1;
+        if Obs.Hooks.enabled () then
+          Obs.Hooks.bpf_fallback
+            ~now:(Kernel.now t.kernel)
+            ~eid:e.eid ~hook:wakeup_slot ~cpu:task.Task.cpu
+      end
+      else if
+        r < Kernel.ncpus t.kernel
+        && (match t.owner.(r) with Some o -> o == e | None -> false)
+        && Kernel.cpu_idle t.kernel r
+        && (match t.latched_slots.(r) with None -> true | Some _ -> false)
+        && ts.latched_on = None
+        && task.Task.state = Task.Runnable
+        && Cpumask.mem task.Task.affinity r
+      then begin
+        t.latched_slots.(r) <- Some task;
+        ts.latched_on <- Some r;
+        t.stats.bpf_picks <- t.stats.bpf_picks + 1;
+        Kernel.add_switch_cost t.kernel r
+          (Kernel.costs t.kernel).Hw.Costs.bpf_pick;
+        if Obs.Hooks.enabled () then
+          Obs.Hooks.bpf_hit
+            ~now:(Kernel.now t.kernel)
+            ~eid:e.eid ~hook:wakeup_slot ~cpu:r ~tid:task.Task.tid;
+        Kernel.resched t.kernel r
+      end
+      else begin
+        t.stats.bpf_misses <- t.stats.bpf_misses + 1;
+        if Obs.Hooks.enabled () then
+          Obs.Hooks.bpf_miss
+            ~now:(Kernel.now t.kernel)
+            ~eid:e.eid ~hook:wakeup_slot ~cpu:task.Task.cpu ~tid:task.Task.tid
+      end
+  end
+
+(* Tick hook: the program decides whether the current thread's slice is up.
+   A result of 1 preempts (the program has requeued the tid into its own
+   maps); anything else declines. *)
+let bpf_tick t ~cpu (task : Task.t) ~since_dispatch =
+  match enclave_for t cpu with
+  | None -> ()
+  | Some e ->
+    if e.bpf_slots.(tick_slot) <> None then begin
+      match tstate_of t task with
+      | Some ts when ts.enclave == e -> (
+        match bpf_run e tick_slot ~r1:task.Task.tid ~r2:since_dispatch with
+        | None -> ()
+        | Some r ->
+          if r = 1 then begin
+            t.stats.bpf_picks <- t.stats.bpf_picks + 1;
+            Kernel.add_switch_cost t.kernel cpu
+              (Kernel.costs t.kernel).Hw.Costs.bpf_pick;
+            if Obs.Hooks.enabled () then
+              Obs.Hooks.bpf_hit
+                ~now:(Kernel.now t.kernel)
+                ~eid:e.eid ~hook:tick_slot ~cpu ~tid:task.Task.tid;
+            Kernel.resched t.kernel cpu
+          end
+          else begin
+            t.stats.bpf_fallbacks <- t.stats.bpf_fallbacks + 1;
+            if Obs.Hooks.enabled () then
+              Obs.Hooks.bpf_fallback
+                ~now:(Kernel.now t.kernel)
+                ~eid:e.eid ~hook:tick_slot ~cpu
+          end)
+      | Some _ | None -> ()
+    end
+
 let class_enqueue t ~cpu ~is_new (task : Task.t) =
   ignore cpu;
   match tstate_of t task with
@@ -187,11 +357,14 @@ let class_enqueue t ~cpu ~is_new (task : Task.t) =
     | None -> Status_word.set_runnable ts.sw true
     | Some e ->
       let write sw = Status_word.set_runnable sw true in
-      if is_new && not ts.created_sent then begin
-        ts.created_sent <- true;
-        post_thread_msg ~write t e ts Msg.THREAD_CREATED ~cpu:task.Task.cpu
-      end
-      else post_thread_msg ~write t e ts Msg.THREAD_WAKEUP ~cpu:task.Task.cpu)
+      (if is_new && not ts.created_sent then begin
+         ts.created_sent <- true;
+         post_thread_msg ~write t e ts Msg.THREAD_CREATED ~cpu:task.Task.cpu
+       end
+       else post_thread_msg ~write t e ts Msg.THREAD_WAKEUP ~cpu:task.Task.cpu);
+      (* Expedited wakeup path: try to place the thread without waiting for
+         the agent to consume the message (§3.5). *)
+      bpf_wakeup t e ts)
 
 let class_dequeue t (task : Task.t) =
   match tstate_of t task with
@@ -234,18 +407,52 @@ let class_pick t ~cpu ~filter =
       ignore (unlatch t cpu);
       None
     | Some _ -> None
-    | None -> (
-      match e.bpf with
-      | None -> None
-      | Some (prog, ring_of) -> (
-        match
-          Bpf.pick prog ~ring:(ring_of cpu) ~ok:(fun task ->
-              bpf_ok t cpu task && filter task)
-        with
-        | Some task ->
-          t.stats.bpf_picks <- t.stats.bpf_picks + 1;
-          take task
-        | None -> None)))
+    | None ->
+      (* Would-be-idle hook: ask the pick program for a tid before letting
+         the CPU idle (§3.5).  Stale ring entries (blocked, migrated, or
+         already-latched threads) are skipped — the agent still holds every
+         thread, so a discarded entry is a missed optimization, never a
+         lost thread. *)
+      if e.bpf_slots.(pick_slot) = None then None
+      else begin
+        let rec try_pick attempt =
+          if attempt >= 8 then None
+          else
+            match bpf_run e pick_slot ~r1:cpu ~r2:attempt with
+            | None -> None
+            | Some r ->
+              if r < 0 then begin
+                t.stats.bpf_fallbacks <- t.stats.bpf_fallbacks + 1;
+                if Obs.Hooks.enabled () then
+                  Obs.Hooks.bpf_fallback
+                    ~now:(Kernel.now t.kernel)
+                    ~eid:e.eid ~hook:pick_slot ~cpu;
+                None
+              end
+              else begin
+                match Hashtbl.find_opt t.tstates r with
+                | Some ts
+                  when ts.enclave == e && bpf_ok t cpu ts.task && filter ts.task
+                  ->
+                  t.stats.bpf_picks <- t.stats.bpf_picks + 1;
+                  Kernel.add_switch_cost t.kernel cpu
+                    (Kernel.costs t.kernel).Hw.Costs.bpf_pick;
+                  if Obs.Hooks.enabled () then
+                    Obs.Hooks.bpf_hit
+                      ~now:(Kernel.now t.kernel)
+                      ~eid:e.eid ~hook:pick_slot ~cpu ~tid:r;
+                  take ts.task
+                | Some _ | None ->
+                  t.stats.bpf_misses <- t.stats.bpf_misses + 1;
+                  if Obs.Hooks.enabled () then
+                    Obs.Hooks.bpf_miss
+                      ~now:(Kernel.now t.kernel)
+                      ~eid:e.eid ~hook:pick_slot ~cpu ~tid:r;
+                  try_pick (attempt + 1)
+              end
+        in
+        try_pick 0
+      end)
 
 let class_put_prev t ~cpu (task : Task.t) =
   match tstate_of t task with
@@ -335,7 +542,7 @@ let ghost_cls t : Kernel.Class_intf.cls =
     put_prev = (fun ~cpu task -> class_put_prev t ~cpu task);
     steal = (fun ~cpu:_ ~filter:_ -> None);
     update = (fun ~cpu task ~ran -> class_update t ~cpu task ~ran);
-    tick = (fun ~cpu:_ _ ~since_dispatch:_ -> ());
+    tick = (fun ~cpu task ~since_dispatch -> bpf_tick t ~cpu task ~since_dispatch);
     select_cpu = class_select_cpu;
     wakeup_preempt = (fun ~curr:_ _ -> false);
     nr_runnable =
@@ -541,13 +748,19 @@ let create_enclave t ?watchdog_timeout ?(deliver_ticks = false) ~cpus () =
       agents = [];
       on_destroy = [];
       on_resize = [];
-      bpf = None;
+      bpf_slots = Array.make Bpf.Prog.nhooks None;
+      bpf_maps = Array.make Bpf.Verifier.max_maps [||];
+      bpf_cpu_cache = [||];
+      bpf_snap = None;
+      bpf_vm = Bpf.Vm.create ();
       msg_drops = 0;
       managed_cache = None;
       removed_marks = Array.make (Kernel.ncpus t.kernel) 0;
     }
   in
   e.queues <- [ e.default_q ];
+  e.bpf_cpu_cache <- Array.of_list (Cpumask.to_list cpus);
+  e.bpf_snap <- Some (make_bpf_snapshot t e);
   Obs.Sink.note_queue_owner ~qid:(Squeue.id e.default_q) ~eid;
   Cpumask.iter (fun cpu -> t.owner.(cpu) <- Some e) cpus;
   t.enclaves <- e :: t.enclaves;
@@ -605,6 +818,7 @@ let add_cpu t e cpu =
     invalid_arg (Printf.sprintf "add_cpu: cpu %d already owned" cpu)
   | Some _ | None -> ());
   e.cpus <- Cpumask.add e.cpus cpu;
+  e.bpf_cpu_cache <- Array.of_list (Cpumask.to_list e.cpus);
   t.owner.(cpu) <- Some e;
   Log.info (fun m ->
       m "enclave %d: cpu %d added at t=%dns" e.eid cpu (Kernel.now t.kernel));
@@ -628,6 +842,7 @@ let remove_cpu t e cpu =
     | None -> ())
   | None -> ());
   e.cpus <- Cpumask.remove e.cpus cpu;
+  e.bpf_cpu_cache <- Array.of_list (Cpumask.to_list e.cpus);
   t.owner.(cpu) <- None;
   e.cpu_queues.(cpu) <- None;
   Log.info (fun m ->
@@ -781,10 +996,81 @@ let recall t e ~cpu =
   if not (Cpumask.mem e.cpus cpu) then invalid_arg "recall: cpu not in enclave";
   unlatch t cpu
 
-(* --- BPF ------------------------------------------------------------------- *)
+(* --- BPF installation (§3.5) ------------------------------------------------ *)
 
-let attach_bpf e prog ~ring_of = e.bpf <- Some (prog, ring_of)
-let detach_bpf e = e.bpf <- None
+let bpf_reject t e name reason =
+  t.stats.bpf_verifier_rejects <- t.stats.bpf_verifier_rejects + 1;
+  if Obs.Hooks.enabled () then
+    Obs.Hooks.bpf_verifier_reject
+      ~now:(Kernel.now t.kernel)
+      ~eid:e.eid ~name ~reason;
+  Error reason
+
+let bpf_install t e (p : Bpf.Prog.t) =
+  if not e.alive then bpf_reject t e p.Bpf.Prog.name "enclave destroyed"
+  else
+    match Bpf.Verifier.verify p with
+    | Error reason -> bpf_reject t e p.Bpf.Prog.name reason
+    | Ok v -> (
+      (* Maps are shared across the enclave's programs: a redeclaration must
+         agree on the size, and existing contents are preserved. *)
+      let conflict =
+        List.find_opt
+          (fun { Bpf.Prog.mid; size } ->
+            Array.length e.bpf_maps.(mid) > 0
+            && Array.length e.bpf_maps.(mid) <> size)
+          p.Bpf.Prog.maps
+      in
+      match conflict with
+      | Some { Bpf.Prog.mid; size } ->
+        bpf_reject t e p.Bpf.Prog.name
+          (Printf.sprintf "map %d: declared size %d conflicts with existing %d"
+             mid size
+             (Array.length e.bpf_maps.(mid)))
+      | None ->
+        List.iter
+          (fun { Bpf.Prog.mid; size } ->
+            if Array.length e.bpf_maps.(mid) = 0 then
+              e.bpf_maps.(mid) <- Array.make size 0)
+          p.Bpf.Prog.maps;
+        e.bpf_slots.(Bpf.Prog.hook_index p.Bpf.Prog.hook) <- Some v;
+        if Obs.Hooks.enabled () then
+          Obs.Hooks.bpf_installed
+            ~now:(Kernel.now t.kernel)
+            ~eid:e.eid
+            ~hook:(Bpf.Prog.hook_index p.Bpf.Prog.hook)
+            ~name:p.Bpf.Prog.name;
+        Ok ())
+
+let bpf_remove e hook =
+  let i = Bpf.Prog.hook_index hook in
+  match e.bpf_slots.(i) with
+  | None -> false
+  | Some _ ->
+    e.bpf_slots.(i) <- None;
+    true
+
+let bpf_installed e hook =
+  match e.bpf_slots.(Bpf.Prog.hook_index hook) with
+  | Some _ -> true
+  | None -> false
+
+let bpf_map_update e ~map ~idx v =
+  if map < 0 || map >= Array.length e.bpf_maps then Error "bad map id"
+  else
+    let arr = e.bpf_maps.(map) in
+    if Array.length arr = 0 then Error "map not declared"
+    else if idx < 0 || idx >= Array.length arr then Error "index out of bounds"
+    else begin
+      arr.(idx) <- v;
+      Ok ()
+    end
+
+let bpf_map_get e ~map ~idx =
+  if map < 0 || map >= Array.length e.bpf_maps then None
+  else
+    let arr = e.bpf_maps.(map) in
+    if idx < 0 || idx >= Array.length arr then None else Some arr.(idx)
 
 (* --- Install --------------------------------------------------------------- *)
 
@@ -807,6 +1093,9 @@ let install kernel =
           commit_failures = 0;
           estales = 0;
           bpf_picks = 0;
+          bpf_misses = 0;
+          bpf_fallbacks = 0;
+          bpf_verifier_rejects = 0;
           watchdog_fires = 0;
           msg_drops = 0;
         };

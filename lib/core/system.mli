@@ -21,6 +21,14 @@ type stats = {
   mutable commit_failures : int;
   mutable estales : int;
   mutable bpf_picks : int;
+      (** Fastpath results the kernel acted on (latch/dispatch/preempt). *)
+  mutable bpf_misses : int;
+      (** Fastpath results that failed kernel re-validation (stale tid,
+          busy cpu, affinity...). *)
+  mutable bpf_fallbacks : int;
+      (** Program declined (negative result); the agent path handles it. *)
+  mutable bpf_verifier_rejects : int;
+      (** Programs refused at install time (verifier or map conflict). *)
   mutable watchdog_fires : int;
   mutable msg_drops : int;
       (** Kernel-side messages lost to queue overflow, across all enclaves.
@@ -156,13 +164,31 @@ val recall : t -> enclave -> cpu:int -> Kernel.Task.t option
 
 val latched : t -> cpu:int -> Kernel.Task.t option
 
-(** {1 BPF fastpath (§3.2)} *)
+(** {1 BPF fastpath tier (§3.5)}
 
-val attach_bpf : enclave -> Bpf.t -> ring_of:(int -> int) -> unit
-(** Install a pick_next_task program: when a CPU of the enclave would idle,
-    pop a runnable thread from ring [ring_of cpu]. *)
+    Restricted programs ({!Bpf.Prog.t}) installed per hook point.  The kernel
+    consults them at wakeup, tick, and before idling a CPU, falling back to
+    the agent path whenever a program is absent, declines, or returns a
+    result that fails kernel re-validation.  Programs keep serving published
+    work during the agent-crash grace window, since they live on the enclave,
+    not the agent. *)
 
-val detach_bpf : enclave -> unit
+val bpf_install : t -> enclave -> Bpf.Prog.t -> (unit, string) result
+(** Verify and install a program on its declared hook, creating any maps it
+    declares (shared across the enclave's programs; sizes must agree).
+    Replaces the previous program on that hook.  On [Error], nothing is
+    installed and [bpf_verifier_rejects] is incremented. *)
+
+val bpf_remove : enclave -> Bpf.Prog.hook -> bool
+(** Uninstall the program on [hook]; returns whether one was installed.
+    Maps persist (other hooks may share them). *)
+
+val bpf_installed : enclave -> Bpf.Prog.hook -> bool
+
+val bpf_map_update : enclave -> map:int -> idx:int -> int -> (unit, string) result
+(** Agent-side store into a shared map declared by an installed program. *)
+
+val bpf_map_get : enclave -> map:int -> idx:int -> int option
 
 (** {1 Agents} *)
 

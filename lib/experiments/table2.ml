@@ -67,7 +67,11 @@ let run ?root () =
                     "lib/core/squeue.ml"; "lib/core/squeue.mli";
                     "lib/core/txn.ml"; "lib/core/txn.mli";
                     "lib/core/status_word.ml"; "lib/core/status_word.mli";
-                    "lib/core/bpf.ml"; "lib/core/bpf.mli" ];
+                    "lib/bpf/prog.ml"; "lib/bpf/prog.mli";
+                    "lib/bpf/snapshot.ml"; "lib/bpf/snapshot.mli";
+                    "lib/bpf/verifier.ml"; "lib/bpf/verifier.mli";
+                    "lib/bpf/vm.ml"; "lib/bpf/vm.mli";
+                    "lib/bpf/kit.ml"; "lib/bpf/kit.mli" ];
       note = "messages, queues, txns, enclaves, BPF" };
     { component = "ghOSt userspace support library"; paper_loc = Some 3115;
       our_loc = c [ "lib/core/agent.ml"; "lib/core/agent.mli" ];

@@ -17,6 +17,8 @@ type t = {
   tick_period : int;
   tick_interrupt : int;
   bpf_pick : int;
+  bpf_install : int;
+  bpf_map_op : int;
   freq_scale : float;
 }
 
@@ -49,6 +51,8 @@ let skylake =
     tick_period = 1_000_000;
     tick_interrupt = 0;
     bpf_pick = 250;
+    bpf_install = 65;
+    bpf_map_op = 28;
     freq_scale = 1.0;
   }
 
@@ -72,6 +76,8 @@ let scaled f c =
     ipi_handle_group_extra = scale_i f c.ipi_handle_group_extra;
     tick_interrupt = scale_i f c.tick_interrupt;
     bpf_pick = scale_i f c.bpf_pick;
+    bpf_install = scale_i f c.bpf_install;
+    bpf_map_op = scale_i f c.bpf_map_op;
   }
 
 let apply_freq c x = scale_i c.freq_scale x

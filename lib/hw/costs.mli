@@ -57,7 +57,16 @@ type t = {
       (** CPU time stolen from the running task by each timer interrupt
           (0 = free; a guest vCPU pays a VM-exit here, §5's tick-less
           motivation). *)
-  bpf_pick : int;  (** BPF pick_next_task fastpath cost (§3.2). *)
+  bpf_pick : int;
+      (** Kernel-side cost of running a BPF fastpath program and acting
+          on its result (latch/dispatch), charged into the ensuing
+          context switch (§3.5). *)
+  bpf_install : int;
+      (** Agent-side cost of installing/removing a verified program —
+          sub-syscall: the program was verified off the hot path. *)
+  bpf_map_op : int;
+      (** Agent-side cost of one shared-map read/update — a couple of
+          cache-line accesses, well under a syscall. *)
   freq_scale : float;
       (** Global scale for slower machines (e.g. 2.3 GHz Haswell vs 2 GHz
           Skylake have different memory systems; >1 means slower ops). *)

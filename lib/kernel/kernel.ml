@@ -80,6 +80,17 @@ let cpu_idle t cpu = t.cpus.(cpu).curr = None && not (any_queued t cpu)
 let idle_cpus t =
   List.filter (cpu_idle t) (Hw.Topology.cpus (topo t))
 
+(* How long the current thread on [cpu] has been running; 0 when idle. *)
+let since_dispatch t cpu =
+  let cs = t.cpus.(cpu) in
+  match cs.curr with None -> 0 | Some _ -> now t - cs.dispatch_time
+
+(* Fold [ns] of extra cost (e.g. a fastpath program run plus latch) into
+   the next context switch on [cpu]. *)
+let add_switch_cost t cpu ns =
+  let cs = t.cpus.(cpu) in
+  cs.switch_extra <- cs.switch_extra + ns
+
 let idle_total t cpu =
   let cs = t.cpus.(cpu) in
   cs.idle_total + (if cs.curr = None then now t - cs.idle_since else 0)

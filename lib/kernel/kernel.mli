@@ -89,6 +89,13 @@ val idle_cpus : t -> int list
 val idle_total : t -> int -> int
 (** Accumulated idle nanoseconds of a CPU. *)
 
+val since_dispatch : t -> int -> int
+(** Nanoseconds the current thread has been running on the CPU; 0 if idle. *)
+
+val add_switch_cost : t -> int -> int -> unit
+(** [add_switch_cost t cpu ns] folds [ns] of extra cost into the next
+    context switch on [cpu] (used to charge fastpath program runs). *)
+
 val resched : t -> int -> unit
 (** Request a reschedule of a CPU (posts an immediate event). *)
 

@@ -320,6 +320,66 @@ let fault_injected ~now ~eid ~kind =
       ~args:[ ("kind", kind) ]
       ()
 
+(* --- BPF fastpath (§3.5) ------------------------------------------------------ *)
+
+let c_bpf_picks = Metrics.counter "bpf.picks"
+let c_bpf_misses = Metrics.counter "bpf.misses"
+let c_bpf_fallbacks = Metrics.counter "bpf.fallbacks"
+let c_bpf_verifier_rejects = Metrics.counter "bpf.verifier_rejects"
+let c_bpf_installs = Metrics.counter "bpf.installs"
+
+(* Hook-indexed name tables: the hot writers below stay pure int stores. *)
+let n_bpf_hit = [| Sink.intern "bpf-hit:wakeup"; Sink.intern "bpf-hit:tick"; Sink.intern "bpf-hit:pick" |]
+let n_bpf_miss = [| Sink.intern "bpf-miss:wakeup"; Sink.intern "bpf-miss:tick"; Sink.intern "bpf-miss:pick" |]
+let n_bpf_fallback =
+  [| Sink.intern "bpf-fallback:wakeup"; Sink.intern "bpf-fallback:tick"; Sink.intern "bpf-fallback:pick" |]
+
+let sig_bpf = Sink.argsig [| k_cpu; k_tid |]
+
+let bpf_hit ~now ~eid ~hook ~cpu ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_bpf_picks;
+    Sink.instant_i2 s ~time:now ~name:n_bpf_hit.(hook)
+      ~track:(Sink.enclave_track eid) ~asig:sig_bpf ~v0:cpu ~v1:tid
+
+let bpf_miss ~now ~eid ~hook ~cpu ~tid =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_bpf_misses;
+    Sink.instant_i2 s ~time:now ~name:n_bpf_miss.(hook)
+      ~track:(Sink.enclave_track eid) ~asig:sig_bpf ~v0:cpu ~v1:tid
+
+let bpf_fallback ~now ~eid ~hook ~cpu =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_bpf_fallbacks;
+    Sink.instant_i1 s ~time:now ~name:n_bpf_fallback.(hook)
+      ~track:(Sink.enclave_track eid) ~asig:sig_cpu ~v0:cpu
+
+(* Install/reject fire a handful of times per run: structured API is fine. *)
+
+let bpf_installed ~now ~eid ~hook ~name =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_bpf_installs;
+    Sink.instant s ~time:now ~name:"bpf-install" ~track:(Sink.Enclave eid)
+      ~args:[ ("hook", si hook); ("prog", name) ]
+      ()
+
+let bpf_verifier_reject ~now ~eid ~name ~reason =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_bpf_verifier_rejects;
+    Sink.instant s ~time:now ~name:"bpf-verifier-reject" ~track:(Sink.Enclave eid)
+      ~args:[ ("prog", name); ("reason", reason) ]
+      ()
+
 let watchdog_fire ~now ~eid ~tid =
   match Sink.current () with
   | None -> ()

@@ -100,3 +100,21 @@ val enclave_resized : now:int -> eid:int -> cpu:int -> added:bool -> unit
 val fault_injected : now:int -> eid:int -> kind:string -> unit
 (** Instant ["fault:<kind>"] on the enclave's track, so a trace shows the
     injected fault, the watchdog fire and the handoff on one timeline. *)
+
+(** {1 BPF fastpath (§3.5)}
+
+    Hot-path writers ([bpf_hit]/[bpf_miss]/[bpf_fallback]) are zero-alloc
+    int-packed instants on the enclave track, named per hook point
+    (["bpf-hit:wakeup"] etc.), and bump the [bpf.picks]/[bpf.misses]/
+    [bpf.fallbacks] counters.  [hook] is the {!Bpf.Prog.hook_index} of the
+    hook that ran (0 = wakeup, 1 = tick, 2 = pick). *)
+
+val bpf_hit : now:int -> eid:int -> hook:int -> cpu:int -> tid:int -> unit
+val bpf_miss : now:int -> eid:int -> hook:int -> cpu:int -> tid:int -> unit
+val bpf_fallback : now:int -> eid:int -> hook:int -> cpu:int -> unit
+
+val bpf_installed : now:int -> eid:int -> hook:int -> name:string -> unit
+(** Structured instant ["bpf-install"]; bumps [bpf.installs]. *)
+
+val bpf_verifier_reject : now:int -> eid:int -> name:string -> reason:string -> unit
+(** Structured instant ["bpf-verifier-reject"]; bumps [bpf.verifier_rejects]. *)

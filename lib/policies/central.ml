@@ -13,6 +13,10 @@ type stats = {
   mutable estales : int;
 }
 
+(* Hash width of the wakeup-eligibility map: the gated wakeup program
+   indexes cls_map by [tid land cls_mask]. *)
+let cls_mask = 1023
+
 type t = {
   classify : Task.t -> cls;
   timeslice : int option;
@@ -22,6 +26,7 @@ type t = {
   be_q : Runq.t;
   running : Runq.Running.t;
   stats : stats;
+  fp : Fastpath.t option;
 }
 
 let stats t = t.stats
@@ -35,6 +40,12 @@ let class_of t ctx tid =
     | Some task ->
       let c = t.classify task in
       Hashtbl.replace t.cls_of tid c;
+      (* Only LC threads may take the expedited wakeup placement; BE
+         threads wait for an agent pass (collisions in the hashed map can
+         let a BE wakeup through — a valid placement, just undeserved). *)
+      (match t.fp with
+      | None -> ()
+      | Some _ -> Fastpath.set_cls ctx ~cls_mask ~tid (c = Lc));
       c
     | None -> Be)
 
@@ -70,6 +81,7 @@ let make_assign ctx txns assigned (task : Task.t) cpu =
 
 let schedule t ctx msgs =
   feed t ctx msgs;
+  (match t.fp with None -> () | Some fp -> Fastpath.reconcile fp ctx);
   let agent_cpu = Abi.cpu ctx in
   let txns = ref [] in
   let assigned = Hashtbl.create 8 in
@@ -135,6 +147,18 @@ let schedule t ctx msgs =
           | None -> ()
         end)
       cpus;
+  (* 5. §3.5: LC work still waiting goes to the BPF pick ring so a CPU
+     idling before our next pass dispatches it without a round-trip. *)
+  (match t.fp with
+  | None -> ()
+  | Some fp ->
+    Runq.iter
+      (fun tid ->
+        match Abi.task_by_tid ctx tid with
+        | Some task when Task.is_runnable task ->
+          ignore (Fastpath.publish fp ctx tid)
+        | Some _ | None -> ())
+      t.lc_q);
   Runq.submit_rev ctx txns
 
 let on_result t ctx (txn : Txn.t) =
@@ -151,7 +175,8 @@ let on_result t ctx (txn : Txn.t) =
     push t ctx txn.tid
   | Txn.Pending -> ()
 
-let policy ~classify ?timeslice ?(schedule_be = true) () =
+let policy ~classify ?timeslice ?(schedule_be = true) ?(fastpath = false) () =
+  let fp = if fastpath then Some (Fastpath.create ()) else None in
   let t =
     {
       classify;
@@ -169,6 +194,7 @@ let policy ~classify ?timeslice ?(schedule_be = true) () =
           be_evictions = 0;
           estales = 0;
         };
+      fp;
     }
   in
   let pol =
@@ -177,7 +203,17 @@ let policy ~classify ?timeslice ?(schedule_be = true) () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then push t ctx task.Task.tid)
-          (Abi.managed_threads ctx))
+          (Abi.managed_threads ctx);
+        match t.fp with
+        | None -> ()
+        | Some fp ->
+          ignore (Fastpath.install_pick fp ctx);
+          ignore (Fastpath.install_wakeup_gated ctx ~cls_mask);
+          match t.timeslice with
+          | None -> ()
+          | Some slice ->
+            ignore (Fastpath.install_tick fp ctx);
+            Fastpath.set_slice ctx slice)
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)

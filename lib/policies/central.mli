@@ -26,9 +26,13 @@ val policy :
   classify:(Kernel.Task.t -> cls) ->
   ?timeslice:int ->
   ?schedule_be:bool ->
+  ?fastpath:bool ->
   unit ->
   t * Ghost.Agent.policy
 (** [classify] assigns each managed thread to a class when it first appears.
     [timeslice] bounds LC run time when other LC work waits (Shinjuku's
     30 us preemption); [schedule_be] (default true) donates idle CPUs to BE
-    threads. *)
+    threads.  [fastpath] (default false) installs the §3.5 BPF tier: LC
+    wakeups place directly onto idle CPUs (gated by a hashed class map),
+    unplaced LC work is published to the pick ring, and with a [timeslice]
+    the tick program requeues over-slice threads. *)

@@ -8,7 +8,7 @@ type t = {
   running : Runq.Running.t;
   mutable scheduled : int;
   timeslice : int option;
-  bpf : Ghost.Bpf.t option;
+  fp : Fastpath.t option;
 }
 
 let scheduled t = t.scheduled
@@ -31,6 +31,7 @@ let feed t ctx msgs =
 
 let schedule t ctx msgs =
   feed t ctx msgs;
+  (match t.fp with None -> () | Some fp -> Fastpath.reconcile fp ctx);
   let agent_cpu = Abi.cpu ctx in
   let txns = ref [] in
   (* Fill idle CPUs FIFO-first (Fig. 4).  The spinning agent's own CPU is
@@ -66,17 +67,16 @@ let schedule t ctx msgs =
           | Some _ | None -> ()
         end)
       (Abi.enclave_cpu_list ctx));
-  (* §3.2/§5: leftover runnable threads go to the BPF pick_next_task rings
-     so a CPU idling before our next pass picks one up without waiting. *)
-  (match t.bpf with
+  (* §3.5: leftover runnable threads go to the BPF pick ring so a CPU
+     idling before our next pass picks one up without waiting. *)
+  (match t.fp with
   | None -> ()
-  | Some prog ->
+  | Some fp ->
     Runq.iter
       (fun tid ->
         match Abi.task_by_tid ctx tid with
-        | Some task when Task.is_runnable task && not (Ghost.Bpf.mem prog task) ->
-          Abi.charge ctx 60;
-          Ghost.Bpf.publish prog ~ring:0 task
+        | Some task when Task.is_runnable task ->
+          ignore (Fastpath.publish fp ctx tid)
         | Some _ | None -> ())
       t.runq);
   Runq.submit_rev ctx txns
@@ -90,14 +90,15 @@ let on_result t ctx (txn : Txn.t) =
   | Txn.Failed _ -> Runq.push t.runq txn.tid
   | Txn.Pending -> ()
 
-let policy ?timeslice ?bpf () =
+let policy ?timeslice ?(fastpath = false) () =
+  let fp = if fastpath then Some (Fastpath.create ()) else None in
   let t =
     {
       runq = Runq.create ();
       running = Runq.Running.create ();
       scheduled = 0;
       timeslice;
-      bpf;
+      fp;
     }
   in
   let pol =
@@ -108,7 +109,17 @@ let policy ?timeslice ?bpf () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then Runq.push t.runq task.Task.tid)
-          (Abi.managed_threads ctx))
+          (Abi.managed_threads ctx);
+        match t.fp with
+        | None -> ()
+        | Some fp ->
+          ignore (Fastpath.install_pick fp ctx);
+          ignore (Fastpath.install_wakeup ctx);
+          match t.timeslice with
+          | None -> ()
+          | Some slice ->
+            ignore (Fastpath.install_tick fp ctx);
+            Fastpath.set_slice ctx slice)
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)

@@ -8,12 +8,13 @@
 
 type t
 
-val policy : ?timeslice:int -> ?bpf:Ghost.Bpf.t -> unit -> t * Ghost.Agent.policy
+val policy : ?timeslice:int -> ?fastpath:bool -> unit -> t * Ghost.Agent.policy
 (** [timeslice] preempts ghOSt threads that ran that long whenever other
     threads wait (default: run until block/preemption).  The global agent's
-    own CPU is never a scheduling target while it is active.  [bpf]
-    publishes unplaced runnable threads to the pick_next_task fastpath
-    (attach it to the enclave with {!Ghost.System.attach_bpf}). *)
+    own CPU is never a scheduling target while it is active.  [fastpath]
+    (default false) installs the §3.5 BPF tier at init — wakeup placement,
+    a pick ring fed with unplaced runnable threads each pass, and (when a
+    timeslice is set) the tick-requeue preempter. *)
 
 val scheduled : t -> int
 (** Successfully committed transactions so far. *)

@@ -83,7 +83,8 @@ let () =
     ~doc:"Centralized FIFO with optional timeslice preemption (Fig. 5)"
     (fun p ->
       let timeslice = P.int_opt p "timeslice" in
-      let t, pol = Fifo_centralized.policy ?timeslice () in
+      let fastpath = P.bool p "fastpath" ~default:false in
+      let t, pol = Fifo_centralized.policy ?timeslice ~fastpath () in
       ( pol,
         fun () ->
           [
@@ -110,10 +111,11 @@ let () =
       let lc_prefix = P.string p "lc_prefix" ~default:"worker" in
       let timeslice = P.int_opt p "timeslice" in
       let schedule_be = P.bool p "schedule_be" ~default:true in
+      let fastpath = P.bool p "fastpath" ~default:false in
       let classify task =
         if prefix_pred lc_prefix task then Central.Lc else Central.Be
       in
-      let t, pol = Central.policy ~classify ?timeslice ~schedule_be () in
+      let t, pol = Central.policy ~classify ?timeslice ~schedule_be ~fastpath () in
       ( pol,
         central_stats
           ~stats:(fun () -> Central.stats t)
@@ -123,9 +125,10 @@ let () =
     (fun p ->
       let timeslice = P.int p "timeslice" ~default:30_000 in
       let shenango_ext = P.bool p "shenango_ext" ~default:false in
+      let fastpath = P.bool p "fastpath" ~default:false in
       let batch_prefix = P.string p "batch_prefix" ~default:"batch" in
       let t, pol =
-        Shinjuku.policy ~timeslice ~shenango_ext
+        Shinjuku.policy ~timeslice ~shenango_ext ~fastpath
           ~is_batch:(prefix_pred batch_prefix) ()
       in
       ( pol,
@@ -153,8 +156,9 @@ let () =
         | 0 -> None
         | ns -> Some ns
       in
+      let fastpath = P.bool p "fastpath" ~default:false in
       let config =
-        { Search_policy.numa_aware; ccx_aware; pending_wait; bpf = None }
+        { Search_policy.numa_aware; ccx_aware; pending_wait; fastpath }
       in
       let t, pol = Search_policy.policy ~config () in
       ( pol,

@@ -9,11 +9,11 @@ type config = {
   numa_aware : bool;
   ccx_aware : bool;
   pending_wait : int option;
-  bpf : Ghost.Bpf.t option;
+  fastpath : bool;
 }
 
 let default_config =
-  { numa_aware = true; ccx_aware = true; pending_wait = Some 100_000; bpf = None }
+  { numa_aware = true; ccx_aware = true; pending_wait = Some 100_000; fastpath = false }
 
 type stats = {
   mutable placed_core : int;
@@ -31,6 +31,7 @@ type t = {
   queued : (int, unit) Hashtbl.t;
   pending_since : (int, int) Hashtbl.t;
   stats : stats;
+  fp : Fastpath.t option;
 }
 
 let stats t = t.stats
@@ -107,17 +108,16 @@ let note_placement t topo last cpu =
   | Topology.Same_socket -> t.stats.placed_socket <- t.stats.placed_socket + 1
   | Topology.Cross_socket -> t.stats.placed_remote <- t.stats.placed_remote + 1
 
-let bpf_publish t ctx (task : Task.t) =
-  match t.config.bpf with
+(* §3.5: a thread with no idle CPU in its mask goes to the pick ring so
+   the first enclave CPU to go idle dispatches it without a round-trip. *)
+let fp_publish t ctx (task : Task.t) =
+  match t.fp with
   | None -> ()
-  | Some prog ->
-    let topo = Abi.topology ctx in
-    let ring = Topology.socket_of topo (max task.Task.cpu 0) in
-    Abi.charge ctx 60;
-    Ghost.Bpf.publish prog ~ring task
+  | Some fp -> ignore (Fastpath.publish fp ctx task.Task.tid)
 
 let schedule t ctx msgs =
   feed t ctx msgs;
+  (match t.fp with None -> () | Some fp -> Fastpath.reconcile fp ctx);
   let topo = Abi.topology ctx in
   let now = Abi.now ctx in
   let txns = ref [] in
@@ -162,7 +162,7 @@ let schedule t ctx msgs =
           end
         | None ->
           t.stats.skipped <- t.stats.skipped + 1;
-          bpf_publish t ctx task;
+          fp_publish t ctx task;
           revisit := (key, tid) :: !revisit)
       | Some _ | None ->
         Hashtbl.remove t.queued tid;
@@ -183,6 +183,7 @@ let on_result t ctx (txn : Txn.t) =
   | Txn.Pending -> ()
 
 let policy ?(config = default_config) () =
+  let fp = if config.fastpath then Some (Fastpath.create ()) else None in
   let t =
     {
       config;
@@ -199,6 +200,7 @@ let policy ?(config = default_config) () =
           held_pending = 0;
           estales = 0;
         };
+      fp;
     }
   in
   let pol =
@@ -207,7 +209,10 @@ let policy ?(config = default_config) () =
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then push t ctx task.Task.tid)
-          (Abi.managed_threads ctx))
+          (Abi.managed_threads ctx);
+        match t.fp with
+        | None -> ()
+        | Some fp -> ignore (Fastpath.install_pick fp ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
       ~on_result:(fun ctx txn -> on_result t ctx txn)
       ()

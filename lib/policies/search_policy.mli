@@ -12,18 +12,18 @@
     Knobs reproduce the paper's ablations: [ccx_aware] off loses ~10%
     throughput, [numa_aware] off ~27% (§4.4); [pending_wait] keeps a thread
     pending up to that long rather than migrating it off its preferred CCX
-    (the 100 us optimization); [bpf] publishes unplaced threads to the
-    pick_next_task fastpath to close scheduling gaps (§5). *)
+    (the 100 us optimization); [fastpath] publishes unplaced threads to the
+    §3.5 BPF pick ring to close scheduling gaps. *)
 
 type config = {
   numa_aware : bool;
   ccx_aware : bool;
   pending_wait : int option;
-  bpf : Ghost.Bpf.t option;
+  fastpath : bool;
 }
 
 val default_config : config
-(** NUMA and CCX aware, 100 us pending wait, no BPF. *)
+(** NUMA and CCX aware, 100 us pending wait, no BPF fastpath. *)
 
 type stats = {
   mutable placed_core : int;  (** Same physical core as last run (L1/L2 warm). *)

@@ -1,9 +1,10 @@
 type t = Central.t
 
-let policy ?(timeslice = 30_000) ?(shenango_ext = false) ~is_batch () =
+let policy ?(timeslice = 30_000) ?(shenango_ext = false) ?(fastpath = false)
+    ~is_batch () =
   let classify task = if is_batch task then Central.Be else Central.Lc in
   let t, pol =
-    Central.policy ~classify ~timeslice ~schedule_be:shenango_ext ()
+    Central.policy ~classify ~timeslice ~schedule_be:shenango_ext ~fastpath ()
   in
   (t, { pol with Ghost.Agent.name = "shinjuku" })
 

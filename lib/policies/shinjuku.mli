@@ -16,10 +16,12 @@ type t
 val policy :
   ?timeslice:int ->
   ?shenango_ext:bool ->
+  ?fastpath:bool ->
   is_batch:(Kernel.Task.t -> bool) ->
   unit ->
   t * Ghost.Agent.policy
-(** Defaults: 30 us timeslice, [shenango_ext = false]. *)
+(** Defaults: 30 us timeslice, [shenango_ext = false], [fastpath = false].
+    [fastpath] installs the §3.5 BPF expedited tier (see {!Central.policy}). *)
 
 val stats : t -> Central.stats
 val lc_backlog : t -> int

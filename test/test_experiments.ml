@@ -3,6 +3,7 @@
    exists to show.  Keeps `bench/main.exe` from bit-rotting. *)
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 let ms = Sim.Units.ms
 
 let test_table2_counts () =
@@ -95,12 +96,17 @@ let test_table4_security () =
 let test_bpf_ablation_helps () =
   match Experiments.Bpf_ablation.run ~duration_ns:(ms 150) () with
   | [ without; with_bpf ] ->
-    check_bool "fastpath picks occurred" true (with_bpf.Experiments.Bpf_ablation.bpf_picks > 100);
+    check_int "offered traffic bit-identical"
+      without.Experiments.Bpf_ablation.offered
+      with_bpf.Experiments.Bpf_ablation.offered;
+    check_bool "fastpath picks occurred" true
+      (with_bpf.Experiments.Bpf_ablation.bpf_picks > 100);
     check_bool
-      (Printf.sprintf "p99 improves (%.0f -> %.0f)"
-         without.Experiments.Bpf_ablation.p99_us with_bpf.Experiments.Bpf_ablation.p99_us)
+      (Printf.sprintf "wakeup-to-dispatch p99 improves 2x (%.0f -> %.0f us)"
+         without.Experiments.Bpf_ablation.wd_p99_us
+         with_bpf.Experiments.Bpf_ablation.wd_p99_us)
       true
-      (with_bpf.p99_us < without.Experiments.Bpf_ablation.p99_us /. 2.0)
+      (with_bpf.wd_p99_us < without.Experiments.Bpf_ablation.wd_p99_us /. 2.0)
   | _ -> Alcotest.fail "two rows expected"
 
 let test_tickless_removes_jitter () =

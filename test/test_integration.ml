@@ -146,11 +146,9 @@ let test_bpf_fastpath_picks () =
   let k = Kernel.create (machine 3) in
   let sys = System.install k in
   let e = System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
-  let prog = Ghost.Bpf.create ~rings:1 ~capacity:64 in
-  System.attach_bpf e prog ~ring_of:(fun _ -> 0);
   (* Slow agent + fast job turnover: the ring serves wakeups between agent
      passes. *)
-  let _, pol = Policies.Fifo_centralized.policy ~bpf:prog () in
+  let _, pol = Policies.Fifo_centralized.policy ~fastpath:true () in
   let _g = Agent.attach_global sys e ~min_iteration:(us 20) ~idle_gap:(us 50) pol in
   let ol =
     Workloads.Openloop.create k ~seed:9 ~rate:150_000.0
@@ -167,16 +165,18 @@ let test_bpf_fastpath_picks () =
   check_bool "work completed" true
     (Workloads.Recorder.completed (Workloads.Openloop.recorder ol) > 4000)
 
-let test_bpf_revoke () =
+let test_bpf_install_remove () =
   let k = Kernel.create (machine 2) in
-  let prog = Ghost.Bpf.create ~rings:2 ~capacity:4 in
-  let t = Kernel.create_task k ~name:"x" (Task.compute_forever ~slice:(us 10)) in
-  Ghost.Bpf.publish prog ~ring:0 t;
-  check_bool "present" true (Ghost.Bpf.mem prog t);
-  check_int "length" 1 (Ghost.Bpf.length prog);
-  check_bool "revoked" true (Ghost.Bpf.revoke prog t);
-  check_bool "gone" false (Ghost.Bpf.mem prog t);
-  check_bool "second revoke is false" false (Ghost.Bpf.revoke prog t)
+  let sys = System.install k in
+  let e = System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
+  (match System.bpf_install sys e Bpf.Kit.wakeup_first_idle with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  check_bool "installed" true (System.bpf_installed e Bpf.Prog.Wakeup);
+  check_bool "other hooks empty" false (System.bpf_installed e Bpf.Prog.Pick);
+  check_bool "removed" true (System.bpf_remove e Bpf.Prog.Wakeup);
+  check_bool "gone" false (System.bpf_installed e Bpf.Prog.Wakeup);
+  check_bool "second remove is false" false (System.bpf_remove e Bpf.Prog.Wakeup)
 
 (* --- Tick delivery --------------------------------------------------------------- *)
 
@@ -253,7 +253,7 @@ let () =
       ( "bpf",
         [
           Alcotest.test_case "fastpath picks" `Quick test_bpf_fastpath_picks;
-          Alcotest.test_case "revoke" `Quick test_bpf_revoke;
+          Alcotest.test_case "install/remove" `Quick test_bpf_install_remove;
         ] );
       ("ticks", [ Alcotest.test_case "delivery" `Quick test_tick_messages ]);
       ( "table3",

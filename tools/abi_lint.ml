@@ -1,61 +1,100 @@
 (* ABI-boundary lint: policies and scenario controllers must talk to the
    kernel through [Ghost.Abi] (and controllers through [Scenario]'s live
    accessors) — never through [Kernel]/[System] internals or status-word
-   mutators.  Scans the given directories' .ml/.mli sources and fails on
-   any dotted reference outside the per-directory allowlist.
+   mutators — and lib/bpf programs must be pure: no runtime module at all,
+   only their own Snapshot and maps.  Scans the given directories' .ml/.mli
+   sources and fails on any dotted reference outside the per-directory
+   ruleset.
 
    Comments and string literals are stripped first, so prose mentioning
-   {!Ghost.System.attach_bpf} doesn't trip the lint.  Aliasing [Kernel] or
-   [System] to another module name is itself a violation — it would defeat
-   the scan. *)
+   {!Ghost.System.bpf_install} doesn't trip the lint.  Aliasing a
+   restricted module to another name is itself a violation — it would
+   defeat the scan. *)
 
 let ( // ) = Filename.concat
 
-(* (module, immediate member) pairs allowed per directory basename.  A
-   member of ["*"] allows everything under the module. *)
-let allowed_pairs = function
+type ruleset = {
+  restricted : string list;
+      (* Module names whose members need an allowlist entry. *)
+  allowed : (string * string) list;
+      (* (module, immediate member) pairs allowed; a member of ["*"] allows
+         everything under the module. *)
+  why : string;  (* Appended to every violation report. *)
+  agent_sw_checks : bool;
+      (* Also run the Agent-backdoor and Status_word-mutation checks. *)
+}
+
+let ruleset = function
   | "policies" ->
-    [
-      (* Task records and cpumasks are plain data, not authority. *)
-      ("Kernel", "Task");
-      ("Kernel", "Cpumask");
-      (* Attach signatures name the system/enclave types (capability values
-         the harness hands over); the types carry no operations here. *)
-      ("System", "t");
-      ("System", "enclave");
-    ]
+    {
+      restricted = [ "Kernel"; "System" ];
+      allowed =
+        [
+          (* Task records and cpumasks are plain data, not authority. *)
+          ("Kernel", "Task");
+          ("Kernel", "Cpumask");
+          (* Attach signatures name the system/enclave types (capability
+             values the harness hands over); the types carry no operations
+             here. *)
+          ("System", "t");
+          ("System", "enclave");
+        ];
+      why = "bypasses the agent ABI (use Ghost.Abi / Scenario accessors)";
+      agent_sw_checks = true;
+    }
   | "scenario" ->
-    [
-      (* The harness owns setup/teardown: building the machine, enclaves,
-         workloads and the clock is its job.  Live steering goes through
-         the [Scenario] accessors, which is why nothing below reads
-         per-task kernel state. *)
-      ("Kernel", "t");
-      ("Kernel", "create");
-      ("Kernel", "create_task");
-      ("Kernel", "start");
-      ("Kernel", "run_until");
-      ("Kernel", "now");
-      ("Kernel", "engine");
-      ("Kernel", "rng");
-      ("Kernel", "ncpus");
-      ("Kernel", "full_mask");
-      ("Kernel", "Task");
-      ("Kernel", "Cpumask");
-      ("System", "t");
-      ("System", "enclave");
-      ("System", "install");
-      ("System", "create_enclave");
-      ("System", "destroy_reason");
-      ("System", "on_destroy");
-      ("System", "manage");
-      ("System", "enclave_cpus");
-      ("System", "add_cpu");
-      ("System", "remove_cpu");
-      ("System", "Explicit");
-      ("System", "Watchdog");
-      ("System", "Agent_crash");
-    ]
+    {
+      restricted = [ "Kernel"; "System" ];
+      allowed =
+        [
+          (* The harness owns setup/teardown: building the machine, enclaves,
+             workloads and the clock is its job.  Live steering goes through
+             the [Scenario] accessors, which is why nothing below reads
+             per-task kernel state. *)
+          ("Kernel", "t");
+          ("Kernel", "create");
+          ("Kernel", "create_task");
+          ("Kernel", "start");
+          ("Kernel", "run_until");
+          ("Kernel", "now");
+          ("Kernel", "engine");
+          ("Kernel", "rng");
+          ("Kernel", "ncpus");
+          ("Kernel", "full_mask");
+          ("Kernel", "Task");
+          ("Kernel", "Cpumask");
+          ("System", "t");
+          ("System", "enclave");
+          ("System", "install");
+          ("System", "create_enclave");
+          ("System", "destroy_reason");
+          ("System", "on_destroy");
+          ("System", "manage");
+          ("System", "enclave_cpus");
+          ("System", "add_cpu");
+          ("System", "remove_cpu");
+          ("System", "Explicit");
+          ("System", "Watchdog");
+          ("System", "Agent_crash");
+        ];
+      why = "bypasses the agent ABI (use Ghost.Abi / Scenario accessors)";
+      agent_sw_checks = true;
+    }
+  | "bpf" ->
+    {
+      (* BPF programs are pure decision functions over a bounded snapshot:
+         the library may not see the kernel, the runtime, the simulator or
+         observability at all.  (The dune file declares zero dependencies;
+         this pass keeps even a future dependency edit honest.) *)
+      restricted =
+        [
+          "Kernel"; "System"; "Ghost"; "Sim"; "Obs"; "Hw"; "Agent";
+          "Workloads"; "Policies"; "Status_word"; "Gstats"; "Logs";
+        ];
+      allowed = [];
+      why = "breaks BPF purity (lib/bpf sees only Prog/Snapshot/maps)";
+      agent_sw_checks = false;
+    }
   | other -> failwith (Printf.sprintf "abi_lint: no ruleset for %S" other)
 
 (* Status-word writes are lib/core-only in every linted directory: outside
@@ -165,29 +204,32 @@ let check_line ~rules ~file ~lnum line =
       let rec walk = function
         | [] | [ _ ] -> ()
         | m :: (next :: _ as rest) ->
-          (match m with
-          | "Kernel" | "System" ->
-            if not (List.mem (m, next) rules || List.mem (m, "*") rules) then
-              report ~file ~lnum
-                "%s.%s bypasses the agent ABI (use Ghost.Abi / Scenario accessors)"
-                m next
-          | "Agent" ->
-            if agent_banned next then
-              report ~file ~lnum
-                "Agent.%s is the removed kernel backdoor" next
-          | "Status_word" ->
-            if status_word_banned next then
-              report ~file ~lnum
-                "Status_word.%s mutates a status word (snapshots only outside lib/core)"
-                next
-          | _ -> ());
+          if List.mem m rules.restricted then begin
+            if
+              not
+                (List.mem (m, next) rules.allowed
+                || List.mem (m, "*") rules.allowed)
+            then report ~file ~lnum "%s.%s %s" m next rules.why
+          end
+          else if rules.agent_sw_checks then
+            (match m with
+            | "Agent" ->
+              if agent_banned next then
+                report ~file ~lnum
+                  "Agent.%s is the removed kernel backdoor" next
+            | "Status_word" ->
+              if status_word_banned next then
+                report ~file ~lnum
+                  "Status_word.%s mutates a status word (snapshots only outside lib/core)"
+                  next
+            | _ -> ());
           walk rest
       in
       walk comps;
-      (* A token ending in bare Kernel/System is only legal when it (re)binds
-         that same name. *)
+      (* A token ending in a bare restricted module name is only legal when
+         it (re)binds that same name. *)
       match List.rev comps with
-      | last :: _ when last = "Kernel" || last = "System" -> (
+      | last :: _ when List.mem last rules.restricted -> (
         match module_binding line with
         | Some name when name = last -> ()
         | Some name ->
@@ -208,7 +250,7 @@ let check_file ~rules file =
   List.iteri (fun i line -> check_line ~rules ~file ~lnum:(i + 1) line) lines
 
 let check_dir dir =
-  let rules = allowed_pairs (Filename.basename dir) in
+  let rules = ruleset (Filename.basename dir) in
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.iter (fun name ->
          if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
