@@ -984,6 +984,263 @@ let run_bpf () =
     ];
   check_guards ()
 
+(* --- DSL port identity + overhead (ISSUE 9) ----------------------------------- *)
+
+(* Byte-identity evidence for the policy-DSL port.  Every experiment report
+   type is closure-free plain data, so a Marshal digest pins the complete
+   report — any behavioural drift in a ported policy changes the digest.
+   `dsl-baseline` (extra target, run once before the port) records the
+   digests plus the events/sec of the two heaviest centralized policies;
+   the `dsl` target replays the same configurations and fails on any digest
+   mismatch, on an event-count divergence in the throughput scenario, or on
+   a ported policy falling under 0.85x of the recorded events/sec. *)
+
+let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let dsl_cluster_reports () =
+  let scn i =
+    Scenario.make ~seed:(100 + i) ~warmup_ns:(ms 5) ~measure_ns:(ms 10)
+      ~cooldown_ns:(ms 5) ~machine:Hw.Machines.xeon_e5_1s
+      ~enclaves:
+        [
+          Scenario.enclave ~policy:"shinjuku"
+            ~cpus:(List.init 8 (fun c -> c))
+            ~workloads:
+              [
+                Scenario.Openloop
+                  {
+                    wseed = 7 + i;
+                    rate = 20_000.0;
+                    service = Sim.Dist.Exponential 50_000.0;
+                    nworkers = 50;
+                    prefix = "worker";
+                  };
+              ]
+            "serve";
+        ]
+      (Printf.sprintf "dsl-m%d" i)
+  in
+  let r = Cluster.run (Cluster.make ~machines:(Array.init 2 scn) "dsl-cluster") in
+  Array.to_list
+    (Array.map (fun (m : Cluster.machine_report) -> m.Cluster.scenario)
+       r.Cluster.machines)
+
+let dsl_digest_cases () =
+  let fig5 = Experiments.Fig5.run ~measure_ns:(ms 10) () in
+  let fig6 =
+    Experiments.Fig6.run ~rates:[ 100_000.; 250_000. ] ~warmup_ns:(ms 50)
+      ~measure_ns:(ms 100) ()
+  in
+  let table3 = Experiments.Table3.run ~samples:120 () in
+  let colo =
+    Experiments.Colocation.run ~seed:42 ~warmup_ns:(ms 30) ~measure_ns:(ms 90) ()
+  in
+  let cluster = dsl_cluster_reports () in
+  [
+    ("fig5", digest_of fig5);
+    ("fig6", digest_of fig6);
+    ("table3", digest_of table3);
+    ("colocation", digest_of colo);
+    ("cluster", digest_of cluster);
+  ]
+  @ List.map (fun (name, r) -> ("smoke-" ^ name, digest_of r)) (Scenario.smoke ())
+
+(* Registry-built serving scenario: worker threads under the spec'd policy,
+   plus batch threads for the two-class engines.  Deterministic, so the
+   event count doubles as an identity check on the non-Scenario path. *)
+let dsl_perf ~spec ~sim_ns =
+  let machine =
+    {
+      Hw.Machines.name = "dsl-perf";
+      topo =
+        Hw.Topology.create ~sockets:1 ~ccx_per_socket:2 ~cores_per_ccx:4 ~smt:1;
+      costs = Hw.Costs.skylake;
+    }
+  in
+  let kernel = Kernel.create ~seed:17 machine in
+  let sys = Ghost.System.install kernel in
+  let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask kernel) () in
+  let inst = Policies.Registry.make spec in
+  ignore (Policies.Registry.attach sys e inst);
+  let spawn name beh =
+    let t = Kernel.create_task kernel ~name beh in
+    Ghost.System.manage e t;
+    Kernel.start kernel t
+  in
+  for i = 0 to 11 do
+    spawn
+      (Printf.sprintf "worker%d" i)
+      (Kernel.Task.compute_forever ~slice:(Sim.Units.us 50))
+  done;
+  for i = 0 to 3 do
+    spawn
+      (Printf.sprintf "batch%d" i)
+      (Kernel.Task.compute_forever ~slice:(Sim.Units.us 200))
+  done;
+  let t0 = Unix.gettimeofday () in
+  Kernel.run_until kernel sim_ns;
+  let wall = Unix.gettimeofday () -. t0 in
+  (Sim.Engine.events_fired (Kernel.engine kernel), wall)
+
+let dsl_perf_specs =
+  [ ("shinjuku", "shinjuku?timeslice=30us"); ("central", "central?timeslice=50us") ]
+
+let dsl_perf_sim_ns = ms 200
+
+let run_dsl_baseline () =
+  let digests = dsl_digest_cases () in
+  List.iter (fun (k, d) -> Printf.printf "dsl baseline digest %-24s %s\n" k d) digests;
+  let perf =
+    List.map
+      (fun (label, spec) ->
+        let fired, wall = dsl_perf ~spec ~sim_ns:dsl_perf_sim_ns in
+        let rate = float_of_int fired /. wall in
+        Printf.printf "dsl baseline %-10s %d events, %.0f events/sec\n" label
+          fired rate;
+        (label, fired, rate))
+      dsl_perf_specs
+  in
+  update_bench_json
+    [
+      ( "dsl_port",
+        Obs.Json.Obj
+          [
+            ( "digests",
+              Obs.Json.Obj (List.map (fun (k, d) -> (k, Obs.Json.Str d)) digests)
+            );
+            ( "perf",
+              Obs.Json.Obj
+                (List.map
+                   (fun (label, fired, rate) ->
+                     ( label,
+                       Obs.Json.Obj
+                         [
+                           ("events_fired", Obs.Json.Num (float_of_int fired));
+                           ("events_per_sec", Obs.Json.Num rate);
+                         ] ))
+                   perf) );
+          ] );
+    ]
+
+let run_dsl () =
+  let baseline =
+    match List.assoc_opt "dsl_port" (read_bench_json ()) with
+    | Some (Obs.Json.Obj o) -> o
+    | _ -> []
+  in
+  let base_digests =
+    match List.assoc_opt "digests" baseline with
+    | Some (Obs.Json.Obj o) -> o
+    | _ -> []
+  in
+  let digests = dsl_digest_cases () in
+  let identity_ok = ref true in
+  List.iter
+    (fun (k, d) ->
+      match List.assoc_opt k base_digests with
+      | Some (Obs.Json.Str b) ->
+        let ok = b = d in
+        if not ok then identity_ok := false;
+        Printf.printf "dsl identity %-24s %s\n" k
+          (if ok then "byte-identical" else "DIVERGED")
+      | _ -> Printf.printf "dsl identity %-24s (no baseline recorded)\n" k)
+    digests;
+  guard "dsl report identity" (if !identity_ok then 1.0 else 0.0) ~floor:1.0;
+  let reps = if !quick then 2 else 3 in
+  let overhead =
+    List.map
+      (fun (label, spec) ->
+        let base_fired, base_rate =
+          match List.assoc_opt "perf" baseline with
+          | Some (Obs.Json.Obj perf) -> (
+            match List.assoc_opt label perf with
+            | Some (Obs.Json.Obj o) ->
+              let num k =
+                match List.assoc_opt k o with
+                | Some (Obs.Json.Num f) -> Some f
+                | _ -> None
+              in
+              (num "events_fired", num "events_per_sec")
+            | _ -> (None, None))
+          | _ -> (None, None)
+        in
+        let fired, wall =
+          best_of ~reps (fun () ->
+              let fired, wall = dsl_perf ~spec ~sim_ns:dsl_perf_sim_ns in
+              (1.0 /. wall, (fired, wall)))
+          |> snd
+        in
+        let rate = float_of_int fired /. wall in
+        (match base_fired with
+        | Some f when int_of_float f <> fired ->
+          guard_failures :=
+            Printf.sprintf "dsl %s event count diverged (baseline %d, ported %d)"
+              label (int_of_float f) fired
+            :: !guard_failures
+        | _ -> ());
+        let ratio = match base_rate with Some r -> rate /. r | None -> 1.0 in
+        guard (Printf.sprintf "dsl %s events/sec ratio" label) ratio ~floor:0.85;
+        (label, fired, rate, ratio))
+      dsl_perf_specs
+  in
+  (* The self-tuning controller must beat its frozen-knob variant on the
+     load-step surge tail, and must have actually moved the knobs. *)
+  let ar =
+    if !quick then Experiments.Adaptive.run ~warmup_ns:(ms 50) ()
+    else Experiments.Adaptive.run ()
+  in
+  let alive = ar.Experiments.Adaptive.adaptive in
+  let afrozen = ar.Experiments.Adaptive.static_ in
+  Printf.printf
+    "dsl adaptive p99 %.0f us (tightens %d, relaxes %d, final slice %.0f us) \
+     vs static p99 %.0f us\n"
+    alive.Experiments.Adaptive.p99_us alive.Experiments.Adaptive.tightens
+    alive.Experiments.Adaptive.relaxes
+    alive.Experiments.Adaptive.final_slice_us
+    afrozen.Experiments.Adaptive.p99_us;
+  guard "dsl adaptive retunes"
+    (float_of_int
+       (alive.Experiments.Adaptive.tightens
+       + alive.Experiments.Adaptive.relaxes))
+    ~floor:1.0;
+  guard "dsl adaptive vs static p99"
+    (afrozen.Experiments.Adaptive.p99_us /. alive.Experiments.Adaptive.p99_us)
+    ~floor:1.05;
+  let side_json (s : Experiments.Adaptive.side) =
+    Obs.Json.Obj
+      [
+        ("p99_us", Obs.Json.Num s.Experiments.Adaptive.p99_us);
+        ("p999_us", Obs.Json.Num s.Experiments.Adaptive.p999_us);
+        ( "tightens",
+          Obs.Json.Num (float_of_int s.Experiments.Adaptive.tightens) );
+        ("relaxes", Obs.Json.Num (float_of_int s.Experiments.Adaptive.relaxes));
+      ]
+  in
+  update_bench_json
+    [
+      ( "dsl_overhead",
+        Obs.Json.Obj
+          ([ ("identity_ok", Obs.Json.Num (if !identity_ok then 1.0 else 0.0)) ]
+          @ List.map
+              (fun (label, fired, rate, ratio) ->
+                ( label,
+                  Obs.Json.Obj
+                    [
+                      ("events_fired", Obs.Json.Num (float_of_int fired));
+                      ("events_per_sec", Obs.Json.Num rate);
+                      ("over_baseline", Obs.Json.Num ratio);
+                    ] ))
+              overhead
+          @ [
+              ( "adaptive",
+                Obs.Json.Obj
+                  [
+                    ("live", side_json alive); ("static", side_json afrozen);
+                  ] );
+            ]) );
+    ];
+  check_guards ()
+
 (* --- Driver ------------------------------------------------------------------- *)
 
 let all_targets =
@@ -1005,11 +1262,13 @@ let all_targets =
     ("micro", run_micro);
     ("engine", run_engine);
     ("cluster", run_cluster);
+    ("dsl", run_dsl);
   ]
 
 (* Not part of `all`: re-recording the direct baseline is an explicit act
-   (it resets what the abi_overhead guard compares against). *)
-let extra_targets = [ ("abi-baseline", run_abi_baseline) ]
+   (it resets what the abi_overhead/dsl guards compare against). *)
+let extra_targets =
+  [ ("abi-baseline", run_abi_baseline); ("dsl-baseline", run_dsl_baseline) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

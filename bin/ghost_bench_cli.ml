@@ -21,6 +21,77 @@ let seed_arg =
     value & opt int 42
     & info [ "seed" ] ~docv:"N" ~doc:"kernel RNG seed (default 42)")
 
+(* --- policies (registry discovery) ---------------------------------------- *)
+
+let policies_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"machine-readable output (one JSON object)")
+  in
+  let kind_name (k : Policies.Dsl.Knob.kind) =
+    match k with
+    | Policies.Dsl.Knob.Time -> "time"
+    | Policies.Dsl.Knob.Int -> "int"
+    | Policies.Dsl.Knob.Bool -> "bool"
+    | Policies.Dsl.Knob.Float -> "float"
+    | Policies.Dsl.Knob.String -> "string"
+  in
+  let mode_name = function `Global -> "global" | `Local -> "per-cpu" in
+  let run json =
+    let infos = Policies.Registry.infos () in
+    if json then
+      let knob_json (k : Policies.Dsl.Knob.spec) =
+        Obs.Json.Obj
+          [
+            ("key", Obs.Json.Str k.Policies.Dsl.Knob.key);
+            ("kind", Obs.Json.Str (kind_name k.Policies.Dsl.Knob.kind));
+            ( "default",
+              match k.Policies.Dsl.Knob.default with
+              | None -> Obs.Json.Null
+              | Some _ ->
+                Obs.Json.Str (Policies.Dsl.Knob.render_default k) );
+            ("doc", Obs.Json.Str k.Policies.Dsl.Knob.doc);
+          ]
+      in
+      let pol_json (i : Policies.Registry.info) =
+        ( i.Policies.Registry.info_name,
+          Obs.Json.Obj
+            [
+              ( "mode",
+                Obs.Json.Str (mode_name i.Policies.Registry.info_mode) );
+              ("doc", Obs.Json.Str i.Policies.Registry.info_doc);
+              ( "knobs",
+                Obs.Json.Arr
+                  (List.map knob_json i.Policies.Registry.info_knobs) );
+            ] )
+      in
+      print_endline (Obs.Json.to_string (Obs.Json.Obj (List.map pol_json infos)))
+    else
+      List.iter
+        (fun (i : Policies.Registry.info) ->
+          Printf.printf "%s  [%s]\n  %s\n"
+            i.Policies.Registry.info_name
+            (mode_name i.Policies.Registry.info_mode)
+            i.Policies.Registry.info_doc;
+          List.iter
+            (fun (k : Policies.Dsl.Knob.spec) ->
+              Printf.printf "    %-12s %-7s default %-8s %s\n"
+                k.Policies.Dsl.Knob.key
+                (kind_name k.Policies.Dsl.Knob.kind)
+                (Policies.Dsl.Knob.render_default k)
+                k.Policies.Dsl.Knob.doc)
+            i.Policies.Registry.info_knobs;
+          print_newline ())
+        infos
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:
+         "List registered scheduling policies with their declared knobs \
+          (spec-string parameters), e.g. $(b,shinjuku?timeslice=30us)")
+    Term.(const run $ json_arg)
+
 (* --- table2 -------------------------------------------------------------- *)
 
 let table2_cmd =
@@ -502,7 +573,8 @@ let cluster_cmd =
       & info [ "policy" ] ~docv:"SPEC"
           ~doc:
             "policy spec for every machine's serving enclave (registry \
-             syntax, e.g. $(b,shinjuku?timeslice=10us))")
+             syntax, e.g. $(b,shinjuku?timeslice=10us); see \
+             $(b,ghost_bench_cli policies) for names and knobs)")
   in
   let rate_arg =
     Arg.(
@@ -672,8 +744,8 @@ let main_cmd =
   let doc = "reproduce the ghOSt paper's evaluation (SOSP '21)" in
   Cmd.group
     (Cmd.info "ghost_bench_cli" ~version:"1.0" ~doc)
-    [ table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; table4_cmd;
-      bpf_cmd; tickless_cmd; colocation_cmd; faults_cmd; trace_cmd;
-      cluster_cmd; fleet_cmd; decode_cmd ]
+    [ policies_cmd; table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
+      fig8_cmd; table4_cmd; bpf_cmd; tickless_cmd; colocation_cmd; faults_cmd;
+      trace_cmd; cluster_cmd; fleet_cmd; decode_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,34 @@
+(** Load-step evaluation of the self-tuning [adaptive] policy.
+
+    One serving enclave runs latency-critical RocksDB-style workers plus
+    batch threads under the adaptive policy while the offered load steps
+    low - surge - low.  The identical arrival process is replayed against
+    the frozen-knob variant ([adaptive?frozen=true]); the delta is purely
+    the feedback controller retuning timeslice and idle-CPU donation from
+    its own Obs metrics. *)
+
+type side = {
+  label : string;
+  achieved_kqps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  tightens : int;  (** controller moves toward tight knobs *)
+  relaxes : int;  (** controller moves back toward relaxed knobs *)
+  final_slice_us : float;  (** effective LC timeslice at measure end *)
+}
+
+type result = { adaptive : side; static_ : side }
+
+val run :
+  ?seed:int ->
+  ?warmup_ns:int ->
+  ?measure_ns:int ->
+  ?low:float ->
+  ?high:float ->
+  unit ->
+  result
+(** Defaults: seed 42, 100 ms warmup, 300 ms measure (low / surge / low in
+    100 ms phases), 60 kq/s low, 200 kq/s surge. *)
+
+val print : result -> unit

@@ -1,0 +1,34 @@
+(** Self-tuning two-class policy: the DSL centralized template plus a
+    periodic feedback controller that reads its own {!Obs.Metrics} signals
+    (wakeup-to-dispatch p99 histogram, LC backlog gauge) and retunes the
+    timeslice and idle-CPU donation online.  [frozen=true] pins the
+    initial knobs — the static variant used as the experiment baseline. *)
+
+type config = {
+  period : int;  (** controller period, ns *)
+  target_p99 : int;  (** wakeup-to-dispatch p99 target, ns *)
+  timeslice : int;  (** initial (relaxed) LC timeslice, ns *)
+  min_slice : int;  (** tightest timeslice the controller may set, ns *)
+  backlog_hi : int;  (** LC backlog treated as pressure *)
+  frozen : bool;  (** disable the controller: static-knob variant *)
+}
+
+val default_config : config
+
+type t
+
+val policy :
+  ?config:config ->
+  is_lc:(Kernel.Task.t -> bool) ->
+  unit ->
+  t * Ghost.Agent.policy
+
+val stats : t -> (string * int) list
+(** Live snapshot, sorted keys (includes [slice_ns], [tightens],
+    [relaxes]). *)
+
+val retunes : t -> int
+(** Knob changes the controller made so far. *)
+
+val slice_ns : t -> int
+(** The currently effective LC timeslice. *)

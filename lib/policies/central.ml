@@ -1,7 +1,7 @@
-module Agent = Ghost.Agent
-module Abi = Ghost.Abi
-module Txn = Ghost.Txn
-module Task = Kernel.Task
+(* Two-class centralized engine: the LC/BE parameterization of the DSL's
+   centralized template.  LC (class 0) takes idle CPUs, evicts BE, and
+   rotates on the timeslice; leftover idle CPUs are donated to BE when
+   [schedule_be] — Shenango-style core reallocation. *)
 
 type cls = Lc | Be
 
@@ -13,210 +13,22 @@ type stats = {
   mutable estales : int;
 }
 
-(* Hash width of the wakeup-eligibility map: the gated wakeup program
-   indexes cls_map by [tid land cls_mask]. *)
-let cls_mask = 1023
+type t = Dsl.Centralized.t
 
-type t = {
-  classify : Task.t -> cls;
-  timeslice : int option;
-  schedule_be : bool;
-  cls_of : (int, cls) Hashtbl.t;
-  lc_q : Runq.t;
-  be_q : Runq.t;
-  running : Runq.Running.t;
-  stats : stats;
-  fp : Fastpath.t option;
-}
+let stats t =
+  let s = Dsl.Centralized.stats t in
+  {
+    lc_scheduled = s.Dsl.Centralized.scheduled.(0);
+    be_scheduled = s.Dsl.Centralized.scheduled.(1);
+    lc_preemptions = s.Dsl.Centralized.preemptions;
+    be_evictions = s.Dsl.Centralized.evictions;
+    estales = s.Dsl.Centralized.estales;
+  }
 
-let stats t = t.stats
-let lc_backlog t = Runq.length t.lc_q
-
-let class_of t ctx tid =
-  match Hashtbl.find_opt t.cls_of tid with
-  | Some c -> c
-  | None -> (
-    match Abi.task_by_tid ctx tid with
-    | Some task ->
-      let c = t.classify task in
-      Hashtbl.replace t.cls_of tid c;
-      (* Only LC threads may take the expedited wakeup placement; BE
-         threads wait for an agent pass (collisions in the hashed map can
-         let a BE wakeup through — a valid placement, just undeserved). *)
-      (match t.fp with
-      | None -> ()
-      | Some _ -> Fastpath.set_cls ctx ~cls_mask ~tid (c = Lc));
-      c
-    | None -> Be)
-
-let push t ctx tid =
-  match class_of t ctx tid with
-  | Lc -> Runq.push t.lc_q tid
-  | Be -> Runq.push t.be_q tid
-
-let feed t ctx msgs =
-  List.iter
-    (fun msg ->
-      Abi.charge ctx 25;
-      match Msg_class.classify msg with
-      | Msg_class.Became_runnable tid ->
-        Runq.Running.forget t.running tid;
-        push t ctx tid
-      | Msg_class.Not_runnable tid ->
-        Runq.Running.forget t.running tid;
-        Runq.drop t.lc_q tid;
-        Runq.drop t.be_q tid
-      | Msg_class.Died tid ->
-        Runq.Running.forget t.running tid;
-        Runq.drop t.lc_q tid;
-        Runq.drop t.be_q tid;
-        Hashtbl.remove t.cls_of tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _
-      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
-    msgs
-
-let make_assign ctx txns assigned (task : Task.t) cpu =
-  Hashtbl.replace assigned cpu ();
-  Runq.assign ctx txns ~charge:40 task cpu
-
-let schedule t ctx msgs =
-  feed t ctx msgs;
-  (match t.fp with None -> () | Some fp -> Fastpath.reconcile fp ctx);
-  let agent_cpu = Abi.cpu ctx in
-  let txns = ref [] in
-  let assigned = Hashtbl.create 8 in
-  let cpus = List.filter (fun c -> c <> agent_cpu) (Abi.enclave_cpu_list ctx) in
-  let free c = (not (Hashtbl.mem assigned c)) && Abi.cpu_is_idle ctx c in
-  (* 1. Idle CPUs go to LC work first. *)
-  List.iter
-    (fun cpu ->
-      if free cpu then begin
-        match Runq.pop t.lc_q ctx with
-        | Some task -> make_assign ctx txns assigned task cpu
-        | None -> ()
-      end)
-    cpus;
-  (* 2. Remaining LC work evicts best-effort threads. *)
-  let be_running cpu =
-    (not (Hashtbl.mem assigned cpu))
-    &&
-    match Abi.curr_on ctx cpu with
-    | Some task when task.Task.policy = Task.Ghost -> class_of t ctx task.Task.tid = Be
-    | Some _ | None -> false
-  in
-  List.iter
-    (fun cpu ->
-      if (not (Runq.is_empty t.lc_q)) && be_running cpu then begin
-        match Runq.pop t.lc_q ctx with
-        | Some task ->
-          make_assign ctx txns assigned task cpu;
-          t.stats.be_evictions <- t.stats.be_evictions + 1
-        | None -> ()
-      end)
-    cpus;
-  (* 3. Timeslice: rotate LC threads that ran past their slice. *)
-  (match t.timeslice with
-  | None -> ()
-  | Some slice ->
-    let now = Abi.now ctx in
-    List.iter
-      (fun cpu ->
-        if (not (Hashtbl.mem assigned cpu)) && not (Runq.is_empty t.lc_q) then begin
-          match Abi.curr_on ctx cpu with
-          | Some task when task.Task.policy = Task.Ghost ->
-            if
-              Runq.Running.over_slice t.running task.Task.tid ~cpu ~now ~slice
-              && class_of t ctx task.Task.tid = Lc
-            then begin
-              match Runq.pop t.lc_q ctx with
-              | Some next ->
-                make_assign ctx txns assigned next cpu;
-                t.stats.lc_preemptions <- t.stats.lc_preemptions + 1
-              | None -> ()
-            end
-          | Some _ | None -> ()
-        end)
-      cpus);
-  (* 4. Leftover idle CPUs are donated to best-effort work. *)
-  if t.schedule_be then
-    List.iter
-      (fun cpu ->
-        if free cpu then begin
-          match Runq.pop t.be_q ctx with
-          | Some task -> make_assign ctx txns assigned task cpu
-          | None -> ()
-        end)
-      cpus;
-  (* 5. §3.5: LC work still waiting goes to the BPF pick ring so a CPU
-     idling before our next pass dispatches it without a round-trip. *)
-  (match t.fp with
-  | None -> ()
-  | Some fp ->
-    Runq.iter
-      (fun tid ->
-        match Abi.task_by_tid ctx tid with
-        | Some task when Task.is_runnable task ->
-          ignore (Fastpath.publish fp ctx tid)
-        | Some _ | None -> ())
-      t.lc_q);
-  Runq.submit_rev ctx txns
-
-let on_result t ctx (txn : Txn.t) =
-  match txn.status with
-  | Txn.Committed ->
-    let cls = class_of t ctx txn.tid in
-    (match cls with
-    | Lc -> t.stats.lc_scheduled <- t.stats.lc_scheduled + 1
-    | Be -> t.stats.be_scheduled <- t.stats.be_scheduled + 1);
-    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Abi.now ctx)
-  | Txn.Failed Txn.Enoent -> ()
-  | Txn.Failed failure ->
-    if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
-    push t ctx txn.tid
-  | Txn.Pending -> ()
+let lc_backlog t = Dsl.Centralized.backlog t
 
 let policy ~classify ?timeslice ?(schedule_be = true) ?(fastpath = false) () =
-  let fp = if fastpath then Some (Fastpath.create ()) else None in
-  let t =
-    {
-      classify;
-      timeslice;
-      schedule_be;
-      cls_of = Hashtbl.create 512;
-      lc_q = Runq.create ~size:512 ();
-      be_q = Runq.create ~size:512 ();
-      running = Runq.Running.create ();
-      stats =
-        {
-          lc_scheduled = 0;
-          be_scheduled = 0;
-          lc_preemptions = 0;
-          be_evictions = 0;
-          estales = 0;
-        };
-      fp;
-    }
-  in
-  let pol =
-    Agent.make_policy ~name:"central-two-class"
-      ~init:(fun ctx ->
-        List.iter
-          (fun (task : Task.t) ->
-            if Task.is_runnable task then push t ctx task.Task.tid)
-          (Abi.managed_threads ctx);
-        match t.fp with
-        | None -> ()
-        | Some fp ->
-          ignore (Fastpath.install_pick fp ctx);
-          ignore (Fastpath.install_wakeup_gated ctx ~cls_mask);
-          match t.timeslice with
-          | None -> ()
-          | Some slice ->
-            ignore (Fastpath.install_tick fp ctx);
-            Fastpath.set_slice ctx slice)
-      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
-      ~on_result:(fun ctx txn -> on_result t ctx txn)
-      ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)
-      ()
-  in
-  (t, pol)
+  Dsl.Centralized.make ~name:"central-two-class" ~nclasses:2
+    ~classify:(fun _ task -> match classify task with Lc -> 0 | Be -> 1)
+    ?timeslice ~donate_idle:schedule_be ~evict_lower:true ~fastpath
+    ~wakeup_gated:true ~msg_charge:25 ~assign_charge:40 ~rq_size:512 ()

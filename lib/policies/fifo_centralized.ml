@@ -1,128 +1,13 @@
-module Agent = Ghost.Agent
-module Abi = Ghost.Abi
-module Txn = Ghost.Txn
-module Task = Kernel.Task
+(* Centralized FIFO round-robin: the single-class parameterization of the
+   DSL's centralized template.  One global agent, a FIFO runqueue, group
+   commits onto idle CPUs, optional timeslice rotation and BPF fastpath. *)
 
-type t = {
-  runq : Runq.t;
-  running : Runq.Running.t;
-  mutable scheduled : int;
-  timeslice : int option;
-  fp : Fastpath.t option;
-}
-
-let scheduled t = t.scheduled
-let queue_depth t = Runq.length t.runq
-
-let feed t ctx msgs =
-  List.iter
-    (fun msg ->
-      Abi.charge ctx 10;
-      match Msg_class.classify msg with
-      | Msg_class.Became_runnable tid ->
-        Runq.Running.forget t.running tid;
-        Runq.push t.runq tid
-      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
-        Runq.Running.forget t.running tid;
-        Runq.drop t.runq tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _
-      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
-    msgs
-
-let schedule t ctx msgs =
-  feed t ctx msgs;
-  (match t.fp with None -> () | Some fp -> Fastpath.reconcile fp ctx);
-  let agent_cpu = Abi.cpu ctx in
-  let txns = ref [] in
-  (* Fill idle CPUs FIFO-first (Fig. 4).  The spinning agent's own CPU is
-     never a target: the agent does not yield it while active. *)
-  List.iter
-    (fun cpu ->
-      if cpu <> agent_cpu then begin
-        if Abi.cpu_is_idle ctx cpu then begin
-          match Runq.pop t.runq ctx with
-          | Some task -> Runq.assign ctx txns ~charge:25 task cpu
-          | None -> ()
-        end
-      end)
-    (Abi.enclave_cpu_list ctx);
-  (* Timeslice expiry: preempt over-quantum threads when work is waiting. *)
-  (match t.timeslice with
-  | None -> ()
-  | Some slice ->
-    let now = Abi.now ctx in
-    List.iter
-      (fun cpu ->
-        if not (Runq.is_empty t.runq) then begin
-          match Abi.curr_on ctx cpu with
-          | Some task when task.Task.policy = Task.Ghost ->
-            if Runq.Running.over_slice t.running task.Task.tid ~cpu ~now ~slice
-            then begin
-              match Runq.pop t.runq ctx with
-              | Some next ->
-                Runq.assign ctx txns ~charge:25 next cpu;
-                Runq.Running.forget t.running task.Task.tid
-              | None -> ()
-            end
-          | Some _ | None -> ()
-        end)
-      (Abi.enclave_cpu_list ctx));
-  (* §3.5: leftover runnable threads go to the BPF pick ring so a CPU
-     idling before our next pass picks one up without waiting. *)
-  (match t.fp with
-  | None -> ()
-  | Some fp ->
-    Runq.iter
-      (fun tid ->
-        match Abi.task_by_tid ctx tid with
-        | Some task when Task.is_runnable task ->
-          ignore (Fastpath.publish fp ctx tid)
-        | Some _ | None -> ())
-      t.runq);
-  Runq.submit_rev ctx txns
-
-let on_result t ctx (txn : Txn.t) =
-  match txn.status with
-  | Txn.Committed ->
-    t.scheduled <- t.scheduled + 1;
-    Runq.Running.note t.running txn.tid ~cpu:txn.target_cpu ~at:(Abi.now ctx)
-  | Txn.Failed Txn.Enoent -> ()
-  | Txn.Failed _ -> Runq.push t.runq txn.tid
-  | Txn.Pending -> ()
+type t = Dsl.Centralized.t
 
 let policy ?timeslice ?(fastpath = false) () =
-  let fp = if fastpath then Some (Fastpath.create ()) else None in
-  let t =
-    {
-      runq = Runq.create ();
-      running = Runq.Running.create ();
-      scheduled = 0;
-      timeslice;
-      fp;
-    }
-  in
-  let pol =
-    Agent.make_policy ~name:"fifo-centralized"
-      ~init:(fun ctx ->
-        (* Rebuild after an in-place upgrade: runnable threads re-enter the
-           FIFO (§3.4). *)
-        List.iter
-          (fun (task : Task.t) ->
-            if Task.is_runnable task then Runq.push t.runq task.Task.tid)
-          (Abi.managed_threads ctx);
-        match t.fp with
-        | None -> ()
-        | Some fp ->
-          ignore (Fastpath.install_pick fp ctx);
-          ignore (Fastpath.install_wakeup ctx);
-          match t.timeslice with
-          | None -> ()
-          | Some slice ->
-            ignore (Fastpath.install_tick fp ctx);
-            Fastpath.set_slice ctx slice)
-      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
-      ~on_result:(fun ctx txn -> on_result t ctx txn)
-      ~on_cpu_removed:(fun _ cpu -> Runq.Running.forget_cpu t.running cpu)
-      ()
-  in
-  (t, pol)
+  Dsl.Centralized.make ~name:"fifo-centralized" ~nclasses:1 ?timeslice
+    ~fastpath ~msg_charge:10 ~assign_charge:25 ~track_assigned:false
+    ~forget_on_preempt:true ~rq_size:256 ()
+
+let scheduled t = (Dsl.Centralized.stats t).Dsl.Centralized.scheduled.(0)
+let queue_depth t = Dsl.Centralized.backlog t

@@ -1,199 +1,14 @@
-module Agent = Ghost.Agent
-module Abi = Ghost.Abi
-module Txn = Ghost.Txn
-module Task = Kernel.Task
+(* Per-CPU FIFO agents: the DSL's per-CPU template at its defaults.
+   Round-robin placement onto per-CPU bucket queues (ASSOCIATE_QUEUE),
+   agent-seq-stamped local commits, work stealing from the busiest
+   sibling queue (§3.1/3.2). *)
 
-type t = {
-  runqs : (int, int Queue.t) Hashtbl.t;  (* cpu -> tids *)
-  home : (int, int) Hashtbl.t;  (* tid -> cpu *)
-  queued : (int, unit) Hashtbl.t;
-  mutable next_home : int;
-  mutable scheduled : int;
-  mutable estales : int;
-  mutable steals : int;
-}
-
-let scheduled t = t.scheduled
-let estale_retries t = t.estales
-let steals t = t.steals
-
-let runq_of t cpu =
-  match Hashtbl.find_opt t.runqs cpu with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace t.runqs cpu q;
-    q
-
-let push t ~cpu tid =
-  if not (Hashtbl.mem t.queued tid) then begin
-    Hashtbl.replace t.queued tid ();
-    Queue.push tid (runq_of t cpu)
-  end
-
-let rec pop t ctx cpu =
-  match Queue.pop (runq_of t cpu) with
-  | exception Queue.Empty -> None
-  | tid -> (
-    Hashtbl.remove t.queued tid;
-    match Abi.task_by_tid ctx tid with
-    | Some task when Task.is_runnable task -> Some task
-    | Some _ | None -> pop t ctx cpu)
-
-(* Spread new threads round-robin and move their message flow onto the
-   per-CPU queue (ASSOCIATE_QUEUE, §3.1). *)
-let place_new t ctx tid =
-  let cpus = Abi.enclave_cpu_list ctx in
-  let n = List.length cpus in
-  let home = List.nth cpus (t.next_home mod n) in
-  t.next_home <- t.next_home + 1;
-  Hashtbl.replace t.home tid home;
-  (match (Abi.task_by_tid ctx tid, Abi.queue_of_cpu ctx home) with
-  | Some task, Some q -> (
-    match Abi.associate_queue ctx task q with
-    | Ok () -> ()
-    | Error `Pending_messages ->
-      (* Messages already queued for it on the default queue: leave the
-         association for the next pass; they will still reach agent 0. *)
-      ())
-  | _ -> ());
-  home
-
-let home_of t ctx tid =
-  match Hashtbl.find_opt t.home tid with
-  | Some cpu -> cpu
-  | None -> place_new t ctx tid
-
-(* Work stealing (§3.1): an idle agent pulls a thread from the most loaded
-   CPU's runqueue and re-routes its messages to its own queue with
-   ASSOCIATE_QUEUE.  The association fails while the old queue still holds
-   messages for the thread; the thread then stays home this pass and the
-   steal is retried later — exactly the drain-and-reissue protocol. *)
-let try_steal t ctx ~cpu =
-  let busiest =
-    Hashtbl.fold
-      (fun home q acc ->
-        if home = cpu then acc
-        else begin
-          match acc with
-          | Some (_, best) when Queue.length best >= Queue.length q -> acc
-          | _ when Queue.length q >= 2 -> Some (home, q)
-          | _ -> acc
-        end)
-      t.runqs None
-  in
-  match busiest with
-  | None -> None
-  | Some (home, _) -> (
-    match pop t ctx home with
-    | None -> None
-    | Some task -> (
-      match Abi.queue_of_cpu ctx cpu with
-      | None -> Some task
-      | Some q -> (
-        match Abi.associate_queue ctx task q with
-        | Ok () ->
-          t.steals <- t.steals + 1;
-          Hashtbl.replace t.home task.Task.tid cpu;
-          Some task
-        | Error `Pending_messages ->
-          (* Old queue not drained yet: put it back and retry later. *)
-          push t ~cpu:home task.Task.tid;
-          None)))
-
-let try_schedule_local t ctx =
-  let cpu = Abi.cpu ctx in
-  if Abi.latched_on ctx cpu = None then begin
-    let candidate =
-      match pop t ctx cpu with
-      | Some task -> Some task
-      | None -> try_steal t ctx ~cpu
-    in
-    match candidate with
-    | Some task ->
-      Abi.charge ctx 40;
-      let txn =
-        Abi.make_txn ctx ~tid:task.Task.tid ~target:cpu ~with_aseq:true ()
-      in
-      Abi.submit ctx [ txn ]
-    | None -> ()
-  end
-
-let schedule t ctx msgs =
-  List.iter
-    (fun msg ->
-      Abi.charge ctx 25;
-      match Msg_class.classify msg with
-      | Msg_class.Became_runnable tid ->
-        let home = home_of t ctx tid in
-        push t ~cpu:home tid;
-        (* The home CPU's agent sleeps on its own (empty) queue: poke it so
-           it runs a pass and schedules the newcomer. *)
-        if home <> Abi.cpu ctx then Abi.poke ctx home
-      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
-        Hashtbl.remove t.queued tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _
-      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
-    msgs;
-  try_schedule_local t ctx
-
-let on_result t ctx (txn : Txn.t) =
-  match txn.status with
-  | Txn.Committed -> t.scheduled <- t.scheduled + 1
-  | Txn.Failed Txn.Enoent -> ()
-  | Txn.Failed failure ->
-    if failure = Txn.Estale then t.estales <- t.estales + 1;
-    let home = home_of t ctx txn.tid in
-    push t ~cpu:home txn.tid;
-    if home <> Abi.cpu ctx then Abi.poke ctx home
-  | Txn.Pending -> ()
+type t = Dsl.Percpu.t
 
 let policy () =
-  let t =
-    {
-      runqs = Hashtbl.create 16;
-      home = Hashtbl.create 256;
-      queued = Hashtbl.create 256;
-      next_home = 0;
-      scheduled = 0;
-      estales = 0;
-      steals = 0;
-    }
-  in
-  (* A departed CPU's runqueue and home assignments migrate to the live
-     CPUs; running threads re-place via their THREAD_PREEMPTED message. *)
-  let on_cpu_removed ctx cpu =
-    let stale =
-      Hashtbl.fold (fun tid h acc -> if h = cpu then tid :: acc else acc) t.home []
-    in
-    List.iter (fun tid -> Hashtbl.remove t.home tid) stale;
-    match Hashtbl.find_opt t.runqs cpu with
-    | None -> ()
-    | Some q ->
-      Hashtbl.remove t.runqs cpu;
-      Queue.iter
-        (fun tid ->
-          Hashtbl.remove t.queued tid;
-          match Abi.task_by_tid ctx tid with
-          | Some task when Task.is_runnable task ->
-            let home = home_of t ctx tid in
-            push t ~cpu:home tid;
-            if home <> Abi.cpu ctx then Abi.poke ctx home
-          | Some _ | None -> ())
-        q
-  in
-  let pol =
-    Agent.make_policy ~name:"fifo-percpu"
-      ~init:(fun ctx ->
-        List.iter
-          (fun (task : Task.t) ->
-            if Task.is_runnable task then begin
-              let home = home_of t ctx task.Task.tid in
-              push t ~cpu:home task.Task.tid
-            end)
-          (Abi.managed_threads ctx))
-      ~schedule:(fun ctx msgs -> schedule t ctx msgs)
-      ~on_result:(fun ctx txn -> on_result t ctx txn)
-      ~on_cpu_removed ()
-  in
-  (t, pol)
+  Dsl.Percpu.make ~name:"fifo-percpu" ~msg_charge:25 ~assign_charge:40
+    ~steal_min:2 ()
+
+let scheduled t = (Dsl.Percpu.stats t).Dsl.Percpu.scheduled
+let estale_retries t = (Dsl.Percpu.stats t).Dsl.Percpu.estales
+let steals t = (Dsl.Percpu.stats t).Dsl.Percpu.steals

@@ -71,9 +71,13 @@ let parse_spec spec =
 (* Parameter reader: accessors consume keys; [finish] rejects leftovers so
    a typo in a spec fails loudly instead of silently using a default. *)
 module Params = struct
-  type t = { policy : string; mutable remaining : (string * value) list }
+  type t = {
+    policy : string;
+    mutable remaining : (string * value) list;
+    mutable consumed : (string * value) list;  (* resolved, defaults included *)
+  }
 
-  let of_list ~policy kvs = { policy; remaining = kvs }
+  let of_list ~policy kvs = { policy; remaining = kvs; consumed = [] }
 
   let take p key =
     match List.assoc_opt key p.remaining with
@@ -87,29 +91,48 @@ module Params = struct
       (Printf.sprintf "policy %s: parameter %s=%s is not a %s" p.policy key
          (value_to_string v) expected)
 
+  let record p key v =
+    p.consumed <- (key, v) :: p.consumed
+
   let int p key ~default =
-    match take p key with
-    | None -> default
-    | Some (Int i) -> i
-    | Some v -> bad p key v "time/int"
+    let i =
+      match take p key with
+      | None -> default
+      | Some (Int i) -> i
+      | Some v -> bad p key v "time/int"
+    in
+    record p key (Int i);
+    i
 
   let int_opt p key =
     match take p key with
     | None -> None
-    | Some (Int i) -> Some i
+    | Some (Int i) ->
+      record p key (Int i);
+      Some i
     | Some v -> bad p key v "time/int"
 
   let bool p key ~default =
-    match take p key with
-    | None -> default
-    | Some (Bool b) -> b
-    | Some v -> bad p key v "bool"
+    let b =
+      match take p key with
+      | None -> default
+      | Some (Bool b) -> b
+      | Some v -> bad p key v "bool"
+    in
+    record p key (Bool b);
+    b
 
   let string p key ~default =
-    match take p key with
-    | None -> default
-    | Some (String s) -> s
-    | Some v -> value_to_string v
+    let s =
+      match take p key with
+      | None -> default
+      | Some (String s) -> s
+      | Some v -> value_to_string v
+    in
+    record p key (String s);
+    s
+
+  let consumed p = List.rev p.consumed
 
   let finish p =
     match p.remaining with
@@ -127,6 +150,7 @@ type instance = {
   mode : mode;
   policy : Agent.policy;
   stats : unit -> (string * int) list;  (* live snapshot, sorted keys *)
+  knobs : (string * value) list;  (* resolved knob values, defaults included *)
 }
 
 (* The contract a policy module satisfies to be registrable.  The concrete

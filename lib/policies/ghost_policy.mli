@@ -33,6 +33,10 @@ module Params : sig
 
   val finish : t -> unit
   (** Raises [Invalid_argument] naming any unconsumed keys. *)
+
+  val consumed : t -> (string * value) list
+  (** Every (key, resolved value) the accessors saw so far, in consumption
+      order, defaults included — the instance's effective knob settings. *)
 end
 
 (** A constructed, attachable policy instance. *)
@@ -42,6 +46,8 @@ type instance = {
   mode : mode;
   policy : Ghost.Agent.policy;
   stats : unit -> (string * int) list;
+  knobs : (string * value) list;
+      (** resolved knob values, defaults included *)
 }
 
 (** The contract a registrable policy module satisfies. *)

@@ -11,15 +11,23 @@ type entry = {
   name : string;
   mode : Ghost_policy.mode;
   doc : string;
+  knobs : Dsl.Knob.spec list;
   make : P.t -> Agent.policy * (unit -> (string * int) list);
+}
+
+type info = {
+  info_name : string;
+  info_mode : Ghost_policy.mode;
+  info_doc : string;
+  info_knobs : Dsl.Knob.spec list;
 }
 
 let table : (string, entry) Hashtbl.t = Hashtbl.create 16
 
-let register ~name ~mode ~doc make =
+let register ~name ~mode ~doc ?(knobs = []) make =
   if Hashtbl.mem table name then
     invalid_arg (Printf.sprintf "Registry.register: duplicate policy %s" name);
-  Hashtbl.replace table name { name; mode; doc; make }
+  Hashtbl.replace table name { name; mode; doc; knobs; make }
 
 let names () =
   Hashtbl.fold (fun name _ acc -> name :: acc) table [] |> List.sort compare
@@ -28,6 +36,19 @@ let doc name =
   match Hashtbl.find_opt table name with
   | Some e -> e.doc
   | None -> invalid_arg (Printf.sprintf "Registry.doc: unknown policy %s" name)
+
+let info name =
+  match Hashtbl.find_opt table name with
+  | Some e ->
+    {
+      info_name = e.name;
+      info_mode = e.mode;
+      info_doc = e.doc;
+      info_knobs = e.knobs;
+    }
+  | None -> invalid_arg (Printf.sprintf "Registry.info: unknown policy %s" name)
+
+let infos () = List.map info (names ())
 
 let make spec =
   let name, kvs = Ghost_policy.parse_spec spec in
@@ -40,21 +61,40 @@ let make spec =
     let p = P.of_list ~policy:name kvs in
     let policy, stats = e.make p in
     P.finish p;
-    { Ghost_policy.spec; name; mode = e.mode; policy; stats }
+    let knobs = P.consumed p in
+    { Ghost_policy.spec; name; mode = e.mode; policy; stats; knobs }
 
 let attach ?min_iteration ?idle_gap sys enclave (inst : Ghost_policy.instance) =
   match inst.mode with
   | `Global -> Agent.attach_global ?min_iteration ?idle_gap sys enclave inst.policy
   | `Local -> Agent.attach_local sys enclave inst.policy
 
-(* Gauges named policy.<name>.<stat>, refreshed from the live snapshot. *)
+(* Gauges named policy.<name>.<stat>, refreshed from the live snapshot,
+   plus policy.<name>.knob.<key> gauges for the resolved knob settings so a
+   controller (or a human on a dashboard) sees the effective tuning. *)
 let publish_stats (inst : Ghost_policy.instance) =
   List.iter
     (fun (k, v) ->
       Obs.Metrics.set
         (Obs.Metrics.gauge (Printf.sprintf "policy.%s.%s" inst.name k))
         v)
-    (inst.stats ())
+    (inst.stats ());
+  List.iter
+    (fun (k, v) ->
+      let num =
+        match (v : Ghost_policy.value) with
+        | Ghost_policy.Int i -> Some i
+        | Ghost_policy.Bool b -> Some (if b then 1 else 0)
+        | Ghost_policy.Float f -> Some (int_of_float f)
+        | Ghost_policy.String _ -> None
+      in
+      match num with
+      | Some n ->
+        Obs.Metrics.set
+          (Obs.Metrics.gauge (Printf.sprintf "policy.%s.knob.%s" inst.name k))
+          n
+      | None -> ())
+    inst.Ghost_policy.knobs
 
 (* --- The built-in policies ------------------------------------------------- *)
 
@@ -81,6 +121,14 @@ let central_stats ~stats ~backlog () =
 let () =
   register ~name:"fifo-centralized" ~mode:`Global
     ~doc:"Centralized FIFO with optional timeslice preemption (Fig. 5)"
+    ~knobs:
+      [
+        Dsl.Knob.time_opt "timeslice"
+          "preempt ghOSt threads past this slice when work waits (unset: \
+           run to block)";
+        Dsl.Knob.bool "fastpath" ~default:false
+          "install the BPF fastpath tier (wakeup, pick ring, tick)";
+      ]
     (fun p ->
       let timeslice = P.int_opt p "timeslice" in
       let fastpath = P.bool p "fastpath" ~default:false in
@@ -107,6 +155,17 @@ let () =
     ~doc:
       "Two-class centralized engine; lc_prefix names latency-critical \
        threads (default worker)"
+    ~knobs:
+      [
+        Dsl.Knob.string "lc_prefix" ~default:"worker"
+          "task-name prefix classified latency-critical";
+        Dsl.Knob.time_opt "timeslice"
+          "preempt LC threads past this slice when LC work waits";
+        Dsl.Knob.bool "schedule_be" ~default:true
+          "donate leftover idle CPUs to best-effort threads";
+        Dsl.Knob.bool "fastpath" ~default:false
+          "install the BPF fastpath tier (gated wakeup, pick ring, tick)";
+      ]
     (fun p ->
       let lc_prefix = P.string p "lc_prefix" ~default:"worker" in
       let timeslice = P.int_opt p "timeslice" in
@@ -122,6 +181,17 @@ let () =
           ~backlog:(fun () -> Central.lc_backlog t) ));
   register ~name:"shinjuku" ~mode:`Global
     ~doc:"ghOSt-Shinjuku: 30us preemptive centralized scheduling (Fig. 6)"
+    ~knobs:
+      [
+        Dsl.Knob.time "timeslice" ~default:30_000
+          "preemption quantum for latency-critical threads";
+        Dsl.Knob.bool "shenango_ext" ~default:false
+          "Shenango extension: donate idle CPUs to batch threads";
+        Dsl.Knob.bool "fastpath" ~default:false
+          "install the BPF fastpath tier (gated wakeup, pick ring, tick)";
+        Dsl.Knob.string "batch_prefix" ~default:"batch"
+          "task-name prefix classified batch (best-effort)";
+      ]
     (fun p ->
       let timeslice = P.int p "timeslice" ~default:30_000 in
       let shenango_ext = P.bool p "shenango_ext" ~default:false in
@@ -137,6 +207,11 @@ let () =
           ~backlog:(fun () -> Shinjuku.lc_backlog t) ));
   register ~name:"snap" ~mode:`Global
     ~doc:"Google Snap: workers strictly over antagonists, no timeslice (§4.3)"
+    ~knobs:
+      [
+        Dsl.Knob.string "worker_prefix" ~default:"worker"
+          "task-name prefix classified as a Snap worker";
+      ]
     (fun p ->
       let worker_prefix = P.string p "worker_prefix" ~default:"worker" in
       let t, pol = Snap_policy.policy ~is_worker:(prefix_pred worker_prefix) () in
@@ -148,6 +223,18 @@ let () =
     ~doc:
       "Google Search: least-runtime-first with cache-distance placement \
        (§4.4); pending_wait=0 disables the 100us hold"
+    ~knobs:
+      [
+        Dsl.Knob.bool "numa_aware" ~default:true
+          "prefer same-socket CCXs when fanning out";
+        Dsl.Knob.bool "ccx_aware" ~default:true
+          "scan CPUs in increasing cache distance from the last CPU";
+        Dsl.Knob.time "pending_wait" ~default:100_000
+          "hold a thread this long before paying a CCX migration (0 \
+           disables)";
+        Dsl.Knob.bool "fastpath" ~default:false
+          "install the BPF pick ring for unplaceable threads";
+      ]
     (fun p ->
       let numa_aware = P.bool p "numa_aware" ~default:true in
       let ccx_aware = P.bool p "ccx_aware" ~default:true in
@@ -175,6 +262,13 @@ let () =
           ] ));
   register ~name:"secure-vm" ~mode:`Global
     ~doc:"Per-core VM isolation with quantum rotation (§4.5)"
+    ~knobs:
+      [
+        Dsl.Knob.time "quantum" ~default:500_000
+          "guaranteed core tenure before rotating to another VM";
+        Dsl.Knob.bool "eager_pairing" ~default:false
+          "always pair vCPUs on a core (default: only under core pressure)";
+      ]
     (fun p ->
       let quantum = P.int p "quantum" ~default:500_000 in
       let eager_pairing = P.bool p "eager_pairing" ~default:false in
@@ -187,4 +281,48 @@ let () =
             ("pair_commits", s.Secure_vm.pair_commits);
             ("rotations", s.Secure_vm.rotations);
             ("single_commits", s.Secure_vm.single_commits);
-          ] ))
+          ] ));
+  register ~name:"adaptive" ~mode:`Global
+    ~doc:
+      "Self-tuning two-class engine: a periodic controller reads its own \
+       Obs metrics (wd p99, backlog) and retunes slice/donation online; \
+       frozen=true pins the initial knobs"
+    ~knobs:
+      [
+        Dsl.Knob.time "period" ~default:1_000_000
+          "feedback controller period";
+        Dsl.Knob.time "target_p99" ~default:100_000
+          "wakeup-to-dispatch p99 the controller steers toward";
+        Dsl.Knob.time "timeslice" ~default:250_000
+          "initial (relaxed) LC timeslice";
+        Dsl.Knob.time "min_slice" ~default:25_000
+          "tightest timeslice the controller may set";
+        Dsl.Knob.int "backlog_hi" ~default:4
+          "LC backlog treated as pressure";
+        Dsl.Knob.string "lc_prefix" ~default:"worker"
+          "task-name prefix classified latency-critical";
+        Dsl.Knob.bool "frozen" ~default:false
+          "disable the controller (static-knob variant)";
+      ]
+    (fun p ->
+      let period = P.int p "period" ~default:1_000_000 in
+      let target_p99 = P.int p "target_p99" ~default:100_000 in
+      let timeslice = P.int p "timeslice" ~default:250_000 in
+      let min_slice = P.int p "min_slice" ~default:25_000 in
+      let backlog_hi = P.int p "backlog_hi" ~default:4 in
+      let lc_prefix = P.string p "lc_prefix" ~default:"worker" in
+      let frozen = P.bool p "frozen" ~default:false in
+      let config =
+        {
+          Adaptive_policy.period;
+          target_p99;
+          timeslice;
+          min_slice;
+          backlog_hi;
+          frozen;
+        }
+      in
+      let t, pol =
+        Adaptive_policy.policy ~config ~is_lc:(prefix_pred lc_prefix) ()
+      in
+      (pol, fun () -> Adaptive_policy.stats t))

@@ -10,15 +10,33 @@ val register :
   name:string ->
   mode:Ghost_policy.mode ->
   doc:string ->
+  ?knobs:Dsl.Knob.spec list ->
   (Ghost_policy.Params.t ->
   Ghost.Agent.policy * (unit -> (string * int) list)) ->
   unit
-(** Add a policy.  Raises [Invalid_argument] on duplicate names. *)
+(** Add a policy.  [knobs] declares its spec-string parameters for
+    discovery ([ghost_bench_cli policies]); the constructor still reads
+    them through {!Ghost_policy.Params}.  Raises [Invalid_argument] on
+    duplicate names. *)
 
 val names : unit -> string list
 (** Registered names, sorted. *)
 
 val doc : string -> string
+
+(** Discovery record for one registered policy. *)
+type info = {
+  info_name : string;
+  info_mode : Ghost_policy.mode;
+  info_doc : string;
+  info_knobs : Dsl.Knob.spec list;
+}
+
+val info : string -> info
+(** Raises [Invalid_argument] for unknown policies. *)
+
+val infos : unit -> info list
+(** All registered policies, sorted by name. *)
 
 val make : string -> Ghost_policy.instance
 (** Instantiate from a spec string.  Raises [Invalid_argument] for unknown

@@ -1,9 +1,12 @@
-module Agent = Ghost.Agent
-module Abi = Ghost.Abi
-module Txn = Ghost.Txn
-module Task = Kernel.Task
-module Topology = Hw.Topology
-module Cpumask = Kernel.Cpumask
+(* Search-style cache-aware policy (§4.4) on the DSL: a least-runtime
+   run-queue ([Dsl.Rq.least]) drained through a bespoke placement pass that
+   walks CPUs in increasing cache distance and briefly holds threads rather
+   than paying a CCX migration. *)
+
+module Abi = Dsl.Abi
+module Task = Dsl.Task
+module Topology = Dsl.Topology
+module Cpumask = Dsl.Cpumask
 
 type config = {
   numa_aware : bool;
@@ -27,11 +30,10 @@ type stats = {
 
 type t = {
   config : config;
-  heap : int Minheap.t;  (* tid keyed by elapsed runtime *)
-  queued : (int, unit) Hashtbl.t;
+  rq : Dsl.Rq.t;  (* tid keyed by elapsed runtime *)
   pending_since : (int, int) Hashtbl.t;
   stats : stats;
-  fp : Fastpath.t option;
+  fp : Dsl.Fastpath.t option;
 }
 
 let stats t = t.stats
@@ -41,29 +43,20 @@ let stats t = t.stats
    and sink below fresh workers). *)
 let key_of ctx (task : Task.t) =
   match Abi.status_word ctx task with
-  | Some sw -> sw.Ghost.Status_word.sum_exec + sw.Ghost.Status_word.hint
+  | Some sw -> sw.Dsl.Status_word.sum_exec + sw.Dsl.Status_word.hint
   | None -> task.Task.sum_exec
-
-let push t ctx tid =
-  if not (Hashtbl.mem t.queued tid) then begin
-    match Abi.task_by_tid ctx tid with
-    | Some task ->
-      Hashtbl.replace t.queued tid ();
-      Minheap.push t.heap ~key:(key_of ctx task) tid
-    | None -> ()
-  end
 
 let feed t ctx msgs =
   List.iter
     (fun msg ->
       Abi.charge ctx 25;
-      match Msg_class.classify msg with
-      | Msg_class.Became_runnable tid -> push t ctx tid
-      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
-        Hashtbl.remove t.queued tid;
+      match Dsl.Msg_class.classify msg with
+      | Dsl.Msg_class.Became_runnable tid -> Dsl.Rq.push t.rq ctx tid
+      | Dsl.Msg_class.Not_runnable tid | Dsl.Msg_class.Died tid ->
+        Dsl.Rq.drop t.rq tid;
         Hashtbl.remove t.pending_since tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _
-      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
+      | Dsl.Msg_class.Affinity_changed _ | Dsl.Msg_class.Tick _
+      | Dsl.Msg_class.Cpu_available _ | Dsl.Msg_class.Cpu_taken _ -> ())
     msgs
 
 (* Candidate CPUs in increasing cache distance from [last]: the physical
@@ -113,18 +106,18 @@ let note_placement t topo last cpu =
 let fp_publish t ctx (task : Task.t) =
   match t.fp with
   | None -> ()
-  | Some fp -> ignore (Fastpath.publish fp ctx task.Task.tid)
+  | Some fp -> ignore (Dsl.Fastpath.publish fp ctx task.Task.tid)
 
 let schedule t ctx msgs =
   feed t ctx msgs;
-  (match t.fp with None -> () | Some fp -> Fastpath.reconcile fp ctx);
+  (match t.fp with None -> () | Some fp -> Dsl.Fastpath.reconcile fp ctx);
   let topo = Abi.topology ctx in
   let now = Abi.now ctx in
-  let txns = ref [] in
+  let com = Dsl.Commit.create () in
   let assigned = Hashtbl.create 16 in
   let revisit = ref [] in
   let rec drain () =
-    match Minheap.pop t.heap with
+    match Dsl.Rq.pop_entry t.rq with
     | None -> ()
     | Some (key, tid) ->
       Abi.charge ctx 30;
@@ -149,12 +142,10 @@ let schedule t ctx msgs =
           in
           if close_enough then begin
             Hashtbl.remove t.pending_since tid;
-            Hashtbl.remove t.queued tid;
+            Dsl.Rq.drop t.rq tid;
             Hashtbl.replace assigned cpu ();
             note_placement t topo last cpu;
-            let seq = Abi.thread_seq ctx task in
-            txns :=
-              Abi.make_txn ctx ~tid ~target:cpu ?thread_seq:seq () :: !txns
+            Dsl.Commit.add ctx com task cpu
           end
           else begin
             t.stats.held_pending <- t.stats.held_pending + 1;
@@ -165,30 +156,27 @@ let schedule t ctx msgs =
           fp_publish t ctx task;
           revisit := (key, tid) :: !revisit)
       | Some _ | None ->
-        Hashtbl.remove t.queued tid;
+        Dsl.Rq.drop t.rq tid;
         Hashtbl.remove t.pending_since tid);
       drain ()
   in
   drain ();
-  List.iter (fun (key, tid) -> Minheap.push t.heap ~key tid) !revisit;
-  if !txns <> [] then Abi.submit ctx (List.rev !txns)
+  List.iter (fun (key, tid) -> Dsl.Rq.requeue_entry t.rq ~key tid) !revisit;
+  Dsl.Commit.submit ctx com
 
-let on_result t ctx (txn : Txn.t) =
-  match txn.status with
-  | Txn.Committed -> ()
-  | Txn.Failed Txn.Enoent -> ()
-  | Txn.Failed failure ->
-    if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
-    push t ctx txn.tid
-  | Txn.Pending -> ()
+let on_outcome t ctx (o : Dsl.Outcome.t) =
+  match o with
+  | Dsl.Outcome.Committed _ | Dsl.Outcome.Gone _ | Dsl.Outcome.Pending -> ()
+  | Dsl.Outcome.Rejected { tid; estale } ->
+    if estale then t.stats.estales <- t.stats.estales + 1;
+    Dsl.Rq.push t.rq ctx tid
 
 let policy ?(config = default_config) () =
-  let fp = if config.fastpath then Some (Fastpath.create ()) else None in
+  let fp = if config.fastpath then Some (Dsl.Fastpath.create ()) else None in
   let t =
     {
       config;
-      heap = Minheap.create ();
-      queued = Hashtbl.create 1024;
+      rq = Dsl.Rq.least ~size:1024 key_of;
       pending_since = Hashtbl.create 256;
       stats =
         {
@@ -204,17 +192,17 @@ let policy ?(config = default_config) () =
     }
   in
   let pol =
-    Agent.make_policy ~name:"search"
+    Dsl.agent ~name:"search"
       ~init:(fun ctx ->
         List.iter
           (fun (task : Task.t) ->
-            if Task.is_runnable task then push t ctx task.Task.tid)
+            if Task.is_runnable task then Dsl.Rq.push t.rq ctx task.Task.tid)
           (Abi.managed_threads ctx);
         match t.fp with
         | None -> ()
-        | Some fp -> ignore (Fastpath.install_pick fp ctx))
+        | Some fp -> ignore (Dsl.Fastpath.install_pick fp ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
-      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ~on_outcome:(fun ctx o -> on_outcome t ctx o)
       ()
   in
   (t, pol)

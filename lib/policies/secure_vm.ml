@@ -1,9 +1,12 @@
-module Agent = Ghost.Agent
-module Abi = Ghost.Abi
-module Txn = Ghost.Txn
-module Task = Kernel.Task
-module Topology = Hw.Topology
-module Cpumask = Kernel.Cpumask
+(* Core-isolating VM policy (§4.5) on the DSL: per-VM cookie bucket queues
+   ([Dsl.Buckets]) drained by a bespoke per-core pass that places whole
+   cores atomically — pairing, solo placement with a forced-idle sibling,
+   and quantum rotation between VMs. *)
+
+module Abi = Dsl.Abi
+module Task = Dsl.Task
+module Topology = Dsl.Topology
+module Cpumask = Dsl.Cpumask
 
 type stats = {
   mutable pair_commits : int;
@@ -17,8 +20,7 @@ type core_state = { mutable cookie : int; mutable since : int }
 type t = {
   quantum : int;
   eager_pairing : bool;
-  runnable : (int, int Queue.t) Hashtbl.t;  (* cookie -> tids *)
-  queued : (int, unit) Hashtbl.t;
+  runnable : Dsl.Buckets.t;  (* cookie -> tids *)
   vm_runtime : (int, int) Hashtbl.t;  (* cookie -> accumulated runtime key *)
   cores : (int, core_state) Hashtbl.t;  (* physical core -> owner *)
   stats : stats;
@@ -31,49 +33,26 @@ let core_cookie t ~core =
   | Some cs when cs.cookie <> 0 -> Some cs.cookie
   | Some _ | None -> None
 
-let vmq t cookie =
-  match Hashtbl.find_opt t.runnable cookie with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace t.runnable cookie q;
-    q
-
-let push t ctx tid =
-  if not (Hashtbl.mem t.queued tid) then begin
-    match Abi.task_by_tid ctx tid with
-    | Some task ->
-      Hashtbl.replace t.queued tid ();
-      Queue.push tid (vmq t task.Task.cookie)
-    | None -> ()
-  end
-
-let rec pop t ctx cookie =
-  match Queue.pop (vmq t cookie) with
-  | exception Queue.Empty -> None
-  | tid -> (
-    Hashtbl.remove t.queued tid;
-    match Abi.task_by_tid ctx tid with
-    | Some task when Task.is_runnable task && task.Task.cookie = cookie -> Some task
-    | Some _ | None -> pop t ctx cookie)
+let push t ctx tid = Dsl.Buckets.push_auto t.runnable ctx tid
+let pop t ctx cookie = Dsl.Buckets.pop t.runnable ctx cookie
 
 let feed t ctx msgs =
   List.iter
     (fun msg ->
       Abi.charge ctx 25;
-      match Msg_class.classify msg with
-      | Msg_class.Became_runnable tid -> push t ctx tid
-      | Msg_class.Not_runnable tid | Msg_class.Died tid ->
-        Hashtbl.remove t.queued tid
-      | Msg_class.Affinity_changed _ | Msg_class.Tick _
-      | Msg_class.Cpu_available _ | Msg_class.Cpu_taken _ -> ())
+      match Dsl.Msg_class.classify msg with
+      | Dsl.Msg_class.Became_runnable tid -> push t ctx tid
+      | Dsl.Msg_class.Not_runnable tid | Dsl.Msg_class.Died tid ->
+        Dsl.Buckets.drop t.runnable tid
+      | Dsl.Msg_class.Affinity_changed _ | Dsl.Msg_class.Tick _
+      | Dsl.Msg_class.Cpu_available _ | Dsl.Msg_class.Cpu_taken _ -> ())
     msgs
 
 (* VMs with waiting threads, least accumulated runtime first — the fair
    sharing of spare capacity on top of the quantum guarantee. *)
 let waiting_vms t =
-  Hashtbl.fold
-    (fun cookie q acc -> if Queue.is_empty q then acc else cookie :: acc)
+  Dsl.Buckets.fold
+    (fun cookie rq acc -> if Dsl.Rq.is_empty rq then acc else cookie :: acc)
     t.runnable []
   |> List.sort (fun a b ->
          let ra = Option.value ~default:0 (Hashtbl.find_opt t.vm_runtime a) in
@@ -154,7 +133,7 @@ let commit_core t ctx ~core ~cpu0 ~cpu1 ~pair ?(need = 1) cookie =
   (* Displacing an occupied core with fewer threads than it runs would leave
      a sibling on the old VM: put the popped threads back instead. *)
   if List.length txns < need then begin
-    List.iter (fun (txn : Txn.t) -> push t ctx txn.Txn.tid) txns;
+    List.iter (fun (txn : Dsl.Txn.t) -> push t ctx txn.Dsl.Txn.tid) txns;
     false
   end
   else begin
@@ -180,7 +159,7 @@ let commit_core t ctx ~core ~cpu0 ~cpu1 ~pair ?(need = 1) cookie =
   end
 
 let total_waiting t =
-  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.runnable 0
+  Dsl.Buckets.fold (fun _ rq acc -> acc + Dsl.Rq.length rq) t.runnable 0
 
 let schedule t ctx msgs =
   feed t ctx msgs;
@@ -212,7 +191,7 @@ let schedule t ctx msgs =
         match Hashtbl.find_opt t.cores core with
         | Some cs when now - cs.since >= t.quantum -> (
           let occupied = occupied_count ctx cpu0 cpu1 in
-          let eligible next = Queue.length (vmq t next) >= occupied in
+          let eligible next = Dsl.Buckets.len t.runnable next >= occupied in
           match
             List.filter
               (fun c -> c <> cs.cookie && eligible c)
@@ -229,22 +208,24 @@ let schedule t ctx msgs =
       end)
     cores
 
-let on_result t ctx (txn : Txn.t) =
-  match txn.status with
-  | Txn.Committed -> ()
-  | Txn.Failed Txn.Enoent -> ()
-  | Txn.Failed failure ->
-    if failure = Txn.Estale then t.stats.estales <- t.stats.estales + 1;
-    push t ctx txn.tid
-  | Txn.Pending -> ()
+let on_outcome t ctx (o : Dsl.Outcome.t) =
+  match o with
+  | Dsl.Outcome.Committed _ | Dsl.Outcome.Gone _ | Dsl.Outcome.Pending -> ()
+  | Dsl.Outcome.Rejected { tid; estale } ->
+    if estale then t.stats.estales <- t.stats.estales + 1;
+    push t ctx tid
 
 let policy ?(quantum = 500_000) ?(eager_pairing = false) () =
   let t =
     {
       quantum;
       eager_pairing;
-      runnable = Hashtbl.create 16;
-      queued = Hashtbl.create 128;
+      runnable =
+        Dsl.Buckets.create ~size:16 ~dedup_size:128
+          ~validate:(fun cookie _ task ->
+            Task.is_runnable task && task.Task.cookie = cookie)
+          ~bucket_of:(fun task -> task.Task.cookie)
+          ();
       vm_runtime = Hashtbl.create 16;
       cores = Hashtbl.create 64;
       stats = { pair_commits = 0; single_commits = 0; rotations = 0; estales = 0 };
@@ -257,14 +238,14 @@ let policy ?(quantum = 500_000) ?(eager_pairing = false) () =
     Hashtbl.remove t.cores (Topology.core_of topo cpu)
   in
   let pol =
-    Agent.make_policy ~name:"secure-vm"
+    Dsl.agent ~name:"secure-vm"
       ~init:(fun ctx ->
         List.iter
           (fun (task : Task.t) ->
             if Task.is_runnable task then push t ctx task.Task.tid)
           (Abi.managed_threads ctx))
       ~schedule:(fun ctx msgs -> schedule t ctx msgs)
-      ~on_result:(fun ctx txn -> on_result t ctx txn)
+      ~on_outcome:(fun ctx o -> on_outcome t ctx o)
       ~on_cpu_removed ()
   in
   (t, pol)

@@ -6,7 +6,7 @@ let policy ?(timeslice = 30_000) ?(shenango_ext = false) ?(fastpath = false)
   let t, pol =
     Central.policy ~classify ~timeslice ~schedule_be:shenango_ext ~fastpath ()
   in
-  (t, { pol with Ghost.Agent.name = "shinjuku" })
+  (t, Dsl.rename pol "shinjuku")
 
 let stats t = Central.stats t
 let lc_backlog t = Central.lc_backlog t

@@ -3,7 +3,7 @@ type t = Central.t
 let policy ~is_worker () =
   let classify task = if is_worker task then Central.Lc else Central.Be in
   let t, pol = Central.policy ~classify ~schedule_be:true () in
-  (t, { pol with Ghost.Agent.name = "snap" })
+  (t, Dsl.rename pol "snap")
 
 let stats t = Central.stats t
 let lc_backlog t = Central.lc_backlog t

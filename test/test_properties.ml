@@ -348,6 +348,175 @@ let test_topology_sibling_involution =
           | None -> false)
         (Hw.Topology.cpus t))
 
+(* --- DSL engine invariants ---------------------------------------------------------- *)
+
+let us = Sim.Units.us
+let ms = Sim.Units.ms
+
+let dsl_setup ~ncores ~spec =
+  let k = Kernel.create (sw_machine ncores) in
+  let sys = Ghost.System.install k in
+  let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
+  let inst = Policies.Registry.make spec in
+  let g = Policies.Registry.attach sys e inst in
+  (k, sys, e, g)
+
+let dsl_spawn k e ~name behavior =
+  let t = Kernel.create_task k ~name behavior in
+  Ghost.System.manage e t;
+  Kernel.start k t;
+  t
+
+let test_dsl_work_conservation =
+  (* Throughput form of work conservation: [n] always-runnable threads on
+     [c] CPUs (one of which the spinning global agent occupies) must consume
+     nearly min(n, c-1) CPUs' worth of time — an engine that parks runnable
+     work while CPUs idle cannot reach the bound. *)
+  qtest ~name:"dsl centralized engine is work-conserving" ~count:20
+    QCheck.(triple (int_range 2 5) (int_range 1 10) (int_range 20 100))
+    (fun (ncores, ntasks, slice_us) ->
+      (* clamp: QCheck's int shrinker can step outside the generator range *)
+      let ncores = max 2 ncores and ntasks = max 1 ntasks in
+      let slice_us = max 1 slice_us in
+      let k, _sys, e, _g =
+        dsl_setup ~ncores ~spec:"fifo-centralized?timeslice=100us"
+      in
+      let tasks =
+        List.init ntasks (fun i ->
+            dsl_spawn k e
+              ~name:(Printf.sprintf "w%d" i)
+              (Kernel.Task.compute_forever ~slice:(us slice_us)))
+      in
+      Kernel.run_until k (ms 5);
+      let total =
+        List.fold_left (fun acc t -> acc + t.Kernel.Task.sum_exec) 0 tasks
+      in
+      let ok = total >= 7 * min ntasks (ncores - 1) * ms 5 / 10 in
+      if not ok then
+        Printf.eprintf "[wc] ncores=%d ntasks=%d slice=%dus total=%dns\n%!"
+          ncores ntasks slice_us total;
+      ok)
+
+(* Random task programs: run / yield / sleep segments.  A sleeping task
+   posts its own wake before blocking, so every program terminates. *)
+type dsl_seg = SRun of int | SYield | SSleep of int
+
+let dsl_seg_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun n -> SRun (us n)) (int_range 1 50));
+        (2, return SYield);
+        (2, map (fun n -> SSleep (us n)) (int_range 1 50));
+      ])
+
+let dsl_program_gen =
+  QCheck.Gen.(list_size (int_range 1 8) dsl_seg_gen)
+
+let dsl_spawn_program k e ~name segs =
+  let finished = ref false in
+  let tref = ref None in
+  let rec go segs () =
+    match segs with
+    | [] ->
+      finished := true;
+      Kernel.Task.Exit
+    | SRun n :: rest -> Kernel.Task.Run { ns = n; after = go rest }
+    | SYield :: rest -> Kernel.Task.Yield { after = go rest }
+    | SSleep d :: rest ->
+      ignore
+        (Sim.Engine.post_in (Kernel.engine k) ~delay:d (fun () ->
+             match !tref with Some t -> Kernel.wake k t | None -> ()));
+      Kernel.Task.Block { after = go rest }
+  in
+  let t = dsl_spawn k e ~name (go segs) in
+  tref := Some t;
+  finished
+
+let dsl_engine_specs =
+  [| "fifo-centralized?timeslice=30us"; "central?timeslice=50us"; "adaptive" |]
+
+let test_dsl_no_lost_threads =
+  (* Random mixes of preemption, yields and sleeps, plus an in-place agent
+     upgrade mid-run (the replacement engine must rebuild its runqueue from
+     [managed_threads]): every thread still runs its program to completion.
+     A thread dropped anywhere — queue, dedup bit, handoff — never exits. *)
+  qtest ~name:"dsl: no thread lost across preempt/yield/sleep and upgrade"
+    ~count:20
+    QCheck.(
+      triple (int_range 2 4)
+        (list_of_size
+           (QCheck.Gen.int_range 1 8)
+           (QCheck.make dsl_program_gen))
+        (int_bound (Array.length dsl_engine_specs - 1)))
+    (fun (ncores, programs, spec_idx) ->
+      let ncores = max 2 ncores in
+      let spec = dsl_engine_specs.(max 0 spec_idx) in
+      let k, sys, e, g = dsl_setup ~ncores ~spec in
+      let fins =
+        List.mapi
+          (fun i segs ->
+            dsl_spawn_program k e ~name:(Printf.sprintf "worker%d" i) segs)
+          programs
+      in
+      let env =
+        {
+          Faults.Injector.sys;
+          enclave = e;
+          group = Some g;
+          replace =
+            Some
+              (fun ?abi:_ () ->
+                Policies.Registry.attach sys e (Policies.Registry.make spec));
+        }
+      in
+      let plan =
+        Faults.Plan.make ~name:"upgrade"
+          [
+            {
+              Faults.Plan.at = ms 2;
+              jitter = 0;
+              kind = Faults.Plan.Upgrade { handoff_gap = us 50; abi = None };
+            };
+          ]
+      in
+      let _inj = Faults.Injector.arm env plan in
+      Kernel.run_until k (ms 30);
+      List.for_all (fun fin -> !fin) fins)
+
+let test_dsl_bounded_starvation =
+  (* Priority buckets with idle-CPU donation: as long as the LC class leaves
+     at least one CPU over (beyond the agent's), the batch bucket keeps
+     making progress in every window — lower buckets are starved only of
+     contended CPUs, not of the machine. *)
+  qtest ~name:"dsl: batch bucket progresses under LC priority" ~count:20
+    QCheck.(triple (int_range 3 6) (int_range 1 4) (int_range 20 100))
+    (fun (ncores, nlc_raw, slice_us) ->
+      let ncores = max 3 ncores and slice_us = max 1 slice_us in
+      let nlc = max 1 (min nlc_raw (ncores - 2)) in
+      let k, _sys, e, _g = dsl_setup ~ncores ~spec:"central?timeslice=50us" in
+      let _lc =
+        List.init nlc (fun i ->
+            dsl_spawn k e
+              ~name:(Printf.sprintf "worker%d" i)
+              (Kernel.Task.compute_forever ~slice:(us slice_us)))
+      in
+      let batch =
+        dsl_spawn k e ~name:"batch0"
+          (Kernel.Task.compute_forever ~slice:(us 50))
+      in
+      Kernel.run_until k (ms 2);
+      let b1 = batch.Kernel.Task.sum_exec in
+      Kernel.run_until k (ms 4);
+      let b2 = batch.Kernel.Task.sum_exec in
+      Kernel.run_until k (ms 6);
+      let b3 = batch.Kernel.Task.sum_exec in
+      let ok = b2 > b1 && b3 > b2 in
+      if not ok then
+        Printf.eprintf "[starve] ncores=%d nlc=%d slice=%dus b=%d/%d/%d\n%!"
+          ncores nlc slice_us b1 b2 b3;
+      ok)
+
 (* --- Task combinators --------------------------------------------------------------- *)
 
 let test_compute_total_sums =
@@ -374,7 +543,8 @@ let () =
         test_squeue_visibility; test_snapshot_never_torn;
         test_prewrite_seq_commit_estale; test_eventq_model; test_histogram_merge_equiv;
         test_topology_partitions; test_topology_sibling_involution;
-        test_compute_total_sums;
+        test_dsl_work_conservation; test_dsl_no_lost_threads;
+        test_dsl_bounded_starvation; test_compute_total_sums;
       ]
   in
   Alcotest.run "properties" [ ("model-based", suite) ]

@@ -18,10 +18,10 @@ let test_registry_names () =
   List.iter
     (fun n -> check_bool (n ^ " registered") true (List.mem n names))
     [
-      "central"; "fifo-centralized"; "fifo-percpu"; "search"; "secure-vm";
-      "shinjuku"; "snap";
+      "adaptive"; "central"; "fifo-centralized"; "fifo-percpu"; "search";
+      "secure-vm"; "shinjuku"; "snap";
     ];
-  check_int "exactly seven policies" 7 (List.length names)
+  check_int "exactly eight policies" 8 (List.length names)
 
 let test_registry_make_all_by_name () =
   List.iter

@@ -95,6 +95,19 @@ let ruleset = function
       why = "breaks BPF purity (lib/bpf sees only Prog/Snapshot/maps)";
       agent_sw_checks = false;
     }
+  | "dsl" ->
+    {
+      (* Policies rebuilt on the combinator layer: the whole runtime
+         surface arrives through [Policies.Dsl]'s re-exports, so the source
+         may not name any root runtime module at all — [Ghost.Abi] is the
+         single sanctioned spelling of the ABI (type annotations), and
+         [Obs] stays open so a policy can publish/read its own metrics
+         (the adaptive controller's feedback loop). *)
+      restricted = [ "Kernel"; "System"; "Sim"; "Hw"; "Bpf"; "Gstats"; "Ghost" ];
+      allowed = [ ("Ghost", "Abi") ];
+      why = "reaches around the policy DSL (use Dsl.* / Ghost.Abi only)";
+      agent_sw_checks = true;
+    }
   | other -> failwith (Printf.sprintf "abi_lint: no ruleset for %S" other)
 
 (* Status-word writes are lib/core-only in every linted directory: outside
@@ -249,20 +262,35 @@ let check_file ~rules file =
   let lines = String.split_on_char '\n' (strip source) in
   List.iteri (fun i line -> check_line ~rules ~file ~lnum:(i + 1) line) lines
 
-let check_dir dir =
-  let rules = ruleset (Filename.basename dir) in
+let check_dir ?rules dir =
+  let rules =
+    match rules with Some r -> r | None -> ruleset (Filename.basename dir)
+  in
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.iter (fun name ->
          if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
          then check_file ~rules (dir // name))
 
+(* An argument is either a directory (ruleset from its basename) or an
+   explicit "ruleset:path" pair, where path may be a file or a directory —
+   how the build pins the stricter "dsl" rules onto individual policy
+   sources that live in a directory with looser rules. *)
+let check_arg arg =
+  match String.index_opt arg ':' with
+  | None -> check_dir arg
+  | Some i ->
+    let rules = ruleset (String.sub arg 0 i) in
+    let path = String.sub arg (i + 1) (String.length arg - i - 1) in
+    if Sys.is_directory path then check_dir ~rules path
+    else check_file ~rules path
+
 let () =
-  let dirs = List.tl (Array.to_list Sys.argv) in
-  if dirs = [] then failwith "abi_lint: no directories given";
-  List.iter check_dir dirs;
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then failwith "abi_lint: no directories given";
+  List.iter check_arg args;
   if !violations > 0 then begin
     Printf.eprintf "abi-lint: %d violation(s)\n" !violations;
     exit 1
   end
   else
-    Printf.printf "abi-lint: clean (%s)\n" (String.concat ", " dirs)
+    Printf.printf "abi-lint: clean (%s)\n" (String.concat ", " args)
