@@ -1241,6 +1241,94 @@ let run_dsl () =
     ];
   check_guards ()
 
+(* Hybrid P/E topology: two hard guards.  (1) Identity — threading core
+   classes through Hw/Kernel/ABI/BPF must leave every uniform-class
+   machine byte-identical: the dsl digest cases are recomputed on the
+   hybrid-aware engine and compared against the digests recorded before
+   the topology refactor.  (2) Separation — on bit-identical offered
+   frame traffic (same arrival instants, same service samples), the
+   hybrid-aware EDF policy's frame-time p99 must beat class-blind
+   fifo-percpu by at least 2x on the hybrid-1s machine. *)
+
+let run_hybrid () =
+  let base_digests =
+    match List.assoc_opt "dsl_port" (read_bench_json ()) with
+    | Some (Obs.Json.Obj o) -> (
+      match List.assoc_opt "digests" o with
+      | Some (Obs.Json.Obj d) -> d
+      | _ -> [])
+    | _ -> []
+  in
+  let digests = dsl_digest_cases () in
+  let identity_ok = ref true in
+  List.iter
+    (fun (k, d) ->
+      match List.assoc_opt k base_digests with
+      | Some (Obs.Json.Str b) ->
+        let ok = b = d in
+        if not ok then identity_ok := false;
+        Printf.printf "hybrid uniform identity %-24s %s\n" k
+          (if ok then "byte-identical" else "DIVERGED")
+      | _ ->
+        Printf.printf "hybrid uniform identity %-24s (no baseline recorded)\n" k)
+    digests;
+  guard "hybrid uniform-machine identity"
+    (if !identity_ok then 1.0 else 0.0)
+    ~floor:1.0;
+  let duration_ns = if !quick then ms 600 else ms 1000 in
+  let rows = Experiments.Hybrid.run ~duration_ns () in
+  Experiments.Hybrid.print rows;
+  (match rows with
+  | [ blind; aware ] ->
+    let offered_identical =
+      blind.Experiments.Hybrid.offered = aware.Experiments.Hybrid.offered
+      && blind.Experiments.Hybrid.offered_work
+         = aware.Experiments.Hybrid.offered_work
+    in
+    Printf.printf
+      "hybrid offered traffic: %d frames / %d work-ns vs %d / %d (%s)\n"
+      blind.Experiments.Hybrid.offered blind.Experiments.Hybrid.offered_work
+      aware.Experiments.Hybrid.offered aware.Experiments.Hybrid.offered_work
+      (if offered_identical then "bit-identical" else "DIVERGED");
+    guard "hybrid offered-traffic identity"
+      (if offered_identical then 1.0 else 0.0)
+      ~floor:1.0;
+    let ratio =
+      blind.Experiments.Hybrid.frame_p99_us
+      /. aware.Experiments.Hybrid.frame_p99_us
+    in
+    Printf.printf "hybrid frame p99: %.1f us blind / %.1f us aware = %.2fx\n"
+      blind.Experiments.Hybrid.frame_p99_us
+      aware.Experiments.Hybrid.frame_p99_us ratio;
+    guard "hybrid frame p99 blind/aware ratio" ratio ~floor:2.0;
+    let row_json (r : Experiments.Hybrid.row) =
+      Obs.Json.Obj
+        [
+          ("offered", Obs.Json.Num (float_of_int r.Experiments.Hybrid.offered));
+          ( "completed",
+            Obs.Json.Num (float_of_int r.Experiments.Hybrid.completed) );
+          ("frame_p50_us", Obs.Json.Num r.Experiments.Hybrid.frame_p50_us);
+          ("frame_p99_us", Obs.Json.Num r.Experiments.Hybrid.frame_p99_us);
+          ("miss_rate", Obs.Json.Num r.Experiments.Hybrid.miss_rate);
+        ]
+    in
+    update_bench_json
+      [
+        ( "hybrid",
+          Obs.Json.Obj
+            [
+              ( "identity_ok",
+                Obs.Json.Num (if !identity_ok then 1.0 else 0.0) );
+              ( "offered_identical",
+                Obs.Json.Num (if offered_identical then 1.0 else 0.0) );
+              ("p99_ratio", Obs.Json.Num ratio);
+              ("fifo_percpu", row_json blind);
+              ("hybrid_edf", row_json aware);
+            ] );
+      ]
+  | _ -> guard "hybrid experiment rows" 0.0 ~floor:1.0);
+  check_guards ()
+
 (* --- Driver ------------------------------------------------------------------- *)
 
 let all_targets =
@@ -1263,6 +1351,7 @@ let all_targets =
     ("engine", run_engine);
     ("cluster", run_cluster);
     ("dsl", run_dsl);
+    ("hybrid", run_hybrid);
   ]
 
 (* Not part of `all`: re-recording the direct baseline is an explicit act

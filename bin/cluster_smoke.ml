@@ -1,18 +1,21 @@
 (* CI gate for the cluster harness: a 2-machine fleet at a fixed seed must
    serve traffic, and two runs of the same spec must produce byte-identical
-   fleet reports (the lane merge is deterministic).  Run via
+   fleet reports (the lane merge is deterministic).  A third leg runs the
+   same fleet with the BPF fastpath tier enabled in every per-machine
+   kernel (`?fastpath=true`) and proves the in-kernel programs actually
+   fire — picks > 0 via the [bpf.picks] metric.  Run via
    `dune build @cluster-smoke` (part of `@ci`). *)
 
 let ms = Sim.Units.ms
 
-let spec () =
+let spec ?(policy = "shinjuku") () =
   let machines =
     Array.init 2 (fun i ->
         Scenario.make ~seed:(42 + i) ~warmup_ns:(ms 5) ~measure_ns:(ms 20)
           ~cooldown_ns:(ms 5) ~machine:Hw.Machines.xeon_e5_1s
           ~enclaves:
             [
-              Scenario.enclave ~policy:"shinjuku"
+              Scenario.enclave ~policy
                 ~cpus:[ 0; 1; 2; 3 ] ~workloads:[] "serve";
             ]
           (Printf.sprintf "smoke-m%d" i))
@@ -47,4 +50,27 @@ let () =
     r.Cluster.machines;
   Printf.printf "cluster smoke: deterministic, %d served across %d machines\n"
     r.Cluster.fleet_served
-    (Array.length r.Cluster.machines)
+    (Array.length r.Cluster.machines);
+  (* Fastpath leg: same fleet, every per-machine kernel running the BPF
+     fastpath tier.  Metrics only move while a sink is installed, so hang
+     one off the run and read the fleet-wide pick counter afterwards. *)
+  let sink = Obs.Sink.create () in
+  Obs.Sink.install sink;
+  Obs.Metrics.reset ();
+  let fp = Cluster.run (spec ~policy:"shinjuku?fastpath=true" ()) in
+  Obs.Sink.uninstall ();
+  let picks =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "bpf.picks")
+  in
+  if fp.Cluster.fleet_served = 0 then begin
+    Printf.eprintf "cluster smoke: fastpath fleet served nothing\n";
+    exit 1
+  end;
+  if picks = 0 then begin
+    Printf.eprintf
+      "cluster smoke: fastpath fleet recorded no BPF picks (bpf.picks = 0)\n";
+    exit 1
+  end;
+  Printf.printf
+    "cluster smoke: fastpath fleet served %d with %d BPF picks\n"
+    fp.Cluster.fleet_served picks

@@ -92,6 +92,147 @@ let policies_cmd =
           (spec-string parameters), e.g. $(b,shinjuku?timeslice=30us)")
     Term.(const run $ json_arg)
 
+(* --- topo (machine-preset discovery) --------------------------------------- *)
+
+let topo_cmd =
+  let presets =
+    [
+      Hw.Machines.skylake_2s; Hw.Machines.haswell_2s; Hw.Machines.xeon_e5_1s;
+      Hw.Machines.rome_2s; Hw.Machines.hybrid_1s;
+    ]
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"machine-readable output (one JSON object)")
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"MACHINE"
+          ~doc:"only this preset (default: all presets)")
+  in
+  let cpus_arg =
+    Arg.(value & flag & info [ "cpus" ] ~doc:"also list every logical CPU")
+  in
+  let class_row topo costs k =
+    ( k,
+      Hw.Costs.class_speed_of costs k,
+      Hw.Costs.class_switch_scale_of costs k,
+      List.length
+        (List.filter
+           (fun c -> c = k)
+           (Array.to_list (Hw.Topology.core_classes topo))) )
+  in
+  let run json name cpus =
+    let picked =
+      match name with
+      | None -> presets
+      | Some n -> (
+        match
+          List.filter (fun (m : Hw.Machines.t) -> m.Hw.Machines.name = n) presets
+        with
+        | [] ->
+          Printf.eprintf "unknown machine %S (one of: %s)\n" n
+            (String.concat ", "
+               (List.map (fun (m : Hw.Machines.t) -> m.Hw.Machines.name) presets));
+          exit 2
+        | ms -> ms)
+    in
+    let machine_json (m : Hw.Machines.t) =
+      let topo = m.Hw.Machines.topo and costs = m.Hw.Machines.costs in
+      let classes =
+        List.init (Hw.Topology.num_classes topo) (class_row topo costs)
+      in
+      ( m.Hw.Machines.name,
+        Obs.Json.Obj
+          ([
+             ("sockets", Obs.Json.Num (float_of_int (Hw.Topology.sockets topo)));
+             ("ccx", Obs.Json.Num (float_of_int (Hw.Topology.num_ccx topo)));
+             ("cores", Obs.Json.Num (float_of_int (Hw.Topology.num_cores topo)));
+             ("cpus", Obs.Json.Num (float_of_int (Hw.Topology.num_cpus topo)));
+             ("smt", Obs.Json.Num (float_of_int (Hw.Topology.smt topo)));
+             ( "uniform",
+               Obs.Json.Num (if Hw.Topology.uniform topo then 1.0 else 0.0) );
+             ( "migration_class_extra",
+               Obs.Json.Num
+                 (float_of_int costs.Hw.Costs.migration_class_extra) );
+             ( "classes",
+               Obs.Json.Arr
+                 (List.map
+                    (fun (k, speed, scale, ncores) ->
+                      Obs.Json.Obj
+                        [
+                          ("class", Obs.Json.Num (float_of_int k));
+                          ("cores", Obs.Json.Num (float_of_int ncores));
+                          ("speed", Obs.Json.Num speed);
+                          ("switch_scale", Obs.Json.Num scale);
+                        ])
+                    classes) );
+           ]
+          @
+          if cpus then
+            [
+              ( "cpu_classes",
+                Obs.Json.Arr
+                  (List.map
+                     (fun c ->
+                       Obs.Json.Num
+                         (float_of_int (Hw.Topology.class_of topo c)))
+                     (Hw.Topology.cpus topo)) );
+            ]
+          else []) )
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string (Obs.Json.Obj (List.map machine_json picked)))
+    else
+      List.iter
+        (fun (m : Hw.Machines.t) ->
+          let topo = m.Hw.Machines.topo and costs = m.Hw.Machines.costs in
+          Printf.printf
+            "%s  %d socket(s) x %d ccx x %d core(s) x smt %d = %d cpus%s\n"
+            m.Hw.Machines.name (Hw.Topology.sockets topo)
+            (Hw.Topology.num_ccx topo / Hw.Topology.sockets topo)
+            (Hw.Topology.num_cores topo
+            / Hw.Topology.num_ccx topo)
+            (Hw.Topology.smt topo) (Hw.Topology.num_cpus topo)
+            (if Hw.Topology.uniform topo then "" else "  [hybrid]");
+          List.iter
+            (fun k ->
+              let k, speed, scale, ncores = class_row topo costs k in
+              Printf.printf
+                "  class %d  %2d cores  speed %.2fx  switch x%.2f%s\n" k ncores
+                speed scale
+                (if k = Hw.Topology.perf_class then "  (P)"
+                 else if k = Hw.Topology.efficient_class then "  (E)"
+                 else ""))
+            (List.init (Hw.Topology.num_classes topo) (fun k -> k));
+          if costs.Hw.Costs.migration_class_extra <> 0 then
+            Printf.printf "  cross-class migration surcharge %d ns\n"
+              costs.Hw.Costs.migration_class_extra;
+          if cpus then
+            List.iter
+              (fun c ->
+                Printf.printf
+                  "  cpu %3d  core %3d  ccx %2d  socket %d  class %d\n" c
+                  (Hw.Topology.core_of topo c)
+                  (Hw.Topology.ccx_of topo c)
+                  (Hw.Topology.socket_of topo c)
+                  (Hw.Topology.class_of topo c))
+              (Hw.Topology.cpus topo);
+          print_newline ())
+        picked
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "List machine presets with their topology and per-class core \
+          capabilities (speed, switch scale, migration surcharge); \
+          $(b,hybrid-1s) is the P/E preset")
+    Term.(const run $ json_arg $ machine_arg $ cpus_arg)
+
 (* --- table2 -------------------------------------------------------------- *)
 
 let table2_cmd =
@@ -744,7 +885,7 @@ let main_cmd =
   let doc = "reproduce the ghOSt paper's evaluation (SOSP '21)" in
   Cmd.group
     (Cmd.info "ghost_bench_cli" ~version:"1.0" ~doc)
-    [ policies_cmd; table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
+    [ policies_cmd; topo_cmd; table2_cmd; table3_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
       fig8_cmd; table4_cmd; bpf_cmd; tickless_cmd; colocation_cmd; faults_cmd;
       trace_cmd; cluster_cmd; fleet_cmd; decode_cmd ]
 

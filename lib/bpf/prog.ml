@@ -30,6 +30,7 @@ type field =
   | Thread_seq
   | First_idle
   | Socket
+  | Core_class
 
 type insn =
   | Ldi of int * int

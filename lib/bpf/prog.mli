@@ -42,6 +42,7 @@ type field =
   | Thread_seq  (** status-word seqcount for tid, -1 unknown *)
   | First_idle  (** lowest-numbered idle enclave cpu, -1 (no argument) *)
   | Socket  (** socket id of cpu, -1 out of range *)
+  | Core_class  (** capability class of cpu's core (0 = P), -1 out of range *)
 
 (** Instructions over registers r0..r7.  r0 is the result register;
     r1/r2 carry the hook arguments on entry.  All jump offsets are

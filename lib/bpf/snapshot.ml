@@ -17,4 +17,5 @@ type t = {
   thread_seq : int -> int;
   first_idle : unit -> int;
   socket : int -> int;
+  core_class : int -> int;
 }

@@ -17,4 +17,8 @@ type t = {
   thread_seq : int -> int;  (** status-word seqcount of tid, -1 unknown *)
   first_idle : unit -> int;  (** lowest idle enclave cpu, -1 none *)
   socket : int -> int;  (** socket of cpu, -1 out of range *)
+  core_class : int -> int;
+      (** capability class of cpu's physical core (0 = P/uniform, 1 = E on
+          hybrid presets), -1 out of range — lets a fastpath program gate
+          placement on core capability *)
 }

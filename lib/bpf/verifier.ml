@@ -47,7 +47,7 @@ let field_iv = function
   | Prog.Idle | Prog.Curr_ghost | Prog.Runnable -> { lo = 0; hi = 1 }
   | Prog.Since_dispatch | Prog.Ncpus -> { lo = 0; hi = max_int }
   | Prog.Cpu_at | Prog.Latched | Prog.Curr | Prog.Thread_seq
-  | Prog.First_idle | Prog.Socket ->
+  | Prog.First_idle | Prog.Socket | Prog.Core_class ->
       { lo = -1; hi = max_int }
 
 (* Refine interval [v] under the assumption [v cmp imm] holds. *)

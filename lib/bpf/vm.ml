@@ -69,7 +69,8 @@ let run t v ~(snap : Snapshot.t) ~(maps : int array array) ~r1 ~r2 =
             | Prog.Runnable -> snap.runnable a
             | Prog.Thread_seq -> snap.thread_seq a
             | Prog.First_idle -> snap.first_idle ()
-            | Prog.Socket -> snap.socket a);
+            | Prog.Socket -> snap.socket a
+            | Prog.Core_class -> snap.core_class a);
           exec (pc + 1) (steps - 1)
       | Prog.Ldmap (d, m, i) ->
           if m < 0 || m >= Array.length maps then -1

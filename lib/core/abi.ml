@@ -1,4 +1,6 @@
-let version = 2
+(* v3: topology queries grew core-class visibility ([op_core_class]) for
+   hybrid P/E machines. *)
+let version = 3
 
 exception Version_mismatch of { agent : int; runtime : int }
 
@@ -28,6 +30,7 @@ type ops = {
   op_thread_seq : Kernel.Task.t -> int option;
   op_task_by_tid : int -> Kernel.Task.t option;
   op_topology : unit -> Hw.Topology.t;
+  op_core_class : int -> int;
   op_bpf_install : Bpf.Prog.t -> (unit, string) result;
   op_bpf_remove : Bpf.Prog.hook -> bool;
   op_bpf_map_update : map:int -> idx:int -> int -> (unit, string) result;
@@ -69,6 +72,7 @@ let status_word t task = t.ops.op_status_word task
 let thread_seq t task = t.ops.op_thread_seq task
 let task_by_tid t tid = t.ops.op_task_by_tid tid
 let topology t = t.ops.op_topology ()
+let core_class t c = t.ops.op_core_class c
 let bpf_install t p = t.ops.op_bpf_install p
 let bpf_remove t hook = t.ops.op_bpf_remove hook
 let bpf_map_update t ~map ~idx v = t.ops.op_bpf_map_update ~map ~idx v

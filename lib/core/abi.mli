@@ -106,6 +106,12 @@ val topology : t -> Hw.Topology.t
 (** The machine topology (enclaves are carved along its boundaries).  A
     plain shared-memory read, charged nothing. *)
 
+val core_class : t -> int -> int
+(** Capability class of a CPU's physical core (ABI v3): 0 on every CPU of
+    a uniform machine; P/E hybrid machines report the
+    {!Hw.Topology.class_of} id, so policies can place deadline work on
+    fast cores.  A shared-memory read, charged nothing. *)
+
 (** {1 BPF fastpath (§3.5, ABI v2)}
 
     Install/remove restricted programs and update their shared maps.  All
@@ -151,6 +157,7 @@ type ops = {
   op_thread_seq : Kernel.Task.t -> int option;
   op_task_by_tid : int -> Kernel.Task.t option;
   op_topology : unit -> Hw.Topology.t;
+  op_core_class : int -> int;
   op_bpf_install : Bpf.Prog.t -> (unit, string) result;
   op_bpf_remove : Bpf.Prog.hook -> bool;
   op_bpf_map_update : map:int -> idx:int -> int -> (unit, string) result;

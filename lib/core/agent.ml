@@ -186,6 +186,8 @@ let get_abi g =
           op_thread_seq = (fun task -> System.thread_seq g.sys task);
           op_task_by_tid = (fun tid -> Kernel.task_by_tid g.kern tid);
           op_topology = (fun () -> Kernel.topo g.kern);
+          op_core_class =
+            (fun c -> Hw.Topology.class_of (Kernel.topo g.kern) c);
           op_bpf_install =
             (fun p ->
               charge ctx (Kernel.costs g.kern).Hw.Costs.bpf_install;

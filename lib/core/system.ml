@@ -256,6 +256,9 @@ let make_bpf_snapshot t e =
     socket =
       (fun cpu ->
         if in_enclave cpu then Hw.Topology.socket_of (Kernel.topo k) cpu else -1);
+    core_class =
+      (fun cpu ->
+        if in_enclave cpu then Hw.Topology.class_of (Kernel.topo k) cpu else -1);
   }
 
 let bpf_run e slot ~r1 ~r2 =

@@ -20,6 +20,18 @@ type t = {
   bpf_install : int;
   bpf_map_op : int;
   freq_scale : float;
+  class_speed : float array;
+      (* execution speed per core class: work retired per wall ns.  1.0 is
+         the calibrated reference (P) core; an E core at 0.5 takes twice
+         the wall time for the same work.  Indexed by Topology class id;
+         classes beyond the array default to 1.0. *)
+  class_switch_scale : float array;
+      (* context-switch cost multiplier per core class (shallower E-core
+         pipelines flush cheaper, or pay more for cold caches).  Same
+         indexing/default as [class_speed]. *)
+  migration_class_extra : int;
+      (* extra switch-in cost when a thread migrates between cores of
+         different classes (cold uarch state: predictors, prefetchers). *)
 }
 
 (* Decomposition solving Table 3 (see costs.mli):
@@ -54,9 +66,22 @@ let skylake =
     bpf_install = 65;
     bpf_map_op = 28;
     freq_scale = 1.0;
+    class_speed = [| 1.0 |];
+    class_switch_scale = [| 1.0 |];
+    migration_class_extra = 0;
   }
 
 let scale_i f x = int_of_float (Float.round (f *. float_of_int x))
+
+(* Class lookups tolerate short arrays: class ids past the end behave as
+   the reference class, so uniform cost tables never need resizing. *)
+let class_speed_of c k =
+  if k >= 0 && k < Array.length c.class_speed then c.class_speed.(k) else 1.0
+
+let class_switch_scale_of c k =
+  if k >= 0 && k < Array.length c.class_switch_scale then
+    c.class_switch_scale.(k)
+  else 1.0
 
 let scaled f c =
   {
@@ -78,6 +103,11 @@ let scaled f c =
     bpf_pick = scale_i f c.bpf_pick;
     bpf_install = scale_i f c.bpf_install;
     bpf_map_op = scale_i f c.bpf_map_op;
+    (* Speed and switch scales are ratios, not nanoseconds: copied, not
+       scaled.  The migration surcharge is wall time and scales. *)
+    class_speed = Array.copy c.class_speed;
+    class_switch_scale = Array.copy c.class_switch_scale;
+    migration_class_extra = scale_i f c.migration_class_extra;
   }
 
 let apply_freq c x = scale_i c.freq_scale x

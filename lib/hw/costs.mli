@@ -70,13 +70,37 @@ type t = {
   freq_scale : float;
       (** Global scale for slower machines (e.g. 2.3 GHz Haswell vs 2 GHz
           Skylake have different memory systems; >1 means slower ops). *)
+  class_speed : float array;
+      (** Execution speed per {!Topology} core class: work retired per
+          wall nanosecond.  1.0 is the calibrated reference (P) core; an
+          E core at 0.5 takes twice the wall time to retire the same
+          work.  Classes beyond the array default to 1.0, so uniform
+          machines keep the exact-integer accounting path. *)
+  class_switch_scale : float array;
+      (** Context-switch cost multiplier per core class (same indexing
+          and default as [class_speed]). *)
+  migration_class_extra : int;
+      (** Extra switch-in cost when a thread migrates between cores of
+          {e different} classes — cold predictors and prefetchers on the
+          unfamiliar microarchitecture.  0 on uniform machines. *)
 }
 
 val skylake : t
 (** The Table 3 reference machine. *)
 
 val scaled : float -> t -> t
-(** Scale every nanosecond cost by the factor (rounded). *)
+(** Scale every nanosecond cost by the factor (rounded).  Ratios
+    ([class_speed], [class_switch_scale], the multipliers) are copied
+    unchanged. *)
 
 val apply_freq : t -> int -> int
 (** Apply [freq_scale] to a base cost. *)
+
+val scale_i : float -> int -> int
+(** Scale one nanosecond cost (round to nearest). *)
+
+val class_speed_of : t -> int -> float
+(** Execution speed of a core class; 1.0 for classes beyond the array. *)
+
+val class_switch_scale_of : t -> int -> float
+(** Switch-cost multiplier of a core class; 1.0 beyond the array. *)

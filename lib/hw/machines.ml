@@ -40,6 +40,28 @@ let rome_2s =
       };
   }
 
+(* Single-socket desktop hybrid (Alder-Lake-shaped): 4 P cores then 4 E
+   cores, no SMT, one L3.  E cores retire work at half speed — 0.5 is
+   exact in binary floating point, so per-tick runtime accounting on E
+   cores floors away nothing and stays deterministic — switch slightly
+   cheaper on the shallow E pipeline, and a P<->E migration pays a cold
+   uarch surcharge. *)
+let hybrid_1s =
+  {
+    name = "hybrid-1s";
+    topo =
+      Topology.with_classes
+        (Topology.create ~sockets:1 ~ccx_per_socket:1 ~cores_per_ccx:8 ~smt:1)
+        [| 0; 0; 0; 0; 1; 1; 1; 1 |];
+    costs =
+      {
+        Costs.skylake with
+        Costs.class_speed = [| 1.0; 0.5 |];
+        class_switch_scale = [| 1.0; 0.9 |];
+        migration_class_extra = 180;
+      };
+  }
+
 let fig5_sweep_order m agent_cpu =
   let topo = m.topo in
   let agent_socket = Topology.socket_of topo agent_cpu in

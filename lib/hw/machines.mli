@@ -21,6 +21,12 @@ val rome_2s : t
 (** 2-socket AMD Zen Rome: 64 cores/socket in 4-core CCXs, SMT2, 256 CPUs
     (Google Search, §4.4). *)
 
+val hybrid_1s : t
+(** Single-socket hybrid desktop: 4 P cores (class 0, full speed) + 4 E
+    cores (class 1, half speed, cheaper switches), no SMT, one L3, and a
+    P<->E migration surcharge.  The interactive/frame-deadline scenario
+    machine — the only preset with a non-uniform {!Topology}. *)
+
 val fig5_sweep_order : t -> int -> Topology.cpu list
 (** [fig5_sweep_order m n] is the order in which the Fig. 5 scalability sweep
     adds worker CPUs, given the global agent on CPU [n]: first the remaining

@@ -3,20 +3,54 @@ type t = {
   ccx_per_socket : int;
   cores_per_ccx : int;
   smt : int;
+  classes : int array;
+      (* per physical core: capability class id (0 = the default/perf
+         class).  Uniform machines carry all zeros, so every preset built
+         before classes existed is structurally unchanged. *)
 }
 
 type cpu = int
 
+let perf_class = 0
+let efficient_class = 1
+
+let num_cores_dims sockets ccx_per_socket cores_per_ccx =
+  sockets * ccx_per_socket * cores_per_ccx
+
 let create ~sockets ~ccx_per_socket ~cores_per_ccx ~smt =
   if sockets < 1 || ccx_per_socket < 1 || cores_per_ccx < 1 || smt < 1 then
     invalid_arg "Topology.create: all dimensions must be >= 1";
-  { sockets; ccx_per_socket; cores_per_ccx; smt }
+  let ncores = sockets * ccx_per_socket * cores_per_ccx in
+  { sockets; ccx_per_socket; cores_per_ccx; smt; classes = Array.make ncores 0 }
+
+let with_classes t classes =
+  let ncores = num_cores_dims t.sockets t.ccx_per_socket t.cores_per_ccx in
+  if Array.length classes <> ncores then
+    invalid_arg
+      (Printf.sprintf
+         "Topology.with_classes: %d class entries for %d cores"
+         (Array.length classes) ncores);
+  Array.iter
+    (fun k ->
+      if k < 0 then invalid_arg "Topology.with_classes: negative core class")
+    classes;
+  { t with classes = Array.copy classes }
 
 let sockets t = t.sockets
 let smt t = t.smt
 let num_cores t = t.sockets * t.ccx_per_socket * t.cores_per_ccx
 let num_cpus t = num_cores t * t.smt
 let num_ccx t = t.sockets * t.ccx_per_socket
+
+let class_of_core t core =
+  if core < 0 || core >= num_cores t then
+    invalid_arg (Printf.sprintf "Topology: core %d out of range" core);
+  t.classes.(core)
+
+let num_classes t = 1 + Array.fold_left max 0 t.classes
+
+let uniform t = Array.for_all (fun k -> k = 0) t.classes
+let core_classes t = Array.copy t.classes
 
 let check t cpu =
   if cpu < 0 || cpu >= num_cpus t then
@@ -28,6 +62,7 @@ let core_of t cpu =
 
 let ccx_of t cpu = core_of t cpu / t.cores_per_ccx
 let socket_of t cpu = ccx_of t cpu / t.ccx_per_socket
+let class_of t cpu = t.classes.(core_of t cpu)
 
 let range lo n = List.init n (fun i -> lo + i)
 let cpus t = range 0 (num_cpus t)

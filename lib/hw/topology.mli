@@ -11,7 +11,24 @@ type t
 type cpu = int
 
 val create : sockets:int -> ccx_per_socket:int -> cores_per_ccx:int -> smt:int -> t
-(** Build a topology.  All arguments must be >= 1. *)
+(** Build a topology.  All arguments must be >= 1.  Every core is class 0
+    — byte-identical to the topologies this library built before core
+    classes existed, so all uniform presets are unchanged. *)
+
+val with_classes : t -> int array -> t
+(** Assign each {e physical core} a capability class id (hybrid P/E
+    machines).  The array must have exactly [num_cores] entries, all
+    >= 0; it is copied.  [with_classes t (Array.make (num_cores t) 0)]
+    is structurally identical to [t]. *)
+
+val perf_class : int
+(** Class id 0: the full-speed ("performance") core class, and the class
+    of every core on a uniform machine. *)
+
+val efficient_class : int
+(** Class id 1 by convention: the slower ("efficiency") core class of a
+    hybrid machine.  Class ids are open-ended; these two are just the
+    conventional names used by the presets. *)
 
 val sockets : t -> int
 val smt : t -> int
@@ -29,6 +46,21 @@ val ccx_of : t -> cpu -> int
 
 val core_of : t -> cpu -> int
 (** Global physical-core id of a CPU. *)
+
+val class_of : t -> cpu -> int
+(** Capability class of a CPU (its physical core's class). *)
+
+val class_of_core : t -> int -> int
+(** Capability class of a physical core. *)
+
+val num_classes : t -> int
+(** [1 + max class id]: 1 on uniform machines, 2 on a P/E hybrid. *)
+
+val uniform : t -> bool
+(** Every core is class 0 (all pre-hybrid presets). *)
+
+val core_classes : t -> int array
+(** Per-core class ids, in core order (a copy). *)
 
 val cpus : t -> cpu list
 (** All CPUs in id order. *)

@@ -48,6 +48,15 @@ type t = {
   mutable n_tick_listeners : int;
   mutable tracer : Trace.t option;
   stats : stats;
+  exec_speed : float array;
+      (* per-CPU work retired per wall ns (the core class's
+         Hw.Costs.class_speed); 1.0 everywhere on uniform machines *)
+  uniform_speed : bool;
+      (* every CPU at speed 1.0: wall time IS work time, and accounting
+         stays on the exact integer path (byte-identity for all uniform
+         presets) *)
+  ctx_switch_cost : int array;  (* per-CPU class-scaled Costs.ctx_switch *)
+  cfs_ctx_switch_cost : int array;  (* per-CPU class-scaled Costs.cfs_ctx_switch *)
 }
 
 let engine t = t.engine
@@ -60,6 +69,25 @@ let ncpus t = Hw.Topology.num_cpus (topo t)
 let full_mask t = Cpumask.create_full ~ncpus:(ncpus t)
 let stats t = t.stats
 let curr t cpu = t.cpus.(cpu).curr
+
+(* Wall<->work conversion through the CPU's class speed.  [Task.remaining]
+   is denominated in work ns (what the segment asked to compute); the event
+   queue runs in wall ns.  On a speed-1.0 CPU the two are the same integer
+   — no float touches the uniform path.  On a slower core, a segment of
+   [w] work occupies [ceil (w / speed)] wall ns, and [wall] ns of running
+   retires [floor (wall * speed)] work; floor(ceil(w/s)*s) >= w, so an
+   uninterrupted segment always completes its work. *)
+let wall_of_work t ~cpu work =
+  let s = t.exec_speed.(cpu) in
+  if s = 1.0 then work
+  else int_of_float (Float.ceil (float_of_int work /. s))
+
+let work_of_wall t ~cpu wall =
+  let s = t.exec_speed.(cpu) in
+  if s = 1.0 then wall
+  else int_of_float (Float.floor (float_of_int wall *. s))
+
+let exec_speed t cpu = t.exec_speed.(cpu)
 
 let find_class t policy =
   match t.by_policy.(Task.policy_rank policy) with
@@ -181,8 +209,10 @@ and account t cs (task : Task.t) =
     cs.tick_debt <- cs.tick_debt - stolen;
     let ran = wall - stolen in
     if ran > 0 then begin
+      (* sum_exec and class fairness stay in wall time (CPU occupancy);
+         only the work ledger scales through the core class's speed. *)
       task.sum_exec <- task.sum_exec + ran;
-      task.remaining <- max 0 (task.remaining - ran);
+      task.remaining <- max 0 (task.remaining - work_of_wall t ~cpu:cs.cid ran);
       (class_of t task).update ~cpu:cs.cid task ~ran
     end
   end
@@ -272,7 +302,8 @@ and dispatch t cs (next : Task.t) ~prev =
   let tnow = now t in
   if prev = None && cs.curr = None then cs.idle_total <- cs.idle_total + (tnow - cs.idle_since);
   next.state <- Task.Running;
-  let prev_cpu_differs = next.cpu <> cs.cid && next.cpu >= 0 in
+  let prev_cpu = next.cpu in
+  let prev_cpu_differs = prev_cpu <> cs.cid && prev_cpu >= 0 in
   if next.cpu <> cs.cid then next.nr_migrations <- next.nr_migrations + 1;
   next.cpu <- cs.cid;
   next.on_rq <- false;
@@ -289,12 +320,23 @@ and dispatch t cs (next : Task.t) ~prev =
     trace t
       (Trace.Dispatch
          { cpu = cs.cid; tid = next.tid; name = next.name; migrated = prev_cpu_differs });
-    let c = costs t in
     let base =
-      if next.is_agent || next.policy = Task.Ghost then c.Hw.Costs.ctx_switch
-      else c.Hw.Costs.cfs_ctx_switch
+      if next.is_agent || next.policy = Task.Ghost then t.ctx_switch_cost.(cs.cid)
+      else t.cfs_ctx_switch_cost.(cs.cid)
     in
-    let cost = base + cs.switch_extra in
+    (* Crossing core classes lands on a cold microarchitecture: charge the
+       migration surcharge on top of the (class-scaled) switch cost.  Both
+       are zero deltas on uniform machines. *)
+    let surcharge = (costs t).Hw.Costs.migration_class_extra in
+    let migration_extra =
+      if
+        prev_cpu_differs && surcharge <> 0
+        && Hw.Topology.class_of (topo t) prev_cpu
+           <> Hw.Topology.class_of (topo t) cs.cid
+      then surcharge
+      else 0
+    in
+    let cost = base + migration_extra + cs.switch_extra in
     cs.switch_extra <- 0;
     cs.switching <- true;
     ignore
@@ -322,7 +364,9 @@ and begin_segment t cs (task : Task.t) =
   cs.last_account <- now t;
   if task.remaining > 0 then
     cs.seg <-
-      Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task)
+      Sim.Engine.post_in t.engine
+        ~delay:(wall_of_work t ~cpu:cs.cid task.remaining)
+        (fun () -> seg_end t cs task)
   else advance t cs task
 
 and seg_end t cs (task : Task.t) =
@@ -331,7 +375,9 @@ and seg_end t cs (task : Task.t) =
   if task.remaining > 0 then
     (* Interrupts stole part of the segment: keep running the remainder. *)
     cs.seg <-
-      Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task)
+      Sim.Engine.post_in t.engine
+        ~delay:(wall_of_work t ~cpu:cs.cid task.remaining)
+        (fun () -> seg_end t cs task)
   else advance t cs task
 
 and advance t cs (task : Task.t) =
@@ -340,7 +386,9 @@ and advance t cs (task : Task.t) =
     task.cont <- after;
     task.remaining <- max 1 ns;
     cs.seg <-
-      Sim.Engine.post_in t.engine ~delay:task.remaining (fun () -> seg_end t cs task)
+      Sim.Engine.post_in t.engine
+        ~delay:(wall_of_work t ~cpu:cs.cid task.remaining)
+        (fun () -> seg_end t cs task)
   | Task.Block { after } ->
     task.cont <- after;
     task.state <- Task.Blocked;
@@ -531,7 +579,23 @@ let install_class t (cls : Class_intf.cls) =
   if not cls.tracks_queued then t.scan_classes <- t.scan_classes @ [ cls ]
 
 let create ?(core_sched = false) ?(seed = 42) machine =
-  let ncpus = Hw.Topology.num_cpus machine.Hw.Machines.topo in
+  let topo = machine.Hw.Machines.topo in
+  let mcosts = machine.Hw.Machines.costs in
+  let ncpus = Hw.Topology.num_cpus topo in
+  (* Per-CPU class parameters, resolved once: execution speed and the
+     class-scaled switch costs.  On a uniform machine the scale is 1.0
+     everywhere and [scale_i 1.0 x = x] exactly, so the precomputed costs
+     equal the raw Costs fields and accounting never leaves integers. *)
+  let exec_speed =
+    Array.init ncpus (fun cpu ->
+        Hw.Costs.class_speed_of mcosts (Hw.Topology.class_of topo cpu))
+  in
+  let switch_cost_of base cpu =
+    let scale =
+      Hw.Costs.class_switch_scale_of mcosts (Hw.Topology.class_of topo cpu)
+    in
+    if scale = 1.0 then base else Hw.Costs.scale_i scale base
+  in
   let t =
     {
       machine;
@@ -564,6 +628,12 @@ let create ?(core_sched = false) ?(seed = 42) machine =
       n_tick_listeners = 0;
       tracer = None;
       stats = { ctx_switches = 0; ipis = 0; wakeups = 0; reschedules = 0 };
+      exec_speed;
+      uniform_speed = Array.for_all (fun s -> s = 1.0) exec_speed;
+      ctx_switch_cost =
+        Array.init ncpus (switch_cost_of mcosts.Hw.Costs.ctx_switch);
+      cfs_ctx_switch_cost =
+        Array.init ncpus (switch_cost_of mcosts.Hw.Costs.cfs_ctx_switch);
     }
   in
   let env = class_env_of t in

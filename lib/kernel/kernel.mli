@@ -41,6 +41,25 @@ val ncpus : t -> int
 val full_mask : t -> Cpumask.t
 val stats : t -> stats
 
+(** {1 Core-class execution scaling}
+
+    [Task.remaining] is denominated in {e work} nanoseconds; the event
+    queue runs in {e wall} nanoseconds.  Each CPU retires work at its core
+    class's [Hw.Costs.class_speed].  On a speed-1.0 CPU (every CPU of a
+    uniform machine) the conversions are the identity on exact integers,
+    so uniform machines are byte-identical to the pre-hybrid engine. *)
+
+val exec_speed : t -> int -> float
+(** Work retired per wall ns on this CPU (its core class's speed). *)
+
+val wall_of_work : t -> cpu:int -> int -> int
+(** Wall ns an uninterrupted segment of that much work occupies on [cpu]
+    ([ceil (work / speed)]; the identity at speed 1.0). *)
+
+val work_of_wall : t -> cpu:int -> int -> int
+(** Work retired by running that long on [cpu] ([floor (wall * speed)];
+    the identity at speed 1.0). *)
+
 (** {1 Task lifecycle} *)
 
 val create_task :

@@ -380,6 +380,25 @@ let bpf_verifier_reject ~now ~eid ~name ~reason =
       ~args:[ ("prog", name); ("reason", reason) ]
       ()
 
+(* --- Frames (hybrid scenarios) ------------------------------------------------ *)
+
+let c_frames_completed = Metrics.counter "frames.completed"
+let c_frames_missed = Metrics.counter "frames.missed"
+let h_frame_time = Metrics.histogram "frames.time_ns"
+
+let frame_done ~now ~stream ~dur ~missed =
+  match Sink.current () with
+  | None -> ()
+  | Some s ->
+    Metrics.incr c_frames_completed;
+    if missed then Metrics.incr c_frames_missed;
+    Metrics.observe h_frame_time dur;
+    Sink.instant s ~time:now
+      ~name:(if missed then "frame-missed" else "frame-done")
+      ~track:Sink.Global
+      ~args:[ ("stream", si stream); ("dur", si dur) ]
+      ()
+
 let watchdog_fire ~now ~eid ~tid =
   match Sink.current () with
   | None -> ()

@@ -113,6 +113,13 @@ val bpf_hit : now:int -> eid:int -> hook:int -> cpu:int -> tid:int -> unit
 val bpf_miss : now:int -> eid:int -> hook:int -> cpu:int -> tid:int -> unit
 val bpf_fallback : now:int -> eid:int -> hook:int -> cpu:int -> unit
 
+(** {1 Frames (hybrid P/E scenarios)} *)
+
+val frame_done : now:int -> stream:int -> dur:int -> missed:bool -> unit
+(** One frame completed: instant ["frame-done"]/["frame-missed"] on the
+    global track, [dur] observed into the [frames.time_ns] histogram, and
+    the [frames.completed]/[frames.missed] counters bumped. *)
+
 val bpf_installed : now:int -> eid:int -> hook:int -> name:string -> unit
 (** Structured instant ["bpf-install"]; bumps [bpf.installs]. *)
 

@@ -337,6 +337,8 @@ module Centralized = struct
            keeps later phases off CPUs already committed this pass.  Off:
            the original fifo-centralized shape (no set, fresh CPU scans). *)
     forget_on_preempt : bool;
+    cpu_rank : Abi.t -> int list -> int list;
+    donate_rank : Abi.t -> int list -> int list;
     queues : Rq.t array;
     cls_of : (int, int) Hashtbl.t;
     running : Running.t;
@@ -423,9 +425,10 @@ module Centralized = struct
     let com = Commit.create () in
     if t.track_assigned then begin
       let assigned = Hashtbl.create 8 in
-      let cpus =
+      let base_cpus =
         List.filter (fun c -> c <> agent_cpu) (Abi.enclave_cpu_list ctx)
       in
+      let cpus = t.cpu_rank ctx base_cpus in
       let free c = (not (Hashtbl.mem assigned c)) && Abi.cpu_is_idle ctx c in
       let make_assign task cpu =
         Hashtbl.replace assigned cpu ();
@@ -511,7 +514,7 @@ module Centralized = struct
                 incr donated
               | None -> ()
             end)
-          cpus
+          (t.donate_rank ctx base_cpus)
       end
     end
     else begin
@@ -526,7 +529,7 @@ module Centralized = struct
               | None -> ()
             end
           end)
-        (Abi.enclave_cpu_list ctx);
+        (t.cpu_rank ctx (Abi.enclave_cpu_list ctx));
       match t.timeslice with
       | None -> ()
       | Some slice ->
@@ -582,7 +585,8 @@ module Centralized = struct
       ?(donate_idle = false) ?(evict_lower = false) ?(fastpath = false)
       ?(wakeup_gated = false) ?(msg_charge = 25) ?(assign_charge = 40)
       ?(track_assigned = true) ?(forget_on_preempt = false) ?(rq_size = 512)
-      () =
+      ?(queue_order = fun _ -> Rq.Fifo) ?(cpu_rank = fun _ cpus -> cpus)
+      ?(donate_rank = fun _ cpus -> cpus) () =
     if nclasses < 1 then invalid_arg "Dsl.Centralized.make: nclasses < 1";
     let fp = if fastpath then Some (Fastpath.create ()) else None in
     let t =
@@ -595,7 +599,9 @@ module Centralized = struct
         assign_charge;
         track_assigned;
         forget_on_preempt;
-        queues = Array.init nclasses (fun _ -> Rq.fifo ~size:rq_size ());
+        cpu_rank;
+        donate_rank;
+        queues = Array.init nclasses (fun c -> Rq.make ~size:rq_size (queue_order c));
         cls_of = Hashtbl.create 512;
         running = Running.create ();
         stats =

@@ -280,6 +280,9 @@ module Centralized : sig
     ?track_assigned:bool ->
     ?forget_on_preempt:bool ->
     ?rq_size:int ->
+    ?queue_order:(int -> Rq.order) ->
+    ?cpu_rank:(Abi.t -> int list -> int list) ->
+    ?donate_rank:(Abi.t -> int list -> int list) ->
     unit ->
     t * Ghost.Agent.policy
   (** [track_assigned] (default true) is the central-style pass: the agent
@@ -287,7 +290,16 @@ module Centralized : sig
       already committed this pass.  Off: the original fifo-centralized
       shape (no set, fresh CPU scans).  [init] rebuilds the queues from
       [managed_threads] after an in-place upgrade and (re)installs the
-      fastpath programs.  @raise Invalid_argument when [nclasses < 1]. *)
+      fastpath programs.
+
+      [queue_order] picks each class's run-queue order (default: FIFO for
+      every class) — e.g. [Rq.Least] of an absolute deadline for an EDF
+      class.  [cpu_rank] reorders (or filters) the candidate CPU list the
+      class-0 phases walk — idle fill, eviction, timeslice rotation — so a
+      hybrid-aware policy can fill P cores first; [donate_rank] does the
+      same for the down-class donation phase (E-core spillover).  Both
+      default to the identity, leaving every existing parameterization
+      byte-identical.  @raise Invalid_argument when [nclasses < 1]. *)
 end
 
 (** The per-CPU template: one local agent per enclave CPU, per-CPU bucket

@@ -1,0 +1,38 @@
+(** Hybrid-aware EDF scheduling for P/E machines (ABI v3).
+
+    Frame threads (class 0) are dispatched earliest-deadline-first — the
+    deadline is absolute: the instant the thread became runnable plus the
+    per-frame budget — and placed on performance cores first, spilling
+    onto efficiency cores only when every P core is busy.  Batch threads
+    (class 1) are FIFO, evicted whenever a frame waits, and granted
+    leftover idle CPUs in reverse class order (E cores first).  On a
+    uniform machine the class rankings are identities and the policy is a
+    plain two-class EDF engine. *)
+
+type t
+
+type stats = {
+  mutable frames_scheduled : int;
+  mutable batch_scheduled : int;
+  mutable frame_preemptions : int;  (** timeslice expirations acted on *)
+  mutable batch_evictions : int;  (** batch displaced to run a frame *)
+  mutable estales : int;
+}
+
+val stats : t -> stats
+
+val frame_backlog : t -> int
+(** Frame-queue depth right now. *)
+
+val policy :
+  ?deadline:int ->
+  ?timeslice:int ->
+  ?fastpath:bool ->
+  is_frame:(Kernel.Task.t -> bool) ->
+  unit ->
+  t * Ghost.Agent.policy
+(** [deadline] is the per-frame budget in ns (default 16.667 ms — one
+    60 Hz frame); [timeslice] bounds a frame's run time when other frames
+    wait; [fastpath] installs the §3.5 BPF tier (gated wakeup, pick ring,
+    and with a [timeslice] the tick program).  [is_frame] classifies each
+    managed thread when it first appears. *)

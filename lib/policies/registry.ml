@@ -282,6 +282,42 @@ let () =
             ("rotations", s.Secure_vm.rotations);
             ("single_commits", s.Secure_vm.single_commits);
           ] ));
+  register ~name:"hybrid-edf" ~mode:`Global
+    ~doc:
+      "Hybrid-aware EDF: frames earliest-deadline-first on P cores with \
+       E-core spillover, batch on donated E cores (ABI v3)"
+    ~knobs:
+      [
+        Dsl.Knob.time "deadline" ~default:16_667_000
+          "per-frame budget added to the runnable instant (one 60 Hz \
+           frame)";
+        Dsl.Knob.time_opt "timeslice"
+          "preempt frames past this slice when other frames wait";
+        Dsl.Knob.string "frame_prefix" ~default:"frame"
+          "task-name prefix classified as frame (deadline) work";
+        Dsl.Knob.bool "fastpath" ~default:false
+          "install the BPF fastpath tier (gated wakeup, pick ring, tick)";
+      ]
+    (fun p ->
+      let deadline = P.int p "deadline" ~default:16_667_000 in
+      let timeslice = P.int_opt p "timeslice" in
+      let frame_prefix = P.string p "frame_prefix" ~default:"frame" in
+      let fastpath = P.bool p "fastpath" ~default:false in
+      let t, pol =
+        Hybrid_edf.policy ~deadline ?timeslice ~fastpath
+          ~is_frame:(prefix_pred frame_prefix) ()
+      in
+      ( pol,
+        fun () ->
+          let s = Hybrid_edf.stats t in
+          [
+            ("batch_evictions", s.Hybrid_edf.batch_evictions);
+            ("batch_scheduled", s.Hybrid_edf.batch_scheduled);
+            ("estales", s.Hybrid_edf.estales);
+            ("frame_backlog", Hybrid_edf.frame_backlog t);
+            ("frame_preemptions", s.Hybrid_edf.frame_preemptions);
+            ("frames_scheduled", s.Hybrid_edf.frames_scheduled);
+          ] ));
   register ~name:"adaptive" ~mode:`Global
     ~doc:
       "Self-tuning two-class engine: a periodic controller reads its own \

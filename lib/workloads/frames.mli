@@ -1,0 +1,46 @@
+(** Interactive frame streams: periodic frame jobs with deadlines.
+
+    Each stream is one render thread (name it "frame%d" via [spawn]) that
+    receives a frame job every [period] ns and must complete it within
+    [deadline] ns of the arrival or the frame counts as jank.  Arrivals
+    are strictly periodic on the wall clock with a deterministic
+    per-stream phase stagger, and service times are drawn from [service]
+    with the stream set's own RNG — so two runs over the same [seed] offer
+    bit-identical traffic (same arrival instants, same samples) no matter
+    which policy or core class the threads land on.  Frames arriving while
+    their stream is still rendering queue behind it; the deadline keeps
+    counting from arrival. *)
+
+type t
+
+val create :
+  Kernel.t ->
+  seed:int ->
+  nstreams:int ->
+  period:int ->
+  deadline:int ->
+  service:Sim.Dist.t ->
+  spawn:(idx:int -> (unit -> Kernel.Task.action) -> Kernel.Task.t) ->
+  t
+
+val start : t -> until:int -> unit
+(** Begin the periodic arrivals; each stream stops offering at [until]. *)
+
+val recorder : t -> Recorder.t
+(** Frame times (completion - arrival) with deadline-miss counting; use
+    [Recorder.p] for the frame-time p99 and [Recorder.miss_rate] for the
+    jank rate. *)
+
+val offered : t -> int
+(** Frames offered so far (recorded or not). *)
+
+val offered_work : t -> int
+(** Total service ns offered so far — with [offered], the bit-identical
+    traffic guard across policy runs on one seed. *)
+
+val deadline : t -> int
+
+val tasks : t -> Kernel.Task.t list
+
+val set_record_after : t -> int -> unit
+(** Only frames arriving at/after this time are recorded (warmup). *)

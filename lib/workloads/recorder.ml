@@ -1,9 +1,21 @@
-type t = { hist : Gstats.Histogram.t }
+type t = { hist : Gstats.Histogram.t; mutable misses : int }
 
-let create () = { hist = Gstats.Histogram.create () }
+let create () = { hist = Gstats.Histogram.create (); misses = 0 }
 let record t ~now ~arrival = Gstats.Histogram.record t.hist (now - arrival)
 let record_value t v = Gstats.Histogram.record t.hist v
+
+let record_deadline t ~now ~arrival ~deadline =
+  let dur = now - arrival in
+  Gstats.Histogram.record t.hist dur;
+  if dur > deadline then t.misses <- t.misses + 1
+
 let completed t = Gstats.Histogram.count t.hist
+let misses t = t.misses
+
+let miss_rate t =
+  let n = completed t in
+  if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
+
 let hist t = t.hist
 let p t pct = Gstats.Histogram.percentile t.hist pct
 let mean t = Gstats.Histogram.mean t.hist
@@ -12,4 +24,6 @@ let throughput t ~duration =
   if duration <= 0 then 0.0
   else float_of_int (completed t) /. (float_of_int duration /. 1e9)
 
-let reset t = Gstats.Histogram.reset t.hist
+let reset t =
+  Gstats.Histogram.reset t.hist;
+  t.misses <- 0

@@ -11,7 +11,18 @@ val record : t -> now:int -> arrival:int -> unit
 val record_value : t -> int -> unit
 (** Record a pre-computed latency. *)
 
+val record_deadline : t -> now:int -> arrival:int -> deadline:int -> unit
+(** Record one completion and count it as a miss when the end-to-end
+    latency exceeds [deadline] (frame jank accounting). *)
+
 val completed : t -> int
+
+val misses : t -> int
+(** Completions recorded through {!record_deadline} past their deadline. *)
+
+val miss_rate : t -> float
+(** [misses / completed]; 0 when nothing completed. *)
+
 val hist : t -> Gstats.Histogram.t
 val p : t -> float -> int
 (** Percentile in nanoseconds. *)

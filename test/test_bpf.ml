@@ -96,6 +96,7 @@ let null_snap =
     thread_seq = (fun _ -> 0);
     first_idle = (fun () -> 0);
     socket = (fun _ -> 0);
+    core_class = (fun _ -> 0);
   }
 
 let run_ok p ~maps ~r1 ~r2 =

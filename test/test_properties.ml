@@ -367,6 +367,49 @@ let dsl_spawn k e ~name behavior =
   Kernel.start k t;
   t
 
+let test_uniform_class_identity =
+  (* A machine whose topology carries an explicit all-zero class array must
+     behave bit-identically to one built by the legacy constructor: same
+     per-task execution totals, same kernel counters, for any seed and any
+     workload drawn from it.  This is the engine-level root of the
+     uniform-preset byte-identity guard in `bench hybrid`. *)
+  qtest ~name:"uniform-class topology = legacy topology (engine identity)"
+    ~count:25
+    QCheck.(triple (int_range 0 1_000_000) (int_range 2 6) (int_range 1 6))
+    (fun (seed, ncores, nworkers) ->
+      let run hybrid_topo =
+        let topo =
+          let t =
+            Hw.Topology.create ~sockets:1 ~ccx_per_socket:1
+              ~cores_per_ccx:ncores ~smt:1
+          in
+          if hybrid_topo then Hw.Topology.with_classes t (Array.make ncores 0)
+          else t
+        in
+        let machine =
+          { Hw.Machines.name = "props-uniform"; topo; costs = Hw.Costs.skylake }
+        in
+        let k = Kernel.create ~seed machine in
+        let sys = Ghost.System.install k in
+        let e = Ghost.System.create_enclave sys ~cpus:(Kernel.full_mask k) () in
+        let inst = Policies.Registry.make "fifo-percpu" in
+        let _g = Policies.Registry.attach sys e inst in
+        let tasks =
+          List.init nworkers (fun i ->
+              let slice = us (20 + (17 * ((seed + i) mod 13))) in
+              dsl_spawn k e
+                ~name:(Printf.sprintf "worker%d" i)
+                (Kernel.Task.compute_forever ~slice))
+        in
+        Kernel.run_until k (ms 3);
+        Digest.string
+          (Marshal.to_string
+             ( List.map (fun t -> t.Kernel.Task.sum_exec) tasks,
+               Kernel.now k, Kernel.stats k )
+             [])
+      in
+      run false = run true)
+
 let test_dsl_work_conservation =
   (* Throughput form of work conservation: [n] always-runnable threads on
      [c] CPUs (one of which the spinning global agent occupies) must consume
@@ -543,6 +586,7 @@ let () =
         test_squeue_visibility; test_snapshot_never_torn;
         test_prewrite_seq_commit_estale; test_eventq_model; test_histogram_merge_equiv;
         test_topology_partitions; test_topology_sibling_involution;
+        test_uniform_class_identity;
         test_dsl_work_conservation; test_dsl_no_lost_threads;
         test_dsl_bounded_starvation; test_compute_total_sums;
       ]

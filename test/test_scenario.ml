@@ -18,10 +18,10 @@ let test_registry_names () =
   List.iter
     (fun n -> check_bool (n ^ " registered") true (List.mem n names))
     [
-      "adaptive"; "central"; "fifo-centralized"; "fifo-percpu"; "search";
-      "secure-vm"; "shinjuku"; "snap";
+      "adaptive"; "central"; "fifo-centralized"; "fifo-percpu"; "hybrid-edf";
+      "search"; "secure-vm"; "shinjuku"; "snap";
     ];
-  check_int "exactly eight policies" 8 (List.length names)
+  check_int "exactly nine policies" 9 (List.length names)
 
 let test_registry_make_all_by_name () =
   List.iter
@@ -153,7 +153,7 @@ let () =
     [
       ( "registry",
         [
-          Alcotest.test_case "seven policies" `Quick test_registry_names;
+          Alcotest.test_case "nine policies" `Quick test_registry_names;
           Alcotest.test_case "all constructible by name" `Quick
             test_registry_make_all_by_name;
           Alcotest.test_case "spec params" `Quick test_registry_params;
